@@ -1,0 +1,273 @@
+// Command comap-experiments regenerates the tables and figures of the
+// CO-MAP paper's evaluation (Du & Li, ICDCS 2013):
+//
+//	comap-experiments -fig all          # everything, quick scale
+//	comap-experiments -fig 8 -full      # Fig. 8 at paper scale
+//	comap-experiments -fig table1
+//
+// Output is plain text: one aligned table per figure, with the series the
+// paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 1, 2, 7, 8, 9, 10, table1, ablation, rts, overhead or all")
+	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick runs")
+	seeds := flag.Int("seeds", 0, "override number of seeds per data point")
+	duration := flag.Duration("duration", 0, "override simulated duration per run")
+	topologies := flag.Int("topologies", 0, "override number of Fig. 10 topologies")
+	svg := flag.String("svg", "", "also render each figure as an SVG into this directory")
+	flag.Parse()
+	svgDir = *svg
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	if *seeds > 0 {
+		opts.Seeds = *seeds
+	}
+	if *duration > 0 {
+		opts.Duration = *duration
+	}
+	if *topologies > 0 {
+		opts.Topologies = *topologies
+	}
+
+	if err := run(strings.ToLower(*fig), opts); err != nil {
+		fmt.Fprintln(os.Stderr, "comap-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, opts experiments.Opts) error {
+	want := func(name string) bool { return fig == "all" || fig == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		experiments.PrintTableI(os.Stdout)
+		fmt.Println()
+	}
+	if want("1") {
+		ran = true
+		if err := runFig1(opts); err != nil {
+			return err
+		}
+	}
+	if want("2") {
+		ran = true
+		if err := runFig2(opts); err != nil {
+			return err
+		}
+	}
+	if want("7") {
+		ran = true
+		if err := runFig7(opts); err != nil {
+			return err
+		}
+	}
+	if want("8") {
+		ran = true
+		if err := runFig8(opts); err != nil {
+			return err
+		}
+	}
+	if want("9") {
+		ran = true
+		if err := runFig9(opts); err != nil {
+			return err
+		}
+	}
+	if want("10") {
+		ran = true
+		if err := runFig10(opts); err != nil {
+			return err
+		}
+	}
+	if want("ablation") {
+		ran = true
+		if err := runAblation(opts); err != nil {
+			return err
+		}
+	}
+	if want("rts") {
+		ran = true
+		if err := runRTS(opts); err != nil {
+			return err
+		}
+	}
+	if want("overhead") {
+		ran = true
+		if err := runOverhead(opts); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func header(title string) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+func runFig1(opts experiments.Opts) error {
+	header("Fig. 1 — exposed-terminal testbed: C1->AP1 goodput vs C2 position (basic DCF)")
+	start := time.Now()
+	res, err := experiments.Fig1(opts)
+	if err != nil {
+		return err
+	}
+	experiments.PrintSeries(os.Stdout, "C2 pos (m)", res.C1Goodput, res.C2Goodput)
+	if err := writeSVG("fig1", lineChart("Fig. 1: exposed-terminal sweep (basic DCF)",
+		"C2 position from AP1 (m)", res.C1Goodput, res.C2Goodput)); err != nil {
+		return err
+	}
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runFig2(opts experiments.Opts) error {
+	header("Fig. 2 — hidden-terminal testbed: C1->AP1 goodput vs payload size (basic DCF)")
+	start := time.Now()
+	res, err := experiments.Fig2(opts)
+	if err != nil {
+		return err
+	}
+	experiments.PrintSeries(os.Stdout, "payload (B)", res.NoHT, res.OneHT)
+	if err := writeSVG("fig2", lineChart("Fig. 2: hidden-terminal payload study (basic DCF)",
+		"payload (bytes)", res.NoHT, res.OneHT)); err != nil {
+		return err
+	}
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runFig7(opts experiments.Opts) error {
+	header("Fig. 7 — analytical model vs simulation: goodput (Mbps) vs payload, c=5 contenders")
+	start := time.Now()
+	panels, err := experiments.Fig7(opts)
+	if err != nil {
+		return err
+	}
+	for _, p := range panels {
+		fmt.Printf("--- %d hidden terminal(s)\n", p.Hidden)
+		experiments.PrintSeries(os.Stdout, "payload (B)", append(p.Model, p.Sim...)...)
+		if err := writeSVG(fmt.Sprintf("fig7-h%d", p.Hidden),
+			lineChart(fmt.Sprintf("Fig. 7: model vs simulation, %d hidden terminal(s)", p.Hidden),
+				"payload (bytes)", append(p.Model, p.Sim...)...)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runFig8(opts experiments.Opts) error {
+	header("Fig. 8 — CO-MAP vs basic DCF across the exposed-terminal sweep")
+	start := time.Now()
+	res, err := experiments.Fig8(opts)
+	if err != nil {
+		return err
+	}
+	experiments.PrintSeries(os.Stdout, "C2 pos (m)", res.DCF, res.Comap)
+	if err := writeSVG("fig8", lineChart("Fig. 8: CO-MAP vs DCF, exposed-terminal sweep",
+		"C2 position from AP1 (m)", res.DCF, res.Comap)); err != nil {
+		return err
+	}
+	fmt.Printf("mean aggregate gain where CO-MAP transmitted concurrently: %+.1f%% (paper: +77.5%%)\n", res.ETRegionGainPct)
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runFig9(opts experiments.Opts) error {
+	header("Fig. 9 — hidden-terminal topologies: CDF of C1->AP1 goodput over the 10 role configurations")
+	start := time.Now()
+	res, err := experiments.Fig9(opts)
+	if err != nil {
+		return err
+	}
+	experiments.PrintCDFs(os.Stdout, "Mbps", res.DCF, res.Comap)
+	if err := writeSVG("fig9", cdfChart("Fig. 9: hidden-terminal topologies", res.DCF, res.Comap)); err != nil {
+		return err
+	}
+	fmt.Printf("mean gain: %+.1f%% (paper: +38.5%%)\n", res.MeanGainPct)
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runFig10(opts experiments.Opts) error {
+	header("Fig. 10 — large-scale office floor: CDF of per-link goodput (3 APs, 9 clients, 3 Mbps CBR)")
+	start := time.Now()
+	res, err := experiments.Fig10(opts)
+	if err != nil {
+		return err
+	}
+	experiments.PrintCDFs(os.Stdout, "Mbps", res.DCF, res.Comap, res.ComapErr)
+	if err := writeSVG("fig10", cdfChart("Fig. 10: large-scale office floor",
+		res.DCF, res.Comap, res.ComapErr)); err != nil {
+		return err
+	}
+	fmt.Printf("mean gain, perfect positions: %+.1f%% (paper: +38.5%%)\n", res.GainPerfectPct)
+	fmt.Printf("mean gain, %d m position error: %+.1f%% (paper: +18.7%%)\n",
+		experiments.Fig10PositionError, res.GainErrorPct)
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runAblation(opts experiments.Opts) error {
+	header("Extension — ablation of CO-MAP design choices (ET square at 30 m, aggregate Mbps)")
+	start := time.Now()
+	res, err := experiments.Ablation(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %6.2f\n", "basic DCF", res.DCF)
+	fmt.Printf("  %-34s %6.2f\n", "CO-MAP (full)", res.Full)
+	fmt.Printf("  %-34s %6.2f\n", "CO-MAP, separate header frame", res.HeaderFrame)
+	fmt.Printf("  %-34s %6.2f\n", "CO-MAP, no persistent concurrency", res.NoPersistent)
+	fmt.Printf("  %-34s %6.2f\n", "CO-MAP, in-band location exchange", res.InBandLocation)
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runRTS(opts experiments.Opts) error {
+	header("Extension — hidden-terminal mitigations: DCF vs RTS/CTS vs CO-MAP (3 saturated HTs)")
+	start := time.Now()
+	res, err := experiments.RTSComparison(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-12s %6.3f Mbps\n", "basic DCF", res.DCF)
+	fmt.Printf("  %-12s %6.3f Mbps\n", "RTS/CTS", res.RTSCTS)
+	fmt.Printf("  %-12s %6.3f Mbps\n", "CO-MAP", res.Comap)
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}
+
+func runOverhead(opts experiments.Opts) error {
+	header("Extension — in-band location exchange overhead (paper §V)")
+	start := time.Now()
+	res, err := experiments.Overhead(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  oracle positions:  %6.2f Mbps aggregate\n", res.OracleMbps)
+	fmt.Printf("  in-band exchange:  %6.2f Mbps aggregate\n", res.InBandMbps)
+	fmt.Printf("  beacons: %d frames, %d bytes of airtime\n", res.Beacons, res.BeaconBytes)
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	return nil
+}

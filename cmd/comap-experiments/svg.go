@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+)
+
+// svgDir is the output directory for -svg (empty = disabled).
+var svgDir string
+
+// writeSVG renders a chart into svgDir when enabled.
+func writeSVG(name string, c plot.Chart) error {
+	if svgDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(svgDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(svgDir, name+".svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.WriteSVG(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// toPlotSeries converts experiment series to plot series.
+func toPlotSeries(in ...experiments.Series) []plot.Series {
+	out := make([]plot.Series, 0, len(in))
+	for _, s := range in {
+		ps := plot.Series{Name: s.Name}
+		for _, p := range s.Points {
+			ps.X = append(ps.X, p.X)
+			ps.Y = append(ps.Y, p.Y)
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// toCDFSeries converts experiment CDFs to step series.
+func toCDFSeries(in ...experiments.CDF) []plot.Series {
+	out := make([]plot.Series, 0, len(in))
+	for _, c := range in {
+		ps := plot.Series{Name: c.Name}
+		for _, p := range c.Points {
+			ps.X = append(ps.X, p.X)
+			ps.Y = append(ps.Y, p.F)
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// lineChart builds a standard goodput line chart.
+func lineChart(title, xlabel string, series ...experiments.Series) plot.Chart {
+	return plot.Chart{
+		Title:  title,
+		XLabel: xlabel,
+		YLabel: "goodput (Mbps)",
+		Series: toPlotSeries(series...),
+	}
+}
+
+// cdfChart builds a CDF step chart.
+func cdfChart(title string, cdfs ...experiments.CDF) plot.Chart {
+	return plot.Chart{
+		Title:  title,
+		XLabel: "goodput (Mbps)",
+		YLabel: "empirical CDF",
+		Series: toCDFSeries(cdfs...),
+		Step:   true,
+	}
+}

@@ -1,0 +1,78 @@
+// Command comap-model prints the analytical DCF-with-hidden-terminals model
+// (paper §IV-D2): goodput surfaces over payload size and contention window,
+// and the precomputed (CW, packet size) adaptation table CO-MAP consults at
+// runtime.
+//
+//	comap-model -contenders 5
+//	comap-model -table -maxhidden 5 -maxcontenders 8
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bianchi"
+	"repro/internal/phy"
+)
+
+func main() {
+	var (
+		contenders    = flag.Int("contenders", 5, "number of contending nodes for the goodput surfaces")
+		table         = flag.Bool("table", true, "print the (CW, packet size) adaptation table")
+		surfaces      = flag.Bool("surfaces", true, "print goodput-vs-payload curves")
+		maxHidden     = flag.Int("maxhidden", 5, "table: maximum hidden-terminal count")
+		maxContenders = flag.Int("maxcontenders", 8, "table: maximum contender count")
+	)
+	flag.Parse()
+
+	base := bianchi.FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+
+	if *surfaces {
+		printSurfaces(base, *contenders)
+	}
+	if *table {
+		printTable(base, *maxHidden, *maxContenders)
+	}
+}
+
+func printSurfaces(base bianchi.Params, contenders int) {
+	payloads := []int{100, 200, 400, 600, 800, 1000, 1200, 1500}
+	for _, h := range []int{0, 1, 3, 5} {
+		fmt.Printf("goodput (Mbps) with c=%d contenders, h=%d hidden terminals:\n", contenders, h)
+		fmt.Printf("%-12s", "payload (B)")
+		for _, w := range bianchi.DefaultWindows {
+			fmt.Printf("%10s", fmt.Sprintf("W=%d", w))
+		}
+		fmt.Println()
+		for _, l := range payloads {
+			fmt.Printf("%-12d", l)
+			for _, w := range bianchi.DefaultWindows {
+				p := base
+				p.Contenders = contenders
+				p.Hidden = h
+				p.W = w
+				fmt.Printf("%10.3f", p.Goodput(l)/1e6)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func printTable(base bianchi.Params, maxHidden, maxContenders int) {
+	tbl := bianchi.NewAdaptationTable(base, maxHidden, maxContenders, nil, nil)
+	fmt.Println("adaptation table: best (CW, payload bytes) per (hidden terminals, contenders)")
+	fmt.Printf("%-6s", "h\\c")
+	for c := 0; c <= maxContenders; c++ {
+		fmt.Printf("%14d", c)
+	}
+	fmt.Println()
+	for h := 0; h <= maxHidden; h++ {
+		fmt.Printf("%-6d", h)
+		for c := 0; c <= maxContenders; c++ {
+			s := tbl.Lookup(h, c)
+			fmt.Printf("%14s", fmt.Sprintf("(%d,%d)", s.W, s.PayloadBytes))
+		}
+		fmt.Println()
+	}
+}

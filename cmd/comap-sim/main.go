@@ -1,0 +1,165 @@
+// Command comap-sim runs one scenario of the CO-MAP simulator and prints
+// per-flow goodput and per-station MAC statistics:
+//
+//	comap-sim -topology et -pos 28 -protocol comap -duration 5s
+//	comap-sim -topology roles -roles chh -protocol dcf
+//	comap-sim -topology fig7 -contenders 5 -hidden 3 -cw 255
+//	comap-sim -topology large -protocol comap -cbr 3000000 -poserr 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bianchi"
+	"repro/internal/frame"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "comap-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topoName   = flag.String("topology", "et", "et | roles | fig7 | large")
+		pos        = flag.Float64("pos", 28, "et: C2 distance from AP1 (m)")
+		roles      = flag.String("roles", "chh", "roles: per-client roles, letters from c/h/i")
+		contenders = flag.Int("contenders", 5, "fig7: number of contenders")
+		hidden     = flag.Int("hidden", 3, "fig7: number of hidden terminals")
+		protocol   = flag.String("protocol", "comap", "dcf | comap")
+		regime     = flag.String("regime", "", "testbed | ns2 (default: testbed for et, ns2 otherwise)")
+		duration   = flag.Duration("duration", 5*time.Second, "simulated duration")
+		seed       = flag.Int64("seed", 1, "random seed")
+		payload    = flag.Int("payload", 0, "payload bytes (0 = regime default)")
+		cbr        = flag.Float64("cbr", 0, "offered load per flow in bits/s (0 = saturated)")
+		posErr     = flag.Float64("poserr", 0, "position error range in meters")
+		cw         = flag.Int("cw", 0, "fixed contention window in slots (0 = regime default)")
+		adapt      = flag.Bool("adapt", true, "comap: enable hidden-terminal packet-size/CW adaptation")
+		tracePath  = flag.String("trace", "", "write a JSONL PHY event trace to this file")
+	)
+	flag.Parse()
+
+	top, defaultRegime, err := buildTopology(*topoName, *pos, *roles, *contenders, *hidden, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *regime == "" {
+		*regime = defaultRegime
+	}
+	var opts netsim.Options
+	switch *regime {
+	case "testbed":
+		opts = netsim.TestbedOptions()
+	case "ns2":
+		opts = netsim.NS2Options()
+	default:
+		return fmt.Errorf("unknown regime %q", *regime)
+	}
+
+	switch *protocol {
+	case "dcf":
+		opts.Protocol = netsim.ProtocolDCF
+	case "comap":
+		opts.Protocol = netsim.ProtocolComap
+		if *adapt {
+			base := bianchi.FromPHY(opts.PHY, opts.PHY.LowestRate())
+			opts.AdaptTable = bianchi.NewAdaptationTable(base, 5, 8, nil, nil)
+		}
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+
+	opts.Seed = *seed
+	opts.Duration = *duration
+	opts.CBRBitsPerSec = *cbr
+	opts.PositionErrorMeters = *posErr
+	if *payload > 0 {
+		opts.PayloadBytes = *payload
+	}
+	if *cw > 0 {
+		opts.FixedCW = *cw
+	}
+
+	n, err := netsim.Build(top, opts)
+	if err != nil {
+		return err
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := trace.NewWriter(f)
+		trace.Attach(n.Eng, n.Medium, w, false)
+		defer func() {
+			fmt.Printf("wrote %d trace events to %s\n", w.Count(), *tracePath)
+		}()
+	}
+	res := n.Run()
+
+	fmt.Printf("topology %s, protocol %v, %v simulated\n", top.Name, opts.Protocol, opts.Duration)
+	res.PrintFlows(os.Stdout)
+	fmt.Println()
+	n.Summarize().Print(os.Stdout)
+	fmt.Println()
+
+	ids := make([]int, 0, len(n.Stations))
+	for id := range n.Stations {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := n.Stations[frame.NodeID(id)]
+		snap := st.MAC.Stats().Snapshot()
+		if len(snap) == 0 {
+			continue
+		}
+		fmt.Printf("station %d:", id)
+		names := st.MAC.Stats().Names()
+		for _, name := range names {
+			fmt.Printf(" %s=%d", name, snap[name])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func buildTopology(name string, pos float64, roleStr string, contenders, hidden int, seed int64) (topology.Topology, string, error) {
+	switch name {
+	case "et":
+		return topology.ETSweep(pos), "testbed", nil
+	case "roles":
+		var roles []topology.Role
+		for _, c := range roleStr {
+			switch c {
+			case 'c':
+				roles = append(roles, topology.RoleContender)
+			case 'h':
+				roles = append(roles, topology.RoleHidden)
+			case 'i':
+				roles = append(roles, topology.RoleIndependent)
+			default:
+				return topology.Topology{}, "", fmt.Errorf("bad role letter %q (use c/h/i)", c)
+			}
+		}
+		return topology.HTRoles(roles), "ns2", nil
+	case "fig7":
+		return topology.Fig7(contenders, hidden), "ns2", nil
+	case "large":
+		return topology.LargeScale(rand.New(rand.NewSource(seed))), "ns2", nil
+	default:
+		return topology.Topology{}, "", fmt.Errorf("unknown topology %q", name)
+	}
+}

@@ -1,0 +1,162 @@
+// Command comap-trace analyses a JSONL PHY event trace produced by
+// comap-sim's -trace flag (or package trace): per-link delivery counts,
+// corruption rates and goodput, plus a per-frame-kind breakdown.
+//
+//	comap-sim -topology et -pos 30 -duration 5s -trace /tmp/et.jsonl
+//	comap-trace /tmp/et.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "comap-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var r io.Reader = os.Stdin
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	} else if len(args) > 1 {
+		return fmt.Errorf("usage: comap-trace [file.jsonl]")
+	}
+
+	report, err := analyze(r)
+	if err != nil {
+		return err
+	}
+	report.print(os.Stdout)
+	return nil
+}
+
+// linkKey identifies a directed (src, dst) pair.
+type linkKey struct {
+	src, dst uint16
+}
+
+// linkStats accumulates per-link counters.
+type linkStats struct {
+	deliveredOK  int
+	corrupted    int
+	payloadBytes int64
+}
+
+// report is the analysis result.
+type report struct {
+	firstUs, lastUs int64
+	events          int
+	byKind          map[string]int
+	links           map[linkKey]*linkStats
+}
+
+// analyze consumes a JSONL trace.
+func analyze(r io.Reader) (*report, error) {
+	rep := &report{
+		byKind:  make(map[string]int),
+		links:   make(map[linkKey]*linkStats),
+		firstUs: -1,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		rep.events++
+		if rep.firstUs < 0 || e.AtMicros < rep.firstUs {
+			rep.firstUs = e.AtMicros
+		}
+		if e.AtMicros > rep.lastUs {
+			rep.lastUs = e.AtMicros
+		}
+		rep.byKind[e.Kind+"/"+e.FrameKind]++
+		// Per-link data accounting: count only receptions at the intended
+		// destination.
+		if e.Kind == "rx" && e.FrameKind == "DATA" && e.Node == e.Dst {
+			k := linkKey{src: uint16(e.Src), dst: uint16(e.Dst)}
+			ls := rep.links[k]
+			if ls == nil {
+				ls = &linkStats{}
+				rep.links[k] = ls
+			}
+			if e.OK {
+				ls.deliveredOK++
+				ls.payloadBytes += int64(e.Payload)
+			} else {
+				ls.corrupted++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rep.events == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	return rep, nil
+}
+
+// print renders the report.
+func (r *report) print(w io.Writer) {
+	spanUs := r.lastUs - r.firstUs
+	fmt.Fprintf(w, "%d events over %.3f s\n\n", r.events, float64(spanUs)/1e6)
+
+	fmt.Fprintln(w, "events by kind:")
+	kinds := make([]string, 0, len(r.byKind))
+	for k := range r.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-18s %d\n", k, r.byKind[k])
+	}
+
+	fmt.Fprintln(w, "\nper-link data receptions (at the intended destination):")
+	fmt.Fprintf(w, "  %-12s %10s %10s %12s %12s\n", "link", "ok", "corrupt", "loss", "goodput")
+	links := make([]linkKey, 0, len(r.links))
+	for k := range r.links {
+		links = append(links, k)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].src != links[j].src {
+			return links[i].src < links[j].src
+		}
+		return links[i].dst < links[j].dst
+	})
+	for _, k := range links {
+		ls := r.links[k]
+		total := ls.deliveredOK + ls.corrupted
+		loss := 0.0
+		if total > 0 {
+			loss = float64(ls.corrupted) / float64(total)
+		}
+		goodput := 0.0
+		if spanUs > 0 {
+			goodput = float64(ls.payloadBytes) * 8 / (float64(spanUs) / 1e6) / 1e6
+		}
+		fmt.Fprintf(w, "  %4d->%-6d %10d %10d %11.1f%% %9.3f Mbps\n",
+			k.src, k.dst, ls.deliveredOK, ls.corrupted, loss*100, goodput)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `{"at_us":100,"node":2,"kind":"rx","frame":"DATA","src":1,"dst":2,"seq":0,"payload":1000,"ok":true,"rssi_dbm":-70}
+{"at_us":2100,"node":2,"kind":"rx","frame":"DATA","src":1,"dst":2,"seq":1,"payload":1000,"ok":false,"rssi_dbm":-70}
+{"at_us":2100,"node":3,"kind":"rx","frame":"DATA","src":1,"dst":2,"seq":1,"payload":1000,"ok":true,"rssi_dbm":-80}
+{"at_us":3000,"node":1,"kind":"txdone","frame":"DATA","src":1,"dst":2,"seq":1}
+{"at_us":1000100,"node":2,"kind":"rx","frame":"ACK","src":2,"dst":1,"ok":true}
+`
+
+func TestAnalyzeCounts(t *testing.T) {
+	rep, err := analyze(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.events != 5 {
+		t.Errorf("events = %d", rep.events)
+	}
+	if rep.firstUs != 100 || rep.lastUs != 1000100 {
+		t.Errorf("span = %d..%d", rep.firstUs, rep.lastUs)
+	}
+	if rep.byKind["rx/DATA"] != 3 || rep.byKind["txdone/DATA"] != 1 {
+		t.Errorf("byKind = %v", rep.byKind)
+	}
+	// Overheard reception at node 3 must not count towards the 1->2 link.
+	ls := rep.links[linkKey{src: 1, dst: 2}]
+	if ls == nil {
+		t.Fatal("missing link stats")
+	}
+	if ls.deliveredOK != 1 || ls.corrupted != 1 || ls.payloadBytes != 1000 {
+		t.Errorf("link stats = %+v", ls)
+	}
+}
+
+func TestAnalyzeRejectsGarbage(t *testing.T) {
+	if _, err := analyze(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := analyze(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	rep, err := analyze(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.print(&sb)
+	out := sb.String()
+	for _, want := range []string{"5 events", "rx/DATA", "1->2", "50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

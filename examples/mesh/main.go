@@ -1,0 +1,67 @@
+// Mesh: the paper's §VII outlook — "the models and techniques developed in
+// this paper can also be applied to stationary wireless mesh networks where
+// the locations of mesh stations are prior knowledge". This example builds a
+// four-hop mesh chain (the paper's planned wind/water-monitoring backhaul)
+// where alternating links could run concurrently but plain CSMA serializes
+// three of the four, and shows CO-MAP recovering the spatial reuse.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func main() {
+	// Two short mesh hops flowing outward from the middle of the backhaul:
+	// senders 2 and 3 sit 60 m apart (inside each other's ≈66 m CS range,
+	// so plain CSMA serializes them most of the time), while the receivers
+	// 1 and 4 sit at the outer ends, 72 m from the foreign sender — far
+	// enough that the links are SIR-safe concurrently (classic exposed
+	// pair). All positions are construction-time knowledge, as the paper
+	// assumes for mesh stations.
+	top := topology.Topology{
+		Name: "mesh-backhaul",
+		Nodes: []topology.Node{
+			{ID: 1, Pos: geom.Pt(-12, 0)},
+			{ID: 2, Pos: geom.Pt(0, 0)},
+			{ID: 3, Pos: geom.Pt(60, 0)},
+			{ID: 4, Pos: geom.Pt(72, 0)},
+		},
+		Flows: []topology.Flow{
+			{Src: 2, Dst: 1},
+			{Src: 3, Dst: 4},
+		},
+	}
+	if err := top.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, proto := range []netsim.Protocol{netsim.ProtocolDCF, netsim.ProtocolComap} {
+		opts := netsim.NS2Options() // 6 Mbps fixed rate, 20 dBm, Table I radio
+		opts.Protocol = proto
+		opts.Seed = 4
+		opts.Duration = 4 * time.Second
+
+		n, err := netsim.Build(top, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := n.Run()
+		conc := int64(0)
+		for _, st := range n.Stations {
+			conc += st.MAC.Stats().Get("et.concurrent_tx")
+		}
+		fmt.Printf("%-7v link 2->1 %5.2f Mbps, link 3->4 %5.2f Mbps, total %5.2f (%d concurrent tx)\n",
+			proto,
+			res.Goodput(top.Flows[0])/1e6,
+			res.Goodput(top.Flows[1])/1e6,
+			res.Total()/1e6, conc)
+	}
+	fmt.Println("\nMesh stations know their positions by construction, so CO-MAP's")
+	fmt.Println("co-occurrence map lets the 2->1 and 3->4 hops run concurrently.")
+}

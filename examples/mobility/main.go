@@ -1,0 +1,87 @@
+// Mobility and noisy localization: a client walks across the floor while
+// its reported position carries GPS-like error; the location registry only
+// re-reports after significant movement (the paper's update-threshold rule),
+// and the CO-MAP agent's verdicts change as the geometry changes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/comap"
+	"repro/internal/geom"
+	"repro/internal/loc"
+	"repro/internal/netsim"
+	"repro/internal/radio"
+	"repro/internal/topology"
+)
+
+func main() {
+	const errorRange = 5.0 // meters of localization error
+	registry := loc.NewRegistry(rand.New(rand.NewSource(1)), errorRange, errorRange/2)
+
+	// Static infrastructure.
+	registry.Register(topology.AP1, geom.Pt(0, 0))
+	registry.Register(topology.AP2, geom.Pt(36, 0))
+	registry.Register(topology.C1, geom.Pt(8, 0))
+	// The mobile client starts next to AP1.
+	registry.Register(topology.C2, geom.Pt(12, 0))
+
+	model := comap.Model{
+		Prop:           radio.NewLogNormal2400(2.9, 4),
+		TxPowerDBm:     0,
+		TSIRdB:         4,
+		TPRR:           0.8,
+		TcsDBm:         -81,
+		CSMissProb:     0.9,
+		SensitivityDBm: -94,
+	}
+	agent := comap.NewAgent(topology.C2, model, registry)
+
+	fmt.Printf("%-10s %-14s %-14s %-8s %s\n",
+		"true x", "reported", "updates", "verdict", "note")
+	for x := 12.0; x <= 36; x += 2 {
+		registry.Move(topology.C2, geom.Pt(x, 0))
+		// Position updates invalidate the lazily built co-occurrence map.
+		agent.OnPositionsChanged()
+		allowed := agent.Allowed(topology.C1, topology.AP1, topology.AP2)
+
+		reported, _ := registry.Position(topology.C2)
+		note := ""
+		if allowed {
+			note = "exposed terminal: concurrent transmission enabled"
+		}
+		fmt.Printf("%-10.0f %-14s %-14d %-8v %s\n",
+			x, reported, registry.Updates(), allowed, note)
+	}
+
+	fmt.Printf("\ntotal position reports: %d (movement threshold %.1f m keeps overhead low)\n",
+		registry.Updates(), errorRange/2)
+
+	// Part two: the same walk end-to-end in the simulator. C2 strolls from
+	// the unsafe zone into the exposed-terminal region while both links
+	// carry saturated traffic; CO-MAP picks up the concurrency as the
+	// reported positions change.
+	fmt.Println("\n--- end-to-end walk (12 s simulated) ---")
+	top := topology.ETSweep(16)
+	opts := netsim.TestbedOptions()
+	opts.Protocol = netsim.ProtocolComap
+	opts.Seed = 3
+	opts.Duration = 12 * time.Second
+	opts.PositionErrorMeters = errorRange
+	n, err := netsim.Build(top, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := n.ScheduleWalk(topology.C2, geom.Pt(32, 0), 1.5, 0); err != nil {
+		log.Fatal(err)
+	}
+	res := n.Run()
+	conc := n.Stations[topology.C1].MAC.Stats().Get("et.concurrent_tx") +
+		n.Stations[topology.C2].MAC.Stats().Get("et.concurrent_tx")
+	fmt.Printf("aggregate goodput %.2f Mbps, %d concurrent transmissions,\n",
+		res.Total()/1e6, conc)
+	fmt.Printf("%d position reports issued during the walk\n", n.Locs.Updates())
+}

@@ -1,0 +1,36 @@
+// Quickstart: build a two-link WLAN, run it under basic DCF and under
+// CO-MAP, and compare goodput. This is the smallest end-to-end use of the
+// library's public surface: topology -> options -> RunScenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func main() {
+	// The classic exposed-terminal square: C1->AP1 and C2->AP2 can coexist,
+	// but plain carrier sense serializes them.
+	top := topology.ETSweep(30)
+
+	for _, proto := range []netsim.Protocol{netsim.ProtocolDCF, netsim.ProtocolComap} {
+		opts := netsim.TestbedOptions() // 802.11b, 0 dBm, Minstrel, office radio
+		opts.Protocol = proto
+		opts.Seed = 42
+		opts.Duration = 3 * time.Second
+
+		res, err := netsim.RunScenario(top, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7v total %5.2f Mbps  (C1->AP1 %5.2f, C2->AP2 %5.2f)\n",
+			proto, res.Total()/1e6,
+			res.Goodput(top.Flows[0])/1e6, res.Goodput(top.Flows[1])/1e6)
+	}
+	fmt.Println("\nCO-MAP detects the exposed terminal from node positions and lets")
+	fmt.Println("both links transmit concurrently; basic DCF serializes them.")
+}

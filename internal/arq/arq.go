@@ -1,0 +1,238 @@
+// Package arq implements the selective-repeat ARQ scheme CO-MAP uses to
+// survive ACK losses caused by asynchronously ending exposed-terminal
+// transmissions (paper §IV-C4):
+//
+//   - the sender transmits up to WSend frames with consecutive sequence
+//     numbers; a missing ACK does not trigger an immediate retransmission —
+//     the sender moves on to the next frame in the window and resends the
+//     holes afterwards;
+//   - the receiver acknowledges every data frame with the received sequence
+//     number plus a bitmap of the 32 preceding sequence numbers, so one
+//     surviving ACK repairs the sender's view of many earlier losses.
+//
+// The package is pure protocol state; timers and radio access are driven by
+// the MAC layer that owns it.
+package arq
+
+import "fmt"
+
+// DefaultWindow is the default send window size.
+const DefaultWindow = 8
+
+// DefaultMaxAttempts bounds transmissions per frame before it is dropped.
+const DefaultMaxAttempts = 16
+
+// seqBefore reports whether a precedes b in modular uint16 sequence space.
+func seqBefore(a, b uint16) bool { return int16(a-b) < 0 }
+
+type entry struct {
+	seq      uint16
+	payload  int
+	attempts int
+	sent     bool
+}
+
+// Sender is the transmit side of the selective-repeat protocol.
+type Sender struct {
+	window      int
+	maxAttempts int
+	next        uint16
+	inflight    []*entry // unacked frames, oldest first
+	dropped     int
+	delivered   int
+}
+
+// NewSender creates a sender with the given window size and per-frame
+// attempt bound. Non-positive arguments select the defaults.
+func NewSender(window, maxAttempts int) *Sender {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if window > 32 {
+		// The ACK bitmap covers 32 sequence numbers; a larger window could
+		// not be repaired by a single ACK.
+		window = 32
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	return &Sender{window: window, maxAttempts: maxAttempts}
+}
+
+// Window returns the configured send window size.
+func (s *Sender) Window() int { return s.window }
+
+// InFlight returns the number of unacknowledged frames.
+func (s *Sender) InFlight() int { return len(s.inflight) }
+
+// Dropped returns the number of frames abandoned after MaxAttempts.
+func (s *Sender) Dropped() int { return s.dropped }
+
+// Acked returns the number of frames confirmed delivered.
+func (s *Sender) Acked() int { return s.delivered }
+
+// Next returns the sequence number and payload length of the next frame to
+// transmit. While the window has room it mints a new sequence number with
+// newPayload bytes; once the window is full it returns the oldest
+// unacknowledged frame as a retransmission (retry=true). Frames exceeding
+// the attempt bound are dropped and skipped.
+func (s *Sender) Next(newPayload int) (seq uint16, payload int, retry bool) {
+	if s.CanSendNew() {
+		seq, _ = s.NextNew(newPayload)
+		return seq, newPayload, false
+	}
+	seq, payload, _ = s.NextRetransmit()
+	return seq, payload, true
+}
+
+// dropHopeless abandons frames that exhausted their attempt budget.
+func (s *Sender) dropHopeless() {
+	for len(s.inflight) > 0 && s.inflight[0].attempts >= s.maxAttempts {
+		s.inflight = s.inflight[1:]
+		s.dropped++
+	}
+}
+
+// CanSendNew reports whether the send window has room for a new frame.
+func (s *Sender) CanSendNew() bool {
+	s.dropHopeless()
+	return len(s.inflight) < s.window
+}
+
+// NextNew mints a new sequence number carrying newPayload bytes. ok is
+// false when the window is full (nothing is minted).
+func (s *Sender) NextNew(newPayload int) (seq uint16, ok bool) {
+	if !s.CanSendNew() {
+		return 0, false
+	}
+	e := &entry{seq: s.next, payload: newPayload, attempts: 1, sent: true}
+	s.next++
+	s.inflight = append(s.inflight, e)
+	return e.seq, true
+}
+
+// NextRetransmit returns the oldest unacknowledged frame for retransmission,
+// rotating the window so successive calls cycle through the holes rather
+// than hammering one frame. ok is false when nothing is in flight.
+func (s *Sender) NextRetransmit() (seq uint16, payload int, ok bool) {
+	s.dropHopeless()
+	if len(s.inflight) == 0 {
+		return 0, 0, false
+	}
+	e := s.inflight[0]
+	e.attempts++
+	s.inflight = append(s.inflight[1:], e)
+	return e.seq, e.payload, true
+}
+
+// OnAck processes an acknowledgement: ackSeq itself plus every bitmap bit i
+// acknowledging sequence number ackSeq-1-i. It returns the number of frames
+// newly confirmed and their total payload bytes.
+func (s *Sender) OnAck(ackSeq uint16, bitmap uint32) (frames, payloadBytes int) {
+	acked := func(seq uint16) bool {
+		if seq == ackSeq {
+			return true
+		}
+		diff := uint16(ackSeq - 1 - seq)
+		return diff < 32 && bitmap&(1<<diff) != 0
+	}
+	kept := s.inflight[:0]
+	for _, e := range s.inflight {
+		if acked(e.seq) {
+			frames++
+			payloadBytes += e.payload
+			s.delivered++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Zero the tail so dropped entries are collectable.
+	for i := len(kept); i < len(s.inflight); i++ {
+		s.inflight[i] = nil
+	}
+	s.inflight = kept
+	return frames, payloadBytes
+}
+
+// Receiver is the receive side: it deduplicates frames and produces
+// bitmap ACKs.
+type Receiver struct {
+	started bool
+	highest uint16
+	seen    map[uint16]bool
+}
+
+// horizon is how far behind the highest sequence number the receiver
+// remembers individual frames; anything older is treated as a duplicate.
+const horizon = 256
+
+// NewReceiver creates an empty receiver.
+func NewReceiver() *Receiver {
+	return &Receiver{seen: make(map[uint16]bool)}
+}
+
+// OnData records reception of seq and reports whether the frame is new
+// (first delivery) as opposed to a duplicate retransmission.
+func (r *Receiver) OnData(seq uint16) (isNew bool) {
+	if !r.started {
+		r.started = true
+		r.highest = seq
+		r.seen[seq] = true
+		return true
+	}
+	if seqBefore(r.highest, seq) {
+		r.highest = seq
+		r.prune()
+	} else if uint16(r.highest-seq) >= horizon {
+		// Too old to track: assume we have seen it.
+		return false
+	}
+	if r.seen[seq] {
+		return false
+	}
+	r.seen[seq] = true
+	return true
+}
+
+// prune forgets sequence numbers older than the horizon.
+func (r *Receiver) prune() {
+	for s := range r.seen {
+		if uint16(r.highest-s) >= horizon {
+			delete(r.seen, s)
+		}
+	}
+}
+
+// Ack returns the acknowledgement for the most recent reception: the highest
+// received sequence number and a bitmap where bit i set means seq-1-i was
+// received. Calling Ack before any data returns ok=false.
+func (r *Receiver) Ack() (ackSeq uint16, bitmap uint32, ok bool) {
+	if !r.started {
+		return 0, 0, false
+	}
+	return r.highest, r.bitmapBefore(r.highest), true
+}
+
+// AckFor returns an acknowledgement anchored at the just-received sequence
+// number seq (plus the bitmap of the 32 numbers preceding it). Anchoring at
+// the received frame — not the highest — lets a retransmitted hole that has
+// fallen more than 32 numbers behind still be acknowledged directly.
+func (r *Receiver) AckFor(seq uint16) (ackSeq uint16, bitmap uint32) {
+	return seq, r.bitmapBefore(seq)
+}
+
+func (r *Receiver) bitmapBefore(seq uint16) uint32 {
+	var bitmap uint32
+	for i := uint16(0); i < 32; i++ {
+		if r.seen[seq-1-i] {
+			bitmap |= 1 << i
+		}
+	}
+	return bitmap
+}
+
+// String summarises sender state for traces.
+func (s *Sender) String() string {
+	return fmt.Sprintf("arq.Sender{next=%d inflight=%d acked=%d dropped=%d}",
+		s.next, len(s.inflight), s.delivered, s.dropped)
+}

@@ -1,0 +1,315 @@
+package arq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSenderDefaults(t *testing.T) {
+	s := NewSender(0, 0)
+	if s.Window() != DefaultWindow {
+		t.Errorf("Window = %d", s.Window())
+	}
+	s = NewSender(100, 5)
+	if s.Window() != 32 {
+		t.Errorf("Window should clamp to 32, got %d", s.Window())
+	}
+}
+
+func TestSenderFillsWindowWithNewFrames(t *testing.T) {
+	s := NewSender(4, 8)
+	for i := 0; i < 4; i++ {
+		seq, payload, retry := s.Next(100 + i)
+		if retry {
+			t.Fatalf("frame %d should be new", i)
+		}
+		if seq != uint16(i) {
+			t.Errorf("seq = %d, want %d", seq, i)
+		}
+		if payload != 100+i {
+			t.Errorf("payload = %d", payload)
+		}
+	}
+	if s.InFlight() != 4 {
+		t.Errorf("InFlight = %d", s.InFlight())
+	}
+	// Window full: the next call retransmits the oldest hole.
+	seq, payload, retry := s.Next(999)
+	if !retry || seq != 0 || payload != 100 {
+		t.Errorf("got seq=%d payload=%d retry=%v, want retransmit of 0", seq, payload, retry)
+	}
+}
+
+func TestRetransmissionsCycleThroughHoles(t *testing.T) {
+	s := NewSender(3, 100)
+	for i := 0; i < 3; i++ {
+		s.Next(10)
+	}
+	var order []uint16
+	for i := 0; i < 6; i++ {
+		seq, _, retry := s.Next(10)
+		if !retry {
+			t.Fatal("window is full; expected retransmissions")
+		}
+		order = append(order, seq)
+	}
+	want := []uint16{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("retransmit order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOnAckSingle(t *testing.T) {
+	s := NewSender(4, 8)
+	s.Next(100)
+	s.Next(200)
+	frames, bytes := s.OnAck(0, 0)
+	if frames != 1 || bytes != 100 {
+		t.Errorf("frames=%d bytes=%d", frames, bytes)
+	}
+	if s.InFlight() != 1 || s.Acked() != 1 {
+		t.Errorf("InFlight=%d Acked=%d", s.InFlight(), s.Acked())
+	}
+	// Duplicate ACK is a no-op.
+	frames, bytes = s.OnAck(0, 0)
+	if frames != 0 || bytes != 0 {
+		t.Errorf("duplicate ack: frames=%d bytes=%d", frames, bytes)
+	}
+}
+
+func TestOnAckBitmapRepairsEarlierLosses(t *testing.T) {
+	s := NewSender(8, 8)
+	for i := 0; i < 5; i++ {
+		s.Next(10)
+	}
+	// ACK for seq 4 with a bitmap acknowledging 3, 1 and 0 (bit 0 -> seq 3,
+	// bit 2 -> seq 1... bit i means 4-1-i).
+	bitmap := uint32(1<<0 | 1<<2 | 1<<3)
+	frames, bytes := s.OnAck(4, bitmap)
+	if frames != 4 || bytes != 40 {
+		t.Errorf("frames=%d bytes=%d, want 4/40", frames, bytes)
+	}
+	// Seq 2 remains the only hole.
+	seq, _, retry := s.Next(10)
+	if retry {
+		// Window has room so a new frame comes first.
+		t.Fatalf("expected new frame, got retransmit of %d", seq)
+	}
+	if s.InFlight() != 2 { // the hole (2) and the new frame (5)
+		t.Errorf("InFlight = %d", s.InFlight())
+	}
+}
+
+func TestDropAfterMaxAttempts(t *testing.T) {
+	s := NewSender(1, 3)
+	seq0, _, _ := s.Next(50)
+	if seq0 != 0 {
+		t.Fatal("first seq should be 0")
+	}
+	// Attempts: 1 (initial) + retransmissions.
+	s.Next(50) // attempt 2
+	s.Next(50) // attempt 3 -> at bound
+	seq, _, retry := s.Next(60)
+	if retry || seq != 1 {
+		t.Errorf("after drop, got seq=%d retry=%v; want fresh seq 1", seq, retry)
+	}
+	if s.Dropped() != 1 {
+		t.Errorf("Dropped = %d", s.Dropped())
+	}
+}
+
+func TestReceiverDedup(t *testing.T) {
+	r := NewReceiver()
+	if !r.OnData(0) || !r.OnData(1) {
+		t.Error("first receptions must be new")
+	}
+	if r.OnData(0) || r.OnData(1) {
+		t.Error("duplicates must not be new")
+	}
+	if !r.OnData(5) {
+		t.Error("gap frame must be new")
+	}
+}
+
+func TestReceiverAckBitmap(t *testing.T) {
+	r := NewReceiver()
+	if _, _, ok := r.Ack(); ok {
+		t.Error("Ack before data should report !ok")
+	}
+	r.OnData(0)
+	r.OnData(1)
+	r.OnData(3) // 2 is missing
+	ackSeq, bitmap, ok := r.Ack()
+	if !ok || ackSeq != 3 {
+		t.Fatalf("ackSeq=%d ok=%v", ackSeq, ok)
+	}
+	// bit0 -> seq 2 (missing), bit1 -> seq 1 (seen), bit2 -> seq 0 (seen).
+	if bitmap&1 != 0 {
+		t.Error("bit for missing seq 2 must be clear")
+	}
+	if bitmap&(1<<1) == 0 || bitmap&(1<<2) == 0 {
+		t.Error("bits for seqs 1 and 0 must be set")
+	}
+}
+
+func TestReceiverOldDuplicateBeyondHorizon(t *testing.T) {
+	r := NewReceiver()
+	r.OnData(0)
+	r.OnData(1000) // far ahead; 0 falls out of the horizon
+	if r.OnData(0) {
+		t.Error("frame beyond horizon should be treated as duplicate")
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	s := NewSender(4, 8)
+	s.next = 0xFFFE
+	r := NewReceiver()
+	for i := 0; i < 6; i++ {
+		seq, _, retry := s.Next(10)
+		if retry {
+			t.Fatal("unexpected retransmission")
+		}
+		if !r.OnData(seq) {
+			t.Fatalf("wrapped seq %d should be new", seq)
+		}
+		ackSeq, bitmap, _ := r.Ack()
+		s.OnAck(ackSeq, bitmap)
+	}
+	if s.InFlight() != 0 || s.Acked() != 6 {
+		t.Errorf("InFlight=%d Acked=%d", s.InFlight(), s.Acked())
+	}
+}
+
+// TestLossyLinkEventuallyDeliversEverything simulates the full protocol over
+// a lossy link: every data frame and every ACK is dropped independently.
+// All frames must be delivered exactly once and the sender must learn it.
+func TestLossyLinkEventuallyDeliversEverything(t *testing.T) {
+	lossRates := []float64{0, 0.1, 0.3, 0.5}
+	for _, loss := range lossRates {
+		rng := rand.New(rand.NewSource(int64(loss*100) + 1))
+		s := NewSender(8, 1000)
+		r := NewReceiver()
+		const total = 200
+		newFrames := 0
+		deliveredNew := 0
+		for steps := 0; steps < 100000 && s.Acked() < total; steps++ {
+			var seq uint16
+			var retry bool
+			if newFrames < total {
+				seq, _, retry = s.Next(100)
+				if !retry {
+					newFrames++
+				}
+			} else if s.InFlight() > 0 {
+				seq, _, retry = s.Next(0)
+				if !retry {
+					newFrames++ // window had room; count it anyway
+				}
+			} else {
+				break
+			}
+			if rng.Float64() < loss {
+				continue // data frame lost
+			}
+			if r.OnData(seq) {
+				deliveredNew++
+			}
+			ackSeq, bitmap, ok := r.Ack()
+			if ok && rng.Float64() >= loss {
+				s.OnAck(ackSeq, bitmap)
+			}
+		}
+		if s.Acked() < total {
+			t.Errorf("loss=%.1f: only %d/%d acked", loss, s.Acked(), total)
+		}
+		if deliveredNew < total {
+			t.Errorf("loss=%.1f: receiver got %d/%d unique frames", loss, deliveredNew, total)
+		}
+		if deliveredNew > newFrames {
+			t.Errorf("loss=%.1f: delivered more unique frames than sent", loss)
+		}
+	}
+}
+
+// TestWindowNeverExceeded is a property test: whatever the ack pattern, the
+// number of in-flight frames never exceeds the window.
+func TestWindowNeverExceeded(t *testing.T) {
+	f := func(ops []byte) bool {
+		s := NewSender(5, 50)
+		r := NewReceiver()
+		for _, op := range ops {
+			seq, _, _ := s.Next(10)
+			if s.InFlight() > 5 {
+				return false
+			}
+			if op%3 != 0 { // deliver 2/3 of frames
+				r.OnData(seq)
+			}
+			if op%2 == 0 { // deliver half the acks
+				if ackSeq, bitmap, ok := r.Ack(); ok {
+					s.OnAck(ackSeq, bitmap)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoDuplicateDeliveryProperty: the receiver never reports the same
+// sequence number as new twice, regardless of retransmission pattern.
+func TestNoDuplicateDeliveryProperty(t *testing.T) {
+	f := func(seqs []uint16) bool {
+		r := NewReceiver()
+		newSeen := make(map[uint16]bool)
+		for _, q := range seqs {
+			q %= 64 // keep within the horizon so semantics are exact
+			if r.OnData(q) {
+				if newSeen[q] {
+					return false
+				}
+				newSeen[q] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSenderString(t *testing.T) {
+	s := NewSender(4, 8)
+	s.Next(10)
+	if got := s.String(); got == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestAckForAnchorsAtReceivedSeq(t *testing.T) {
+	r := NewReceiver()
+	r.OnData(10)
+	r.OnData(11)
+	r.OnData(40) // highest jumps far ahead
+	// A retransmission of seq 10 must be ack'able directly even though it is
+	// 30 behind the highest.
+	ackSeq, bitmap := r.AckFor(10)
+	if ackSeq != 10 {
+		t.Errorf("ackSeq = %d, want 10", ackSeq)
+	}
+	// The bitmap covers the 32 seqs before 10; none were received.
+	if bitmap != 0 {
+		t.Errorf("bitmap = %b, want 0", bitmap)
+	}
+	// Anchored at 12, bits 0 and 1 mark 11 and 10.
+	_, bitmap = r.AckFor(12)
+	if bitmap&0b11 != 0b11 {
+		t.Errorf("bitmap = %b, want low bits set", bitmap)
+	}
+}

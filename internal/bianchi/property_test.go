@@ -1,0 +1,120 @@
+package bianchi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phy"
+)
+
+// TestGoodputBoundsProperty: for any admissible parameters, goodput lies in
+// (0, DataRate).
+func TestGoodputBoundsProperty(t *testing.T) {
+	base := FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+	f := func(wRaw, cRaw, hRaw uint8, lRaw uint16) bool {
+		p := base
+		p.W = 1 + int(wRaw)%1023
+		p.Contenders = int(cRaw) % 20
+		p.Hidden = int(hRaw) % 10
+		l := 1 + int(lRaw)%2300
+		g := p.Goodput(l)
+		if g < 0 || g >= p.DataRate {
+			return false
+		}
+		// W=1 with contenders means tau=1: every slot collides and zero
+		// goodput is the correct answer; otherwise goodput is positive.
+		if p.W > 1 || p.Contenders == 0 {
+			return g > 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGoodputMonotoneInContenders: more contenders never increase a single
+// link's goodput.
+func TestGoodputMonotoneInContenders(t *testing.T) {
+	base := FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+	f := func(wRaw uint8, aRaw, bRaw uint8, lRaw uint16) bool {
+		a, b := int(aRaw)%15, int(bRaw)%15
+		if a > b {
+			a, b = b, a
+		}
+		l := 50 + int(lRaw)%1450
+		pa, pb := base, base
+		pa.W = 63 + int(wRaw)%4*64
+		pb.W = pa.W
+		pa.Contenders, pb.Contenders = a, b
+		return pa.Goodput(l) >= pb.Goodput(l)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlotLengthMonotoneInPayload: the expected virtual slot grows with
+// payload (more airtime per busy slot).
+func TestSlotLengthMonotoneInPayload(t *testing.T) {
+	base := FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+	base.W = 127
+	base.Contenders = 4
+	f := func(aRaw, bRaw uint16) bool {
+		a := 1 + int(aRaw)%2000
+		b := 1 + int(bRaw)%2000
+		if a > b {
+			a, b = b, a
+		}
+		return base.SlotLength(a) <= base.SlotLength(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdaptationTableMonotoneAcrossHidden: for every contender count, the
+// table's modelled goodput never increases with more hidden terminals.
+func TestAdaptationTableMonotoneAcrossHidden(t *testing.T) {
+	base := FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+	tbl := NewAdaptationTable(base, 5, 6, nil, nil)
+	for c := 0; c <= 6; c++ {
+		prev := tbl.Lookup(0, c).GoodputBps
+		for h := 1; h <= 5; h++ {
+			cur := tbl.Lookup(h, c).GoodputBps
+			if cur > prev+1e-9 {
+				t.Errorf("c=%d: best goodput rose from h=%d to h=%d (%v -> %v)",
+					c, h-1, h, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestOptimalSettingIsActuallyOptimal: the returned setting's goodput equals
+// a brute-force maximum over the grids.
+func TestOptimalSettingIsActuallyOptimal(t *testing.T) {
+	base := FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+	base.Contenders = 5
+	base.Hidden = 2
+	windows := []int{31, 127, 511}
+	payloads := []int{200, 700, 1200}
+	best := OptimalSetting(base, windows, payloads)
+	for _, w := range windows {
+		p := base
+		p.W = w
+		for _, l := range payloads {
+			if g := p.Goodput(l); g > best.GoodputBps+1e-12 {
+				t.Errorf("grid point (W=%d, L=%d) beats the 'optimal' (%v > %v)",
+					w, l, g, best.GoodputBps)
+			}
+		}
+	}
+	if best.GoodputBps != func() float64 {
+		p := base
+		p.W = best.W
+		return p.Goodput(best.PayloadBytes)
+	}() {
+		t.Error("reported goodput does not match recomputation")
+	}
+}

@@ -1,0 +1,389 @@
+// Package channel models the shared wireless medium: it propagates frames
+// between transceivers using the log-normal shadowing model, tracks the
+// aggregate energy each node senses (for carrier sense and for CO-MAP's
+// RSSI-step rule) and decides frame reception by an SINR threshold, exactly
+// the reception model underlying the paper's eqs. (2)–(3).
+//
+// The medium is single-threaded and driven by a sim.Engine; all state
+// transitions happen inside simulator events, so runs are deterministic.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/phy"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Listener receives PHY indications from a Transceiver. Implementations are
+// MAC layers.
+type Listener interface {
+	// EnergyChanged reports the new aggregate in-band signal power (dBm,
+	// excluding the noise floor; -Inf when the air is silent). It fires on
+	// every transmission start/end heard by this node, including ones below
+	// the CCA threshold.
+	EnergyChanged(aggregateDBm float64)
+	// FrameReceived delivers a frame this node's radio locked onto. ok is
+	// false when interference pushed SINR below the rate's threshold at any
+	// moment during reception. rssiDBm is the received signal strength of
+	// the frame itself.
+	FrameReceived(f frame.Frame, ok bool, rssiDBm float64)
+	// TransmitDone indicates this node's own transmission left the air.
+	TransmitDone(f frame.Frame)
+}
+
+// DefaultCaptureMarginDB is the power advantage a newly arriving frame needs
+// over the frame currently being received for the radio to re-lock onto it
+// (message-in-message / physical-layer capture, as on commodity 802.11
+// hardware).
+const DefaultCaptureMarginDB = 10.0
+
+// Medium is the shared wireless channel.
+type Medium struct {
+	eng    *sim.Engine
+	model  radio.LogNormal
+	noise  float64
+	rng    *rand.Rand
+	nodes  []*Transceiver
+	byID   map[frame.NodeID]*Transceiver
+	active []*transmission
+
+	// CaptureMarginDB controls mid-frame re-locking; set negative to
+	// disable capture entirely.
+	CaptureMarginDB float64
+
+	// StaticShadowFraction is the fraction of the shadowing variance that is
+	// a fixed property of each node pair (walls, furniture — constant for
+	// stationary nodes), with the remainder redrawn per frame (fast fading).
+	// The composite per-frame deviation always equals the model's SigmaDB,
+	// so the ensemble PRR statistics of the paper's eqs. (2)–(4) hold
+	// exactly; the split only controls how much of the randomness is frozen
+	// per topology instance. Default 0.7.
+	StaticShadowFraction float64
+	staticShadow         map[pairKey]float64
+
+	// HeaderIndicationAt, when set, enables the paper's embedded discovery
+	// header (§V method one): every data frame's source and destination
+	// addresses become decodable this long into the frame (PLCP preamble +
+	// MAC header + the extra 4-byte FCS). Nodes locked onto the frame
+	// receive a synthetic ComapHeader indication (marked Retry to say "the
+	// announced data is already on the air").
+	HeaderIndicationAt func(r phy.Rate) time.Duration
+}
+
+// pairKey identifies an unordered node pair (radio reciprocity makes the
+// static shadowing component symmetric).
+type pairKey struct {
+	lo, hi frame.NodeID
+}
+
+func makePairKey(a, b frame.NodeID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{lo: a, hi: b}
+}
+
+// NewMedium creates a medium over the given propagation model and noise
+// floor (dBm). Shadowing draws come from the engine's "channel.shadowing"
+// random stream.
+func NewMedium(eng *sim.Engine, model radio.LogNormal, noiseFloorDBm float64) *Medium {
+	return &Medium{
+		eng:                  eng,
+		model:                model,
+		noise:                noiseFloorDBm,
+		rng:                  eng.RNG("channel.shadowing"),
+		byID:                 make(map[frame.NodeID]*Transceiver),
+		CaptureMarginDB:      DefaultCaptureMarginDB,
+		StaticShadowFraction: 0.7,
+		staticShadow:         make(map[pairKey]float64),
+	}
+}
+
+// Engine returns the driving simulation engine.
+func (m *Medium) Engine() *sim.Engine { return m.eng }
+
+// Model returns the propagation model in use.
+func (m *Medium) Model() radio.LogNormal { return m.model }
+
+// NoiseFloorDBm returns the receiver noise floor.
+func (m *Medium) NoiseFloorDBm() float64 { return m.noise }
+
+// AddNode registers a transceiver on the medium. Adding a duplicate ID
+// panics: node identity is fixed at topology-construction time and a
+// collision is a programming error.
+func (m *Medium) AddNode(id frame.NodeID, pos geom.Point, txPowerDBm float64, l Listener) *Transceiver {
+	if _, dup := m.byID[id]; dup {
+		panic(fmt.Sprintf("channel: duplicate node id %d", id))
+	}
+	tr := &Transceiver{id: id, pos: pos, txPower: txPowerDBm, medium: m, listener: l}
+	m.byID[id] = tr
+	m.nodes = append(m.nodes, tr)
+	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i].id < m.nodes[j].id })
+	return tr
+}
+
+// Node returns the transceiver with the given ID, or nil.
+func (m *Medium) Node(id frame.NodeID) *Transceiver { return m.byID[id] }
+
+// Nodes returns all transceivers in ID order. The returned slice is shared;
+// callers must not modify it.
+func (m *Medium) Nodes() []*Transceiver { return m.nodes }
+
+// transmission is one frame in flight.
+type transmission struct {
+	from *Transceiver
+	f    frame.Frame
+	rate phy.Rate
+	// rxDBm holds the shadowing-resolved received power of this frame at
+	// every other node, sampled once at transmission start.
+	rxDBm map[frame.NodeID]float64
+}
+
+// reception tracks a radio locked onto a frame.
+type reception struct {
+	tx        *transmission
+	signalDBm float64
+	corrupted bool
+}
+
+// Transceiver is one node's radio front-end.
+type Transceiver struct {
+	id       frame.NodeID
+	pos      geom.Point
+	txPower  float64
+	medium   *Medium
+	listener Listener
+	sending  *transmission
+	lock     *reception
+}
+
+// ID returns the node identifier.
+func (t *Transceiver) ID() frame.NodeID { return t.id }
+
+// SetListener installs the PHY-indication receiver (typically a MAC built
+// after the node was added to the medium).
+func (t *Transceiver) SetListener(l Listener) { t.listener = l }
+
+// Listener returns the currently installed PHY-indication receiver (nil if
+// none). Tracing wrappers use it to interpose themselves.
+func (t *Transceiver) Listener() Listener { return t.listener }
+
+// Position returns the node's current true position.
+func (t *Transceiver) Position() geom.Point { return t.pos }
+
+// SetPosition moves the node (mobility). In-flight frames keep the powers
+// sampled at their transmission start.
+func (t *Transceiver) SetPosition(p geom.Point) { t.pos = p }
+
+// TxPowerDBm returns the node's transmit power.
+func (t *Transceiver) TxPowerDBm() float64 { return t.txPower }
+
+// SetTxPowerDBm changes the node's transmit power for future frames.
+func (t *Transceiver) SetTxPowerDBm(p float64) { t.txPower = p }
+
+// Transmitting reports whether the node currently has a frame on the air.
+func (t *Transceiver) Transmitting() bool { return t.sending != nil }
+
+// Receiving reports whether the radio is locked onto an incoming frame.
+func (t *Transceiver) Receiving() bool { return t.lock != nil }
+
+// AggregateSignalDBm returns the summed in-band power of all transmissions
+// currently heard by this node (excluding its own and excluding the noise
+// floor). Returns -Inf on a silent channel. This is the RSSI the CO-MAP
+// enhanced scheduler monitors.
+func (t *Transceiver) AggregateSignalDBm() float64 {
+	sumMW := 0.0
+	for _, tx := range t.medium.active {
+		if tx.from == t {
+			continue
+		}
+		sumMW += radio.DBmToMilliwatts(tx.rxDBm[t.id])
+	}
+	return radio.MilliwattsToDBm(sumMW)
+}
+
+// Transmit puts a frame on the air for the given airtime at the given rate.
+// It returns an error if the node is already transmitting. Any reception in
+// progress is aborted (half-duplex radio).
+func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Duration) error {
+	if t.sending != nil {
+		return fmt.Errorf("channel: node %d already transmitting", t.id)
+	}
+	if airtime <= 0 {
+		return fmt.Errorf("channel: non-positive airtime %v", airtime)
+	}
+	m := t.medium
+	tx := &transmission{from: t, f: f, rate: rate, rxDBm: make(map[frame.NodeID]float64, len(m.nodes))}
+	for _, n := range m.nodes {
+		if n == t {
+			continue
+		}
+		d := t.pos.DistanceTo(n.pos)
+		tx.rxDBm[n.id] = m.model.MeanReceivedDBm(t.txPower, d) + m.shadowDB(t.id, n.id)
+	}
+	t.sending = tx
+	t.lock = nil // half-duplex: abort any reception
+	m.active = append(m.active, tx)
+
+	for _, n := range m.nodes {
+		if n == t {
+			continue
+		}
+		m.onAirChanged(n)
+		m.maybeLock(n, tx)
+	}
+
+	if m.HeaderIndicationAt != nil && f.Kind == frame.Data {
+		if at := m.HeaderIndicationAt(rate); at > 0 && at < airtime {
+			m.eng.After(at, func() { m.emitHeaderIndication(tx) })
+		}
+	}
+
+	m.eng.After(airtime, func() { m.endTransmission(tx) })
+	return nil
+}
+
+// emitHeaderIndication delivers the embedded discovery header of an
+// in-flight data frame to every node whose radio is locked onto it and has
+// decoded it cleanly so far.
+func (m *Medium) emitHeaderIndication(tx *transmission) {
+	hdr := frame.Frame{Kind: frame.ComapHeader, Src: tx.f.Src, Dst: tx.f.Dst, Retry: true}
+	for _, n := range m.nodes {
+		if n == tx.from || n.listener == nil {
+			continue
+		}
+		if n.lock != nil && n.lock.tx == tx && !n.lock.corrupted {
+			n.listener.FrameReceived(hdr, true, n.lock.signalDBm)
+		}
+	}
+}
+
+// maybeLock lets node n attempt to lock onto freshly started transmission tx,
+// including re-locking from a weaker ongoing reception (capture).
+func (m *Medium) maybeLock(n *Transceiver, tx *transmission) {
+	if n.sending != nil {
+		return
+	}
+	p := tx.rxDBm[n.id]
+	if p < tx.rate.SensitivityDBm {
+		return
+	}
+	if n.lock != nil {
+		// Message-in-message capture: a sufficiently stronger new frame
+		// steals the radio; the old frame is lost (it would be corrupted by
+		// the strong arrival anyway).
+		if m.CaptureMarginDB < 0 || p < n.lock.signalDBm+m.CaptureMarginDB {
+			return
+		}
+	}
+	rec := &reception{tx: tx, signalDBm: p}
+	n.lock = rec
+	m.updateSINR(n)
+}
+
+// updateSINR re-evaluates the SINR of n's current lock against all other
+// active transmissions and latches corruption if it falls below the rate's
+// threshold.
+func (m *Medium) updateSINR(n *Transceiver) {
+	rec := n.lock
+	if rec == nil || rec.corrupted {
+		return
+	}
+	var interferers []float64
+	for _, other := range m.active {
+		if other == rec.tx || other.from == n {
+			continue
+		}
+		interferers = append(interferers, other.rxDBm[n.id])
+	}
+	sinr := radio.SINRdB(rec.signalDBm, m.noise, interferers...)
+	if sinr < rec.tx.rate.MinSIRdB {
+		rec.corrupted = true
+	}
+}
+
+// onAirChanged notifies node n that the set of audible transmissions changed
+// and re-checks its lock's SINR.
+func (m *Medium) onAirChanged(n *Transceiver) {
+	m.updateSINR(n)
+	if n.listener != nil {
+		n.listener.EnergyChanged(n.AggregateSignalDBm())
+	}
+}
+
+// endTransmission removes tx from the air, delivers it to any locked
+// receiver and notifies everyone of the energy change.
+func (m *Medium) endTransmission(tx *transmission) {
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	tx.from.sending = nil
+
+	for _, n := range m.nodes {
+		if n == tx.from {
+			continue
+		}
+		if n.lock != nil && n.lock.tx == tx {
+			rec := n.lock
+			n.lock = nil
+			if n.listener != nil {
+				n.listener.FrameReceived(tx.f, !rec.corrupted, rec.signalDBm)
+			}
+		}
+		m.onAirChanged(n)
+	}
+	if tx.from.listener != nil {
+		tx.from.listener.TransmitDone(tx.f)
+	}
+}
+
+// ReceivedPowerSampleDBm draws one shadowed received-power sample from src to
+// dst using the medium's model and random stream. It is exposed for
+// diagnostic tools; protocol logic uses the per-frame samples.
+func (m *Medium) ReceivedPowerSampleDBm(src, dst *Transceiver) float64 {
+	d := src.pos.DistanceTo(dst.pos)
+	return m.model.MeanReceivedDBm(src.txPower, d) + m.shadowDB(src.id, dst.id)
+}
+
+// shadowDB returns the shadowing term (dB) for a frame from a to b: the
+// frozen static component of the pair plus a fresh per-frame fading draw.
+// The static component is derived deterministically from the engine seed and
+// the pair, so runs replay exactly regardless of event order.
+func (m *Medium) shadowDB(a, b frame.NodeID) float64 {
+	sigma := m.model.SigmaDB
+	if sigma == 0 {
+		return 0
+	}
+	f := m.StaticShadowFraction
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	fading := math.Sqrt(1-f) * sigma * m.rng.NormFloat64()
+	if f == 0 {
+		return fading
+	}
+	key := makePairKey(a, b)
+	static, ok := m.staticShadow[key]
+	if !ok {
+		pairRNG := m.eng.RNG(fmt.Sprintf("channel.static.%d.%d", key.lo, key.hi))
+		static = math.Sqrt(f) * sigma * pairRNG.NormFloat64()
+		m.staticShadow[key] = static
+	}
+	return static + fading
+}
+
+// SilentDBm is the aggregate power reported on an idle channel.
+var SilentDBm = math.Inf(-1)

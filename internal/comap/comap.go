@@ -1,0 +1,283 @@
+package comap
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/bianchi"
+	"repro/internal/frame"
+	"repro/internal/loc"
+	"repro/internal/phy"
+)
+
+// Link identifies a directed transmission pair.
+type Link struct {
+	Src frame.NodeID
+	Dst frame.NodeID
+}
+
+// CoOccurrenceMap caches, per ongoing link, which of this node's receivers
+// it may transmit to concurrently (paper §IV-C2). It is built lazily as the
+// network operates: the first detection of a link triggers validation by
+// computation, subsequent ones are table lookups. Initially empty — CO-MAP
+// needs no off-line site survey.
+type CoOccurrenceMap struct {
+	entries map[Link]map[frame.NodeID]bool
+	hits    int
+	misses  int
+}
+
+// NewCoOccurrenceMap returns an empty map.
+func NewCoOccurrenceMap() *CoOccurrenceMap {
+	return &CoOccurrenceMap{entries: make(map[Link]map[frame.NodeID]bool)}
+}
+
+// Lookup returns the cached verdict for transmitting to myDst while ongoing
+// is on the air. found is false when the pair was never validated.
+func (c *CoOccurrenceMap) Lookup(ongoing Link, myDst frame.NodeID) (allowed, found bool) {
+	row, ok := c.entries[ongoing]
+	if !ok {
+		c.misses++
+		return false, false
+	}
+	allowed, found = row[myDst]
+	if found {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return allowed, found
+}
+
+// Insert records a validation verdict.
+func (c *CoOccurrenceMap) Insert(ongoing Link, myDst frame.NodeID, allowed bool) {
+	row, ok := c.entries[ongoing]
+	if !ok {
+		row = make(map[frame.NodeID]bool)
+		c.entries[ongoing] = row
+	}
+	row[myDst] = allowed
+}
+
+// Len returns the number of ongoing-link entries.
+func (c *CoOccurrenceMap) Len() int { return len(c.entries) }
+
+// Hits and Misses expose cache efficiency for the overhead evaluation.
+func (c *CoOccurrenceMap) Hits() int   { return c.hits }
+func (c *CoOccurrenceMap) Misses() int { return c.misses }
+
+// Invalidate clears the map; CO-MAP calls it when positions change (the
+// paper's rapid-update property: the map is cheap to rebuild because entries
+// are recomputed lazily from fresh positions).
+func (c *CoOccurrenceMap) Invalidate() {
+	c.entries = make(map[Link]map[frame.NodeID]bool)
+}
+
+// Agent is one node's CO-MAP instance. It implements mac.ConcurrencyPolicy
+// via the co-occurrence map, mac.RateCapper via position-predicted SIR, and
+// provides the hidden-terminal-aware transmission settings.
+type Agent struct {
+	id    frame.NodeID
+	model Model
+	locs  loc.Provider
+	cmap  *CoOccurrenceMap
+	rates []phy.Rate
+	// seen records when each foreign link was last observed on the air
+	// (from its discovery header); it drives persistent concurrency.
+	seen map[Link]time.Duration
+}
+
+// NewAgent builds an agent for node id over the given analysis model and
+// location provider.
+func NewAgent(id frame.NodeID, model Model, locs loc.Provider) *Agent {
+	return &Agent{
+		id:    id,
+		model: model,
+		locs:  locs,
+		cmap:  NewCoOccurrenceMap(),
+		seen:  make(map[Link]time.Duration),
+	}
+}
+
+// ObserveLink records that the link src→dst was seen transmitting at the
+// given virtual time (the MAC decoded its discovery header).
+func (a *Agent) ObserveLink(src, dst frame.NodeID, now time.Duration) {
+	a.seen[Link{Src: src, Dst: dst}] = now
+}
+
+// DefaultLinkMaxAge is how long an observed link stays "active" for the
+// persistent-concurrency decision.
+const DefaultLinkMaxAge = 500 * time.Millisecond
+
+// PersistentConcurrencyOK reports whether carrier sense can be persistently
+// bypassed for transmissions to myDst: every recently observed foreign link
+// must be coexistence-validated, and none of them may involve this node (we
+// cannot transmit over our own inbound traffic). This mirrors the paper's
+// testbed implementation, which raises the validated exposed terminal's CCA
+// threshold so its transmissions proceed regardless of the ongoing one.
+func (a *Agent) PersistentConcurrencyOK(myDst frame.NodeID, now time.Duration) bool {
+	active := 0
+	for l, at := range a.seen {
+		if now-at > DefaultLinkMaxAge {
+			delete(a.seen, l)
+			continue
+		}
+		active++
+		if l.Src == a.id || l.Dst == a.id || l.Src == myDst || l.Dst == myDst {
+			return false
+		}
+		if !a.Allowed(l.Src, l.Dst, myDst) {
+			return false
+		}
+	}
+	return active > 0
+}
+
+// ID returns the owning node's ID.
+func (a *Agent) ID() frame.NodeID { return a.id }
+
+// Map exposes the co-occurrence map (for diagnostics and tests).
+func (a *Agent) Map() *CoOccurrenceMap { return a.cmap }
+
+// Model returns the analysis model.
+func (a *Agent) Model() Model { return a.model }
+
+// concurrencyFloorFactor is the economy threshold for concurrent
+// transmission: overlapping is only worthwhile when each link still supports
+// at least this fraction of the bitrate it would get alone — otherwise the
+// serialized CSMA share (roughly half the clean rate) is better. This
+// rate-aware refinement extends the paper's eq.-(3) validation, which checks
+// only the lowest-rate SIR threshold.
+const concurrencyFloorFactor = 0.5
+
+// Allowed implements mac.ConcurrencyPolicy: on detecting the ongoing
+// transmission ongoingSrc→ongoingDst, consult the co-occurrence map; on a
+// miss, validate by computation (eq. 3 both ways, plus the rate-economy
+// check when a rate set is installed) and insert the verdict.
+func (a *Agent) Allowed(ongoingSrc, ongoingDst, myDst frame.NodeID) bool {
+	ongoing := Link{Src: ongoingSrc, Dst: ongoingDst}
+	if allowed, found := a.cmap.Lookup(ongoing, myDst); found {
+		return allowed
+	}
+	allowed := a.model.Coexist(a.locs, ongoingSrc, ongoingDst, a.id, myDst) &&
+		a.rateEconomical(a.id, myDst, ongoingSrc) &&
+		a.rateEconomical(ongoingSrc, ongoingDst, a.id)
+	a.cmap.Insert(ongoing, myDst, allowed)
+	return allowed
+}
+
+// rateEconomical reports whether the link src→dst, under interference from
+// interferer, still supports at least concurrencyFloorFactor of the bitrate
+// it would sustain alone. With no rate set installed the check is skipped.
+func (a *Agent) rateEconomical(src, dst, interferer frame.NodeID) bool {
+	if len(a.rates) == 0 {
+		return true
+	}
+	ps, ok1 := a.locs.Position(src)
+	pd, ok2 := a.locs.Position(dst)
+	pi, ok3 := a.locs.Position(interferer)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	d := ps.DistanceTo(pd)
+	r := pi.DistanceTo(pd)
+	sir := a.model.Prop.PathLossDB(r) - a.model.Prop.PathLossDB(d)
+	capped, ok := a.fastestForSIR(sir - math.Sqrt2*a.model.Prop.SigmaDB)
+	if !ok {
+		return false
+	}
+	alone := a.fastestAlone(d)
+	return capped.BitsPerSec >= concurrencyFloorFactor*alone.BitsPerSec
+}
+
+// fastestForSIR returns the fastest rate decodable at the given SIR margin.
+func (a *Agent) fastestForSIR(sirDB float64) (phy.Rate, bool) {
+	var best phy.Rate
+	for _, r := range a.rates {
+		if r.MinSIRdB <= sirDB && r.BitsPerSec > best.BitsPerSec {
+			best = r
+		}
+	}
+	return best, !best.IsZero()
+}
+
+// fastestAlone returns the fastest rate the link supports without
+// interference, one shadowing deviation below the mean received power.
+func (a *Agent) fastestAlone(d float64) phy.Rate {
+	rx := a.model.TxPowerDBm - a.model.Prop.PathLossDB(d) - a.model.Prop.SigmaDB
+	best := a.slowestRate()
+	for _, r := range a.rates {
+		if r.SensitivityDBm <= rx && r.BitsPerSec > best.BitsPerSec {
+			best = r
+		}
+	}
+	return best
+}
+
+// OnPositionsChanged invalidates cached verdicts after location updates.
+func (a *Agent) OnPositionsChanged() { a.cmap.Invalidate() }
+
+// SetRates installs the PHY rate set used by CapRate. The slice is copied.
+func (a *Agent) SetRates(rates []phy.Rate) {
+	a.rates = make([]phy.Rate, len(rates))
+	copy(a.rates, rates)
+}
+
+// CapRate implements mac.RateCapper: while the ongoing link is on the air,
+// the concurrent transmission uses the fastest rate whose SIR requirement is
+// met by the position-predicted mean SIR at our receiver, with one composite
+// shadowing deviation (√2·σ) of margin. CO-MAP validated the pairing at the
+// lowest rate, so the slowest rate is the safe fallback ("it can transmit
+// simultaneously with a higher data rate if it is located further away",
+// paper §VI-A).
+func (a *Agent) CapRate(ongoingSrc, _ /*ongoingDst*/, myDst frame.NodeID, chosen phy.Rate) phy.Rate {
+	if len(a.rates) == 0 {
+		return chosen
+	}
+	me, ok1 := a.locs.Position(a.id)
+	rx, ok2 := a.locs.Position(myDst)
+	it, ok3 := a.locs.Position(ongoingSrc)
+	if !ok1 || !ok2 || !ok3 {
+		return chosen
+	}
+	d := me.DistanceTo(rx)
+	r := it.DistanceTo(rx)
+	// Equal transmit powers: mean SIR is the path-loss difference.
+	sir := a.model.Prop.PathLossDB(r) - a.model.Prop.PathLossDB(d)
+	margin := math.Sqrt2 * a.model.Prop.SigmaDB
+
+	best := a.slowestRate()
+	for _, rt := range a.rates {
+		if rt.MinSIRdB <= sir-margin &&
+			rt.BitsPerSec > best.BitsPerSec &&
+			rt.BitsPerSec <= chosen.BitsPerSec {
+			best = rt
+		}
+	}
+	return best
+}
+
+func (a *Agent) slowestRate() phy.Rate {
+	slow := a.rates[0]
+	for _, r := range a.rates[1:] {
+		if r.BitsPerSec < slow.BitsPerSec {
+			slow = r
+		}
+	}
+	return slow
+}
+
+// CountEnvironment returns the number of potential hidden terminals and
+// contending nodes of the link a.id→dst among the candidate senders.
+func (a *Agent) CountEnvironment(dst frame.NodeID, candidates []frame.NodeID) (hidden, contenders int) {
+	return len(a.model.HiddenTerminals(a.locs, a.id, dst, candidates)),
+		len(a.model.Contenders(a.locs, a.id, candidates))
+}
+
+// Adaptation returns the goodput-optimal (contention window, packet size)
+// for the link a.id→dst given the candidate sender population, looked up in
+// the precomputed table (paper §IV-D3).
+func (a *Agent) Adaptation(table *bianchi.AdaptationTable, dst frame.NodeID, candidates []frame.NodeID) bianchi.Setting {
+	h, c := a.CountEnvironment(dst, candidates)
+	return table.Lookup(h, c)
+}

@@ -1,0 +1,156 @@
+package comap
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// buildLink wires two stations at the given separation with CO-MAP endpoints.
+func buildLink(seed int64, sigmaDB, dist float64) (eng *sim.Engine, tx, rx *Endpoint) {
+	eng = sim.New(seed)
+	medium := channel.NewMedium(eng, radio.NewLogNormal2400(2.9, sigmaDB), -95)
+	cfg := mac.Config{
+		PHY:             phy.DSSS(),
+		CCAThresholdDBm: -81,
+		FixedCW:         8,
+		NoRetransmit:    true,
+	}
+	mk := func(id frame.NodeID, pos geom.Point) *Endpoint {
+		tr := medium.AddNode(id, pos, 0, nil)
+		m := mac.New(eng, tr, cfg)
+		tr.SetListener(m)
+		return NewEndpoint(eng, m, 8)
+	}
+	tx = mk(1, geom.Pt(0, 0))
+	rx = mk(2, geom.Pt(dist, 0))
+	return eng, tx, rx
+}
+
+func TestEndpointSaturatedStreamDelivers(t *testing.T) {
+	eng, tx, rx := buildLink(1, 0, 10)
+	tx.StartStream(2, func() int { return 1000 })
+	eng.RunUntil(time.Second)
+
+	if rx.Delivered().Frames() == 0 {
+		t.Fatal("no frames delivered")
+	}
+	// Clean link at 1 Mbps: goodput should be a decent fraction of the
+	// channel rate.
+	mbps := rx.Delivered().Mbps(time.Second)
+	if mbps < 0.5 {
+		t.Errorf("goodput = %v Mbps, want > 0.5 on a clean 1 Mbps link", mbps)
+	}
+	// The sender's ARQ should have learned about the deliveries.
+	if tx.Sender().Acked() == 0 {
+		t.Error("sender never saw an SR ACK")
+	}
+	if tx.Sender().Dropped() != 0 {
+		t.Errorf("clean link dropped %d frames", tx.Sender().Dropped())
+	}
+}
+
+func TestEndpointDeliveredCountsUniqueOnly(t *testing.T) {
+	// Marginal link with shadowing: many losses and retransmissions.
+	eng, tx, rx := buildLink(2, 4, 68)
+	tx.StartStream(2, func() int { return 500 })
+	eng.RunUntil(2 * time.Second)
+
+	sent := tx.MAC().Stats().Get("tx.data")
+	delivered := rx.Delivered().Frames()
+	if delivered == 0 {
+		t.Fatal("nothing delivered on marginal link")
+	}
+	if delivered >= sent {
+		t.Errorf("delivered %d >= transmissions %d on lossy link (dedup broken?)", delivered, sent)
+	}
+	// Retransmissions must have happened (that's the point of SR ARQ here).
+	if tx.MAC().Stats().Get("ack.timeout") == 0 {
+		t.Error("expected ACK timeouts on marginal link")
+	}
+}
+
+func TestEndpointSRAckUsed(t *testing.T) {
+	eng, tx, rx := buildLink(3, 0, 10)
+	deliveredSeqs := make(map[uint16]bool)
+	rx.OnDeliver(func(f frame.Frame) {
+		if deliveredSeqs[f.Seq] {
+			t.Errorf("seq %d delivered twice", f.Seq)
+		}
+		deliveredSeqs[f.Seq] = true
+	})
+	tx.StartStream(2, func() int { return 800 })
+	eng.RunUntil(500 * time.Millisecond)
+	if tx.Sender().Acked() == 0 {
+		t.Error("SR ACKs did not reach the sender's ARQ")
+	}
+	if len(deliveredSeqs) == 0 {
+		t.Error("no deliveries")
+	}
+}
+
+func TestEndpointCBRStreamRespectsRate(t *testing.T) {
+	eng, tx, rx := buildLink(4, 0, 10)
+	const offered = 200_000.0 // 200 kbps over a 1 Mbps channel
+	tx.StartCBRStream(2, func() int { return 500 }, offered)
+	eng.RunUntil(2 * time.Second)
+
+	got := rx.Delivered().BitsPerSecond(2 * time.Second)
+	if got > 1.1*offered {
+		t.Errorf("goodput %v exceeds offered load %v", got, offered)
+	}
+	if got < 0.7*offered {
+		t.Errorf("goodput %v far below offered load %v on a clean link", got, offered)
+	}
+}
+
+func TestEndpointStopStream(t *testing.T) {
+	eng, tx, rx := buildLink(5, 0, 10)
+	tx.StartStream(2, func() int { return 500 })
+	eng.RunUntil(100 * time.Millisecond)
+	tx.StopStream()
+	delivered := rx.Delivered().Frames()
+	eng.RunUntil(500 * time.Millisecond)
+	// A couple of queued frames may still drain, then the stream stops.
+	drained := rx.Delivered().Frames() - delivered
+	if drained > int64(tx.Sender().Window())+pipelineDepth {
+		t.Errorf("stream kept flowing after stop: %d extra frames", drained)
+	}
+}
+
+func TestEndpointPayloadFunctionConsultedPerFrame(t *testing.T) {
+	eng, tx, rx := buildLink(6, 0, 10)
+	sizes := []int{1400, 1000, 600, 200}
+	i := 0
+	tx.StartStream(2, func() int {
+		s := sizes[i%len(sizes)]
+		i++
+		return s
+	})
+	eng.RunUntil(300 * time.Millisecond)
+	if rx.Delivered().Frames() < 4 {
+		t.Fatal("too few deliveries")
+	}
+	if i < 4 {
+		t.Errorf("payload function consulted %d times", i)
+	}
+	_ = eng
+}
+
+func TestEndpointTwoWayTraffic(t *testing.T) {
+	eng, a, b := buildLink(7, 0, 10)
+	a.StartStream(2, func() int { return 700 })
+	b.StartStream(1, func() int { return 700 })
+	eng.RunUntil(time.Second)
+	if a.Delivered().Frames() == 0 || b.Delivered().Frames() == 0 {
+		t.Errorf("two-way deliveries: a=%d b=%d",
+			a.Delivered().Frames(), b.Delivered().Frames())
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// AblationResult isolates CO-MAP's design choices on the exposed-terminal
+// scenario (DESIGN.md's "key modelling decisions"): each row is aggregate
+// goodput in Mbps at C2 = 30 m.
+type AblationResult struct {
+	// DCF is the baseline.
+	DCF float64
+	// Full is CO-MAP as configured by default (embedded header, persistent
+	// concurrency, rate capping).
+	Full float64
+	// HeaderFrame replaces the embedded 4-byte header with the testbed's
+	// separate header frame (method two, §V).
+	HeaderFrame float64
+	// NoPersistent disables the carrier-sense bypass, leaving only
+	// per-header chained joins (the paper's Fig. 6 design alone).
+	NoPersistent float64
+	// InBandLocation runs the full stack with positions learned over the
+	// air instead of the oracle registry.
+	InBandLocation float64
+}
+
+// Ablation measures each variant, averaged over o.Seeds runs.
+func Ablation(o Opts) (*AblationResult, error) {
+	top := topology.ETSweep(30)
+	run := func(mutate func(*netsim.Options)) (float64, error) {
+		var sum stats.Online
+		for s := 0; s < o.Seeds; s++ {
+			opts := netsim.TestbedOptions()
+			opts.Protocol = netsim.ProtocolComap
+			opts.Seed = int64(1000*s + 7)
+			opts.Duration = o.Duration
+			if mutate != nil {
+				mutate(&opts)
+			}
+			res, err := netsim.RunScenario(top, opts)
+			if err != nil {
+				return 0, err
+			}
+			sum.Add(res.Total() / 1e6)
+		}
+		return sum.Mean(), nil
+	}
+
+	out := &AblationResult{}
+	var err error
+	if out.DCF, err = run(func(o *netsim.Options) { o.Protocol = netsim.ProtocolDCF }); err != nil {
+		return nil, err
+	}
+	if out.Full, err = run(nil); err != nil {
+		return nil, err
+	}
+	if out.HeaderFrame, err = run(func(o *netsim.Options) { o.Header = netsim.HeaderFrame }); err != nil {
+		return nil, err
+	}
+	if out.NoPersistent, err = run(func(o *netsim.Options) { o.DisablePersistentConcurrency = true }); err != nil {
+		return nil, err
+	}
+	if out.InBandLocation, err = run(func(o *netsim.Options) { o.InBandLocation = true }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

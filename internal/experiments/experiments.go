@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§III motivation and §VI): the exposed-terminal sweep
+// (Figs. 1 and 8), the hidden-terminal payload study (Fig. 2), the
+// analytical-model validation (Fig. 7), the ten hidden-terminal topologies
+// (Fig. 9), the large-scale office floor (Fig. 10) and the NS-2 parameter
+// table (Table I).
+//
+// Each generator returns plain data (series of points / CDFs) that
+// cmd/comap-experiments renders as text tables; the same generators back the
+// repository's benchmark targets.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Opts scales an experiment run.
+type Opts struct {
+	// Seeds is the number of independent runs averaged per data point.
+	Seeds int
+	// Duration is the simulated time per run.
+	Duration time.Duration
+	// Topologies is the number of random layouts for Fig. 10.
+	Topologies int
+}
+
+// Quick returns a fast configuration for tests and benchmarks.
+func Quick() Opts {
+	return Opts{Seeds: 2, Duration: 1 * time.Second, Topologies: 6}
+}
+
+// Full returns the paper-scale configuration (Fig. 10: 30 topologies,
+// averaged over 10 runs).
+func Full() Opts {
+	return Opts{Seeds: 10, Duration: 5 * time.Second, Topologies: 30}
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// CDF is one labelled empirical CDF.
+type CDF struct {
+	Name   string
+	Mean   float64
+	Points []stats.CDFPoint
+}
+
+// PrintSeries renders curves as an aligned text table (x in the first
+// column).
+func PrintSeries(w io.Writer, xLabel string, series ...Series) {
+	fmt.Fprintf(w, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(w, "%18s", s.Name)
+	}
+	fmt.Fprintln(w)
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%-12.0f", series[0].Points[i].X)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, "%18.3f", s.Points[i].Y)
+			} else {
+				fmt.Fprintf(w, "%18s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintCDFs renders CDFs as "value p" step lists with their means.
+func PrintCDFs(w io.Writer, unit string, cdfs ...CDF) {
+	for _, c := range cdfs {
+		fmt.Fprintf(w, "%s (mean %.3f %s):\n", c.Name, c.Mean, unit)
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "  %10.3f  %5.3f\n", p.X, p.F)
+		}
+	}
+}
+
+// meanGoodput runs the scenario over opts.Seeds seeds and returns the mean
+// goodput (bps) of the given flow.
+func meanGoodput(top topology.Topology, base netsim.Options, o Opts, flow topology.Flow) (float64, error) {
+	sum := 0.0
+	for s := 0; s < o.Seeds; s++ {
+		base.Seed = int64(1000*s + 7)
+		base.Duration = o.Duration
+		res, err := netsim.RunScenario(top, base)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Goodput(flow)
+	}
+	return sum / float64(o.Seeds), nil
+}
+
+// medianGoodput runs the scenario over o.Seeds seeds and returns the median
+// goodput (bps) of the given flow — preferable to the mean for scenarios
+// that are bimodal across shadowing realizations.
+func medianGoodput(top topology.Topology, base netsim.Options, o Opts, flow topology.Flow) (float64, error) {
+	samples := make([]float64, 0, o.Seeds)
+	for s := 0; s < o.Seeds; s++ {
+		base.Seed = int64(1000*s + 7)
+		base.Duration = o.Duration
+		res, err := netsim.RunScenario(top, base)
+		if err != nil {
+			return 0, err
+		}
+		samples = append(samples, res.Goodput(flow))
+	}
+	med, err := stats.NewECDF(samples).Quantile(0.5)
+	if err != nil {
+		return 0, err
+	}
+	return med, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ETPositions is the Fig. 1/8 sweep grid: C2's distance from AP1 in meters.
+var ETPositions = []float64{12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34, 36}
+
+// Fig1Result holds the exposed-terminal motivation experiment: the goodput
+// of the C1→AP1 link under basic DCF as C2 moves across the floor.
+type Fig1Result struct {
+	// C1Goodput is the measured link's goodput (Mbps) vs C2 position.
+	C1Goodput Series
+	// C2Goodput is the interfering link's goodput for context.
+	C2Goodput Series
+}
+
+// Fig1 reproduces the paper's Fig. 1 (exposed-terminal testbed, basic DCF).
+// Expected shape: a goodput valley while C2 sits inside C1's carrier-sense
+// range but outside the harmful-interference zone, recovering once C2 leaves
+// the CS range (~34 m).
+func Fig1(o Opts) (*Fig1Result, error) {
+	res := &Fig1Result{
+		C1Goodput: Series{Name: "DCF C1->AP1 (Mbps)"},
+		C2Goodput: Series{Name: "DCF C2->AP2 (Mbps)"},
+	}
+	for _, x := range ETPositions {
+		top := topology.ETSweep(x)
+		opts := netsim.TestbedOptions()
+		opts.Protocol = netsim.ProtocolDCF
+		g1, err := meanGoodput(top, opts, o, top.Flows[0])
+		if err != nil {
+			return nil, err
+		}
+		g2, err := meanGoodput(top, opts, o, top.Flows[1])
+		if err != nil {
+			return nil, err
+		}
+		res.C1Goodput.Points = append(res.C1Goodput.Points, Point{X: x, Y: g1 / 1e6})
+		res.C2Goodput.Points = append(res.C2Goodput.Points, Point{X: x, Y: g2 / 1e6})
+	}
+	return res, nil
+}
+
+// Fig8Result compares basic DCF and CO-MAP across the exposed-terminal
+// sweep.
+type Fig8Result struct {
+	DCF   Series // C1→AP1 goodput (Mbps) under basic DCF
+	Comap Series // C1→AP1 goodput (Mbps) under CO-MAP
+	// ETRegionGainPct is the mean aggregate goodput gain of CO-MAP over DCF
+	// across positions where CO-MAP transmitted concurrently. The paper
+	// reports 77.5% for its testbed.
+	ETRegionGainPct float64
+}
+
+// Fig8 reproduces the paper's Fig. 8: CO-MAP's goodput improvement for the
+// exposed-terminal scenario, with Minstrel rate adaptation active.
+func Fig8(o Opts) (*Fig8Result, error) {
+	res := &Fig8Result{
+		DCF:   Series{Name: "DCF C1->AP1 (Mbps)"},
+		Comap: Series{Name: "CO-MAP C1->AP1 (Mbps)"},
+	}
+	var gains []float64
+	for _, x := range ETPositions {
+		top := topology.ETSweep(x)
+
+		dcf := netsim.TestbedOptions()
+		dcf.Protocol = netsim.ProtocolDCF
+		var dcfC1, dcfTotal float64
+		for s := 0; s < o.Seeds; s++ {
+			dcf.Seed = int64(1000*s + 7)
+			dcf.Duration = o.Duration
+			r, err := netsim.RunScenario(top, dcf)
+			if err != nil {
+				return nil, err
+			}
+			dcfC1 += r.Goodput(top.Flows[0]) / float64(o.Seeds)
+			dcfTotal += r.Total() / float64(o.Seeds)
+		}
+
+		cm := netsim.TestbedOptions()
+		cm.Protocol = netsim.ProtocolComap
+		var cmC1, cmTotal float64
+		concurrent := false
+		for s := 0; s < o.Seeds; s++ {
+			cm.Seed = int64(1000*s + 7)
+			cm.Duration = o.Duration
+			n, err := netsim.Build(top, cm)
+			if err != nil {
+				return nil, err
+			}
+			r := n.Run()
+			cmC1 += r.Goodput(top.Flows[0]) / float64(o.Seeds)
+			cmTotal += r.Total() / float64(o.Seeds)
+			for _, st := range n.Stations {
+				if st.MAC.Stats().Get("et.concurrent_tx") > 0 {
+					concurrent = true
+				}
+			}
+		}
+
+		res.DCF.Points = append(res.DCF.Points, Point{X: x, Y: dcfC1 / 1e6})
+		res.Comap.Points = append(res.Comap.Points, Point{X: x, Y: cmC1 / 1e6})
+		if concurrent && dcfTotal > 0 {
+			gains = append(gains, (cmTotal/dcfTotal-1)*100)
+		}
+	}
+	res.ETRegionGainPct = stats.Mean(gains)
+	return res, nil
+}

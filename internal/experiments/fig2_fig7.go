@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bianchi"
+	"repro/internal/netsim"
+	"repro/internal/phy"
+	"repro/internal/topology"
+)
+
+// PayloadGrid is the payload sweep (bytes) used by Figs. 2 and 7.
+var PayloadGrid = []int{100, 200, 400, 600, 800, 1000, 1200, 1500}
+
+// Fig2Result holds the hidden-terminal motivation experiment: the goodput of
+// the C1→AP1 link versus payload size with and without a hidden terminal.
+type Fig2Result struct {
+	NoHT  Series // Nht = 0
+	OneHT Series // Nht = 1
+}
+
+// Fig2 reproduces the paper's Fig. 2 under basic DCF in the Table I radio
+// regime. Expected shape: without a hidden terminal, goodput rises
+// monotonically with payload; with one, intermediate payloads win.
+func Fig2(o Opts) (*Fig2Result, error) {
+	res := &Fig2Result{
+		NoHT:  Series{Name: "Nht=0 (Mbps)"},
+		OneHT: Series{Name: "Nht=1 (Mbps)"},
+	}
+	for _, nht := range []int{0, 1} {
+		top := topology.HTPayload(nht)
+		for _, payload := range PayloadGrid {
+			opts := netsim.NS2Options()
+			opts.Protocol = netsim.ProtocolDCF
+			opts.PayloadBytes = payload
+			g, err := meanGoodput(top, opts, o, top.Flows[0])
+			if err != nil {
+				return nil, err
+			}
+			p := Point{X: float64(payload), Y: g / 1e6}
+			if nht == 0 {
+				res.NoHT.Points = append(res.NoHT.Points, p)
+			} else {
+				res.OneHT.Points = append(res.OneHT.Points, p)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig7Windows and Fig7Hidden are the paper's parameter grids: contention
+// windows {63, 255, 1023} and hidden-terminal counts {0, 3, 5}, with five
+// contending nodes.
+var (
+	Fig7Windows = []int{63, 255, 1023}
+	Fig7Hidden  = []int{0, 3, 5}
+)
+
+// Fig7Contenders is the fixed contender count of the paper's Fig. 7.
+const Fig7Contenders = 5
+
+// Fig7Panel holds one subfigure (one hidden-terminal count): per window, the
+// analytical-model curve and the matching simulation curve.
+type Fig7Panel struct {
+	Hidden int
+	Model  []Series
+	Sim    []Series
+}
+
+// Fig7 reproduces the paper's Fig. 7: theoretically calculated goodput and
+// simulation validation for a link with five contending nodes and 0/3/5
+// hidden terminals, across payload sizes and contention windows.
+func Fig7(o Opts) ([]Fig7Panel, error) {
+	base := bianchi.FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+	base.Contenders = Fig7Contenders
+
+	var panels []Fig7Panel
+	for _, h := range Fig7Hidden {
+		panel := Fig7Panel{Hidden: h}
+		for _, w := range Fig7Windows {
+			model := Series{Name: fmt.Sprintf("model W=%d", w)}
+			sim := Series{Name: fmt.Sprintf("sim W=%d", w)}
+			p := base
+			p.W = w
+			p.Hidden = h
+			top := topology.Fig7(Fig7Contenders, h)
+			for _, payload := range PayloadGrid {
+				model.Points = append(model.Points,
+					Point{X: float64(payload), Y: p.Goodput(payload) / 1e6})
+
+				opts := netsim.NS2Options()
+				opts.Protocol = netsim.ProtocolDCF
+				opts.FixedCW = w
+				opts.PayloadBytes = payload
+				g, err := meanGoodput(top, opts, o, top.Flows[0])
+				if err != nil {
+					return nil, err
+				}
+				sim.Points = append(sim.Points, Point{X: float64(payload), Y: g / 1e6})
+			}
+			panel.Model = append(panel.Model, model)
+			panel.Sim = append(panel.Sim, sim)
+		}
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}

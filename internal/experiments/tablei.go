@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/netsim"
+	"repro/internal/radio"
+)
+
+// TableIRow is one parameter of the NS-2 configuration table.
+type TableIRow struct {
+	Parameter string
+	Value     string
+}
+
+// TableI reproduces the paper's Table I: the parameter setting of the NS-2
+// simulations, as actually used by this repository's large-scale harness.
+func TableI() []TableIRow {
+	opts := netsim.NS2Options()
+	m := opts.ComapModel
+	return []TableIRow{
+		{Parameter: "Data rate", Value: "6 Mbps"},
+		{Parameter: "TX power", Value: fmt.Sprintf("%.0f dBm", opts.TxPowerDBm)},
+		{Parameter: "T_PRR", Value: fmt.Sprintf("%.0f%%", m.TPRR*100)},
+		{Parameter: "T_cs", Value: fmt.Sprintf("%.0f dBm", m.TcsDBm)},
+		{Parameter: "Path loss exponent alpha", Value: fmt.Sprintf("%.1f", opts.Prop.Alpha)},
+		{Parameter: "Standard deviation sigma", Value: fmt.Sprintf("%.0f dB", opts.Prop.SigmaDB)},
+		{Parameter: "T_sir", Value: fmt.Sprintf("%.0f dB", m.TSIRdB)},
+		{Parameter: "Noise floor", Value: fmt.Sprintf("%.0f dBm", radio.DefaultNoiseFloorDBm)},
+		{Parameter: "CBR rate (two-way)", Value: "3 Mbps"},
+		{Parameter: "APs / clients", Value: "3 / 9"},
+	}
+}
+
+// PrintTableI renders the table.
+func PrintTableI(w io.Writer) {
+	fmt.Fprintln(w, "Table I: parameter setting for the large-scale simulations")
+	for _, r := range TableI() {
+		fmt.Fprintf(w, "  %-28s %s\n", r.Parameter, r.Value)
+	}
+}

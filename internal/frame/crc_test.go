@@ -1,0 +1,6 @@
+package frame
+
+import "hash/crc32"
+
+// crc32ChecksumIEEE is a test-local alias so helper code reads clearly.
+func crc32ChecksumIEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -1,0 +1,149 @@
+// Package loc models the localization substrate CO-MAP consumes: every node
+// reports its position to its AP and the positions are shared across nearby
+// nodes (paper §IV-A). Since GPS and indoor localization give imperfect
+// positions (the paper quotes ~13.7 m outdoor GPS error and room-level indoor
+// accuracy), the registry injects a configurable uniform error into every
+// report, exactly as the paper's NS-2 tolerance experiments do ("we add
+// random error within a certain range to the coordinates of each node").
+//
+// Position updates follow the paper's mobility-management rule: a node
+// re-reports only after moving more than a threshold distance (half the
+// tolerable inaccuracy), which bounds the signalling overhead.
+package loc
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+// Provider exposes the reported (possibly erroneous, possibly stale)
+// position of a node. CO-MAP's neighbor tables are built from a Provider.
+type Provider interface {
+	// Position returns the last reported position of id. ok is false when
+	// the node never reported.
+	Position(id frame.NodeID) (geom.Point, bool)
+}
+
+// Registry is the in-simulation location service: it stores true positions,
+// applies the error model at report time, and implements the
+// movement-threshold update policy.
+type Registry struct {
+	rng *rand.Rand
+	// errorRange is the radius of the uniform-disc error added to every
+	// report, in meters (0 = perfect positions).
+	errorRange float64
+	// updateThreshold is the minimum movement since the last report that
+	// triggers a new report, in meters.
+	updateThreshold float64
+
+	truth    map[frame.NodeID]geom.Point
+	reported map[frame.NodeID]geom.Point
+	// lastReportTrue remembers the true position at last report time, for
+	// the movement-threshold rule.
+	lastReportTrue map[frame.NodeID]geom.Point
+	updates        int
+}
+
+var _ Provider = (*Registry)(nil)
+
+// NewRegistry creates a registry with the given error radius and update
+// threshold. rng drives the error sampling; it must not be shared with other
+// consumers if reproducibility per subsystem is desired.
+func NewRegistry(rng *rand.Rand, errorRangeMeters, updateThresholdMeters float64) *Registry {
+	return &Registry{
+		rng:             rng,
+		errorRange:      errorRangeMeters,
+		updateThreshold: updateThresholdMeters,
+		truth:           make(map[frame.NodeID]geom.Point),
+		reported:        make(map[frame.NodeID]geom.Point),
+		lastReportTrue:  make(map[frame.NodeID]geom.Point),
+	}
+}
+
+// ErrorRange returns the configured error radius in meters.
+func (r *Registry) ErrorRange() float64 { return r.errorRange }
+
+// Updates returns how many position reports have been issued — the paper's
+// communication-overhead measure.
+func (r *Registry) Updates() int { return r.updates }
+
+// Register sets a node's initial true position and issues its first report.
+func (r *Registry) Register(id frame.NodeID, p geom.Point) {
+	r.truth[id] = p
+	r.report(id)
+}
+
+// Move updates a node's true position; a new report is issued only if the
+// node moved more than the update threshold since its last report.
+func (r *Registry) Move(id frame.NodeID, p geom.Point) {
+	r.truth[id] = p
+	last, ok := r.lastReportTrue[id]
+	if !ok {
+		r.report(id)
+		return
+	}
+	if last.DistanceTo(p) > r.updateThreshold {
+		r.report(id)
+	}
+}
+
+// ForceReport issues a report regardless of movement (e.g. on association).
+func (r *Registry) ForceReport(id frame.NodeID) {
+	if _, ok := r.truth[id]; ok {
+		r.report(id)
+	}
+}
+
+func (r *Registry) report(id frame.NodeID) {
+	p := r.truth[id]
+	r.lastReportTrue[id] = p
+	r.reported[id] = r.addError(p)
+	r.updates++
+}
+
+// addError perturbs p by a uniform sample from the disc of radius errorRange.
+func (r *Registry) addError(p geom.Point) geom.Point {
+	if r.errorRange <= 0 {
+		return p
+	}
+	// Uniform on the disc: radius sqrt(u)*R, angle uniform.
+	radius := r.errorRange * math.Sqrt(r.rng.Float64())
+	theta := 2 * math.Pi * r.rng.Float64()
+	return p.Add(geom.Vec(radius*math.Cos(theta), radius*math.Sin(theta)))
+}
+
+// Position implements Provider: the last reported (erroneous, possibly
+// stale) position.
+func (r *Registry) Position(id frame.NodeID) (geom.Point, bool) {
+	p, ok := r.reported[id]
+	return p, ok
+}
+
+// TruePosition returns the ground-truth position.
+func (r *Registry) TruePosition(id frame.NodeID) (geom.Point, bool) {
+	p, ok := r.truth[id]
+	return p, ok
+}
+
+// IDs returns the registered node IDs in unspecified order.
+func (r *Registry) IDs() []frame.NodeID {
+	out := make([]frame.NodeID, 0, len(r.truth))
+	for id := range r.truth {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Static is a fixed Provider for tests and hand-built scenarios.
+type Static map[frame.NodeID]geom.Point
+
+var _ Provider = Static{}
+
+// Position implements Provider.
+func (s Static) Position(id frame.NodeID) (geom.Point, bool) {
+	p, ok := s[id]
+	return p, ok
+}

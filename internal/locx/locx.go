@@ -1,0 +1,248 @@
+// Package locx implements CO-MAP's in-band location exchange (paper §IV-A
+// and §V): every client measures its own position (with localization error)
+// and reports it to its AP in a LocationBeacon frame; APs re-broadcast the
+// positions they know, one beacon per node, so that every station within
+// range builds a neighbor table covering its 2-hop neighborhood. The paper's
+// overhead argument — "the location exchange can be done with little
+// communication overhead" — becomes measurable: the exchange rides the same
+// simulated MAC as data traffic and its frames are counted.
+//
+// A locx.Node is a loc.Provider, so CO-MAP agents can run directly on the
+// learned (rather than oracle) positions, including their staleness and
+// error.
+package locx
+
+import (
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/loc"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// Config parameterises the exchange.
+type Config struct {
+	// ReportInterval is how often a client checks whether its position
+	// moved enough to re-report (the movement check itself is free; only
+	// actual reports cost airtime). Default 250 ms.
+	ReportInterval time.Duration
+	// BroadcastInterval is how often an AP re-broadcasts one neighbor's
+	// position (round-robin over its table). Default 100 ms.
+	BroadcastInterval time.Duration
+	// UpdateThresholdMeters is the paper's mobility-management rule: a
+	// client re-reports only after moving more than this distance. Default
+	// 1 m.
+	UpdateThresholdMeters float64
+	// RefreshInterval forces a client re-report even without movement, so a
+	// lost beacon (e.g. the association-time burst colliding) cannot leave
+	// neighbors blind forever. Default 1 s.
+	RefreshInterval time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.ReportInterval == 0 {
+		c.ReportInterval = 250 * time.Millisecond
+	}
+	if c.BroadcastInterval == 0 {
+		c.BroadcastInterval = 100 * time.Millisecond
+	}
+	if c.UpdateThresholdMeters == 0 {
+		c.UpdateThresholdMeters = 1
+	}
+	if c.RefreshInterval == 0 {
+		c.RefreshInterval = time.Second
+	}
+}
+
+// Node is one station's location-exchange endpoint and neighbor table.
+// LocationBeacon frames carry the position owner's ID in the Seq field so
+// APs can relay third-party positions.
+type Node struct {
+	eng *sim.Engine
+	m   *mac.MAC
+	cfg Config
+	// measure returns this node's current measured position (already
+	// containing localization error) — typically loc.Registry.Position.
+	measure func() (geom.Point, bool)
+	isAP    bool
+	apID    frame.NodeID
+
+	table          map[frame.NodeID]geom.Point
+	lastReported   geom.Point
+	lastReportTime time.Duration
+	hasReported    bool
+	rrOrder        []frame.NodeID
+	rr             int
+
+	beaconsSent int
+	bytesSent   int64
+	tickEv      *sim.Event
+}
+
+var _ loc.Provider = (*Node)(nil)
+
+// NewClient creates the exchange endpoint of a client associated with apID.
+// measure supplies the client's own (noisy) position fix.
+func NewClient(eng *sim.Engine, m *mac.MAC, apID frame.NodeID, measure func() (geom.Point, bool), cfg Config) *Node {
+	cfg.applyDefaults()
+	return &Node{
+		eng:     eng,
+		m:       m,
+		cfg:     cfg,
+		measure: measure,
+		apID:    apID,
+		table:   make(map[frame.NodeID]geom.Point),
+	}
+}
+
+// NewAP creates the exchange endpoint of an access point.
+func NewAP(eng *sim.Engine, m *mac.MAC, measure func() (geom.Point, bool), cfg Config) *Node {
+	cfg.applyDefaults()
+	return &Node{
+		eng:     eng,
+		m:       m,
+		cfg:     cfg,
+		measure: measure,
+		isAP:    true,
+		table:   make(map[frame.NodeID]geom.Point),
+	}
+}
+
+// Start begins the periodic reporting (clients) or re-broadcasting (APs).
+// Call after the MAC hooks are wired so beacons flow. The first tick is
+// staggered by the node ID (a few milliseconds) so association-time beacons
+// do not all collide.
+func (n *Node) Start() {
+	if pos, ok := n.measure(); ok {
+		n.table[n.m.ID()] = pos
+	}
+	n.eng.After(time.Duration(n.m.ID()%32)*2*time.Millisecond, func() {
+		n.tick()
+		n.scheduleTick()
+	})
+}
+
+// Stop cancels the periodic work.
+func (n *Node) Stop() {
+	if n.tickEv != nil {
+		n.eng.Cancel(n.tickEv)
+		n.tickEv = nil
+	}
+}
+
+func (n *Node) scheduleTick() {
+	d := n.cfg.ReportInterval
+	if n.isAP {
+		d = n.cfg.BroadcastInterval
+	}
+	n.tickEv = n.eng.After(d, func() {
+		n.tick()
+		n.scheduleTick()
+	})
+}
+
+func (n *Node) tick() {
+	if n.isAP {
+		n.broadcastNext()
+		return
+	}
+	n.maybeReport()
+}
+
+// maybeReport sends the client's own position to its AP if it moved beyond
+// the update threshold (or was never reported).
+func (n *Node) maybeReport() {
+	pos, ok := n.measure()
+	if !ok {
+		return
+	}
+	n.table[n.m.ID()] = pos
+	moved := !n.hasReported || n.lastReported.DistanceTo(pos) > n.cfg.UpdateThresholdMeters
+	stale := n.eng.Now()-n.lastReportTime >= n.cfg.RefreshInterval
+	if n.hasReported && !moved && !stale {
+		return
+	}
+	f := frame.Frame{
+		Kind: frame.LocationBeacon,
+		Dst:  n.apID,
+		Seq:  uint16(n.m.ID()), // position owner
+		X:    pos.X,
+		Y:    pos.Y,
+	}
+	if err := n.m.Enqueue(f); err != nil {
+		return // queue full: try again next interval
+	}
+	n.lastReported = pos
+	n.lastReportTime = n.eng.Now()
+	n.hasReported = true
+	n.beaconsSent++
+	n.bytesSent += int64(f.AirBytes())
+}
+
+// broadcastNext re-broadcasts one known position, round-robin.
+func (n *Node) broadcastNext() {
+	if pos, ok := n.measure(); ok {
+		n.table[n.m.ID()] = pos
+	}
+	if len(n.rrOrder) != len(n.table) {
+		n.rrOrder = n.rrOrder[:0]
+		for id := range n.table {
+			n.rrOrder = append(n.rrOrder, id)
+		}
+	}
+	if len(n.rrOrder) == 0 {
+		return
+	}
+	id := n.rrOrder[n.rr%len(n.rrOrder)]
+	n.rr++
+	pos, ok := n.table[id]
+	if !ok {
+		return
+	}
+	f := frame.Frame{
+		Kind: frame.LocationBeacon,
+		Dst:  frame.Broadcast,
+		Seq:  uint16(id),
+		X:    pos.X,
+		Y:    pos.Y,
+	}
+	if err := n.m.Enqueue(f); err != nil {
+		return
+	}
+	n.beaconsSent++
+	n.bytesSent += int64(f.AirBytes())
+}
+
+// positionChangeEpsilon is the movement below which a re-learned position
+// does not count as changed (no need to invalidate co-occurrence verdicts).
+const positionChangeEpsilon = 1.0
+
+// OnBeacon feeds a decoded LocationBeacon into the neighbor table. Wire it
+// from the MAC's OnControl hook. It reports whether the table changed
+// materially (a new node, or an existing one moved more than 1 m), so the
+// caller can invalidate cached co-occurrence verdicts.
+func (n *Node) OnBeacon(f frame.Frame) (changed bool) {
+	if f.Kind != frame.LocationBeacon {
+		return false
+	}
+	owner := frame.NodeID(f.Seq)
+	pos := geom.Pt(f.X, f.Y)
+	old, known := n.table[owner]
+	n.table[owner] = pos
+	return !known || old.DistanceTo(pos) > positionChangeEpsilon
+}
+
+// Position implements loc.Provider from the learned neighbor table.
+func (n *Node) Position(id frame.NodeID) (geom.Point, bool) {
+	p, ok := n.table[id]
+	return p, ok
+}
+
+// TableSize returns the number of known positions (including self).
+func (n *Node) TableSize() int { return len(n.table) }
+
+// BeaconsSent and BytesSent expose the exchange's airtime overhead.
+func (n *Node) BeaconsSent() int { return n.beaconsSent }
+func (n *Node) BytesSent() int64 { return n.bytesSent }

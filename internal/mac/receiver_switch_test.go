@@ -1,0 +1,87 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+// pairPolicy allows concurrency only towards an explicit destination set.
+type pairPolicy map[frame.NodeID]bool
+
+func (p pairPolicy) Allowed(_, _, ourDst frame.NodeID) bool { return p[ourDst] }
+
+// TestReceiverSwitchPromotesValidDestination reproduces the paper's §IV-C1
+// alternative-receiver rule: the AP's head-of-queue frame targets a receiver
+// too close to the ongoing transmitter, but a frame for a safer receiver
+// waits behind it and must be promoted and sent concurrently.
+func TestReceiverSwitchPromotesValidDestination(t *testing.T) {
+	n := newTestNet(41, 0)
+	cfg := basicCfg()
+	cfg.FixedCW = 8
+	cfg.SendDiscoveryHeader = true
+
+	// Ongoing link: C(20,0) -> D(28,0). The AP at (0,0) serves two clients:
+	// "near" (towards the ongoing pair — unsafe) and "far" (away — safe).
+	apCfg := cfg
+	apCfg.FixedCW = 16                      // the AP loses the first access race by construction
+	apCfg.Concurrency = pairPolicy{5: true} // only the far client validates
+	cCfg := cfg
+	cCfg.FixedCW = 1 // C transmits right after DIFS
+	ap := n.addStation(1, geom.Pt(0, 0), apCfg)
+	c := n.addStation(2, geom.Pt(20, 0), cCfg)
+	n.addStation(3, geom.Pt(28, 0), cfg) // D
+	n.addStation(4, geom.Pt(12, 0), cfg) // near client (unsafe)
+	far := n.addStation(5, geom.Pt(-8, 0), cfg)
+
+	// Queue: unsafe destination first, safe one behind it; the ongoing
+	// transmission is long enough to cover the AP's whole backoff.
+	_ = ap.mac.Enqueue(frame.Frame{Kind: frame.Data, Dst: 4, Seq: 1, PayloadBytes: 400})
+	_ = ap.mac.Enqueue(frame.Frame{Kind: frame.Data, Dst: 5, Seq: 2, PayloadBytes: 400})
+	_ = c.mac.Enqueue(frame.Frame{Kind: frame.Data, Dst: 3, Seq: 9, PayloadBytes: 1400})
+	n.eng.RunUntil(time.Second)
+
+	if got := ap.mac.Stats().Get("et.receiver_switch"); got == 0 {
+		t.Fatalf("receiver switch never happened: %v", ap.mac.Stats().Snapshot())
+	}
+	if got := ap.mac.Stats().Get("et.concurrent_tx"); got == 0 {
+		t.Error("promoted frame was not sent concurrently")
+	}
+	// The far client's frame is delivered first.
+	if len(far.received) == 0 {
+		t.Fatal("far client received nothing")
+	}
+	if far.received[0].Seq != 2 {
+		t.Errorf("far client first frame seq = %d", far.received[0].Seq)
+	}
+}
+
+// TestReceiverSwitchLeavesOrderWhenNothingValidates: with no safe
+// alternative the queue order is untouched.
+func TestReceiverSwitchLeavesOrderWhenNothingValidates(t *testing.T) {
+	n := newTestNet(42, 0)
+	cfg := basicCfg()
+	cfg.FixedCW = 8
+	cfg.SendDiscoveryHeader = true
+	cfg.Concurrency = denyAll{}
+	ap := n.addStation(1, geom.Pt(0, 0), cfg)
+	c := n.addStation(2, geom.Pt(20, 0), cfg)
+	n.addStation(3, geom.Pt(28, 0), cfg)
+	sink := n.addStation(4, geom.Pt(8, 0), cfg)
+
+	_ = ap.mac.Enqueue(frame.Frame{Kind: frame.Data, Dst: 4, Seq: 1, PayloadBytes: 300})
+	_ = ap.mac.Enqueue(frame.Frame{Kind: frame.Data, Dst: 4, Seq: 2, PayloadBytes: 300})
+	n.eng.Schedule(30*time.Microsecond, func() {
+		_ = c.mac.Enqueue(frame.Frame{Kind: frame.Data, Dst: 3, Seq: 9, PayloadBytes: 1000})
+	})
+	n.eng.RunUntil(time.Second)
+
+	if got := ap.mac.Stats().Get("et.receiver_switch"); got != 0 {
+		t.Errorf("receiver switch with deny-all policy: %d", got)
+	}
+	if len(sink.received) != 2 || sink.received[0].Seq != 1 || sink.received[1].Seq != 2 {
+		t.Errorf("delivery order disturbed: %+v", sink.received)
+	}
+}

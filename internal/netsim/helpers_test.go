@@ -1,0 +1,15 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+// Test-local aliases keeping table-style tests compact.
+type frameID = frame.NodeID
+
+func pt(x, y float64) geom.Point { return geom.Pt(x, y) }
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

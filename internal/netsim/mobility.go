@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+// walkTick is the mobility update cadence.
+const walkTick = 100 * time.Millisecond
+
+// ScheduleWalk moves a node in a straight line from its current position to
+// dest at speedMps, starting at virtual time start. The walk updates the
+// medium position and the location registry every 100 ms; the registry's
+// movement threshold decides which steps actually re-report (the paper's
+// mobility-management rule), and CO-MAP agents drop their cached
+// co-occurrence verdicts when a new report lands. Call after Build and
+// before Run.
+func (n *Network) ScheduleWalk(id frame.NodeID, dest geom.Point, speedMps float64, start time.Duration) error {
+	st, ok := n.Stations[id]
+	if !ok {
+		return fmt.Errorf("netsim: unknown node %d", id)
+	}
+	if speedMps <= 0 {
+		return fmt.Errorf("netsim: non-positive speed")
+	}
+	origin := st.Node.Pos
+	total := origin.DistanceTo(dest)
+	if total == 0 {
+		return nil
+	}
+	duration := time.Duration(total / speedMps * float64(time.Second))
+	var step func()
+	step = func() {
+		elapsed := n.Eng.Now() - start
+		t := float64(elapsed) / float64(duration)
+		if t >= 1 {
+			t = 1
+		}
+		pos := geom.Lerp(origin, dest, t)
+		n.Medium.Node(id).SetPosition(pos)
+		reportsBefore := n.Locs.Updates()
+		n.Locs.Move(id, pos)
+		if n.Locs.Updates() != reportsBefore {
+			// A new position report is visible to everyone in oracle mode;
+			// cached co-occurrence verdicts are stale.
+			n.invalidateAgents()
+		}
+		if t < 1 {
+			n.Eng.After(walkTick, step)
+		}
+	}
+	n.Eng.Schedule(start, step)
+	return nil
+}
+
+// invalidateAgents drops every CO-MAP agent's cached verdicts.
+func (n *Network) invalidateAgents() {
+	for _, st := range n.Stations {
+		if st.Agent != nil {
+			st.Agent.OnPositionsChanged()
+		}
+	}
+}
+
+// Rect is an axis-aligned area for the random-waypoint model.
+type Rect struct {
+	Min, Max geom.Point
+}
+
+// contains reports whether p lies inside the rectangle.
+func (r Rect) contains(p geom.Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ScheduleRandomWaypoint runs the classic random-waypoint mobility model for
+// a node: pick a uniform destination in bounds, walk there at a uniform
+// speed in [minSpeed, maxSpeed] m/s, pause, repeat until the simulation
+// ends. Waypoints come from the engine's "mobility.<id>" random stream, so
+// runs stay reproducible.
+func (n *Network) ScheduleRandomWaypoint(id frame.NodeID, bounds Rect, minSpeed, maxSpeed float64, pause time.Duration) error {
+	if _, ok := n.Stations[id]; !ok {
+		return fmt.Errorf("netsim: unknown node %d", id)
+	}
+	if minSpeed <= 0 || maxSpeed < minSpeed {
+		return fmt.Errorf("netsim: bad speed range [%v, %v]", minSpeed, maxSpeed)
+	}
+	if bounds.Max.X <= bounds.Min.X || bounds.Max.Y <= bounds.Min.Y {
+		return fmt.Errorf("netsim: degenerate bounds")
+	}
+	rng := n.Eng.RNG(fmt.Sprintf("mobility.%d", id))
+	var leg func()
+	leg = func() {
+		cur := n.Medium.Node(id).Position()
+		dest := geom.Pt(
+			bounds.Min.X+rng.Float64()*(bounds.Max.X-bounds.Min.X),
+			bounds.Min.Y+rng.Float64()*(bounds.Max.Y-bounds.Min.Y),
+		)
+		speed := minSpeed + rng.Float64()*(maxSpeed-minSpeed)
+		travel := time.Duration(cur.DistanceTo(dest) / speed * float64(time.Second))
+		if err := n.ScheduleWalk(id, dest, speed, n.Eng.Now()); err != nil {
+			return
+		}
+		n.Eng.After(travel+pause, leg)
+	}
+	n.Eng.After(0, leg)
+	return nil
+}

@@ -1,0 +1,525 @@
+// Package netsim assembles complete simulated WLANs: it takes a topology and
+// a protocol configuration and wires up the medium, MACs, CO-MAP agents,
+// location service and traffic sources, then runs the scenario and collects
+// per-flow goodput. The experiment harness (internal/experiments) and the
+// examples are thin layers over this package.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bianchi"
+	"repro/internal/channel"
+	"repro/internal/comap"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/loc"
+	"repro/internal/locx"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/radio"
+	"repro/internal/rate"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Protocol selects the channel-access protocol under test.
+type Protocol int
+
+// Protocol values.
+const (
+	// ProtocolDCF is the baseline 802.11 DCF (no location input).
+	ProtocolDCF Protocol = iota + 1
+	// ProtocolComap is the full CO-MAP stack: discovery headers,
+	// co-occurrence map concurrency, selective-repeat ARQ and (optionally)
+	// hidden-terminal-aware packet-size/CW adaptation.
+	ProtocolComap
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolDCF:
+		return "DCF"
+	case ProtocolComap:
+		return "CO-MAP"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// HeaderMode selects how CO-MAP's discovery header is realised (paper §V).
+type HeaderMode int
+
+// HeaderMode values.
+const (
+	// HeaderEmbedded is "method one": an extra FCS after the MAC addresses
+	// lets the PHY pass (src, dst) up before the payload arrives; costs
+	// 4 bytes.
+	HeaderEmbedded HeaderMode = iota + 1
+	// HeaderFrame is "method two" (the testbed implementation): a separate
+	// small header packet precedes every data frame.
+	HeaderFrame
+)
+
+// Options parameterises a scenario run.
+type Options struct {
+	Seed     int64
+	Protocol Protocol
+	// Header selects the discovery-header realisation for CO-MAP (defaults
+	// to HeaderEmbedded).
+	Header HeaderMode
+
+	// PHY and radio environment.
+	PHY             phy.Params
+	Prop            radio.LogNormal
+	TxPowerDBm      float64
+	CCAThresholdDBm float64
+
+	// FixedCW > 0 selects a constant contention window; 0 selects binary
+	// exponential backoff.
+	FixedCW int
+	// RTSThresholdBytes enables the RTS/CTS handshake (a hidden-terminal
+	// baseline the paper compares against conceptually; 0 = disabled as in
+	// all its experiments). Only meaningful with ProtocolDCF.
+	RTSThresholdBytes int
+	// RateAdaptation enables the Minstrel controller over PHY.Rates;
+	// otherwise the lowest rate is used throughout.
+	RateAdaptation bool
+
+	// PayloadBytes is the application payload per frame (before CO-MAP
+	// adaptation).
+	PayloadBytes int
+	// CBRBitsPerSec limits each flow's offered load; 0 means saturated.
+	CBRBitsPerSec float64
+
+	// CO-MAP parameters (ignored for ProtocolDCF).
+	ComapModel comap.Model
+	// AdaptTable enables hidden-terminal packet-size/CW adaptation.
+	AdaptTable *bianchi.AdaptationTable
+	// SRWindow is the selective-repeat window (0 = default).
+	SRWindow int
+	// DisablePersistentConcurrency turns off the paper's testbed-style
+	// carrier-sense bypass, leaving only per-header chained joins — an
+	// ablation knob for the design-choice benchmarks.
+	DisablePersistentConcurrency bool
+	// PositionErrorMeters injects uniform-disc localization error.
+	PositionErrorMeters float64
+	// InBandLocation exchanges positions over the simulated air (package
+	// locx) instead of the oracle registry: CO-MAP agents then work from
+	// learned, possibly stale neighbor tables, and the exchange's frames
+	// cost real airtime.
+	InBandLocation bool
+
+	// Duration of the measured run.
+	Duration time.Duration
+}
+
+// TestbedOptions returns the paper's testbed configuration (§VI-A):
+// 802.11b DSSS rates, 0 dBm, α=2.9, σ=4 dB, Tcs=-81 dBm, Minstrel enabled.
+// The rate set is limited to DSSS because the paper's reported testbed
+// goodputs (1–4.5 Mbps across 8–36 m at 0 dBm) correspond to 802.11b-class
+// operation; see EXPERIMENTS.md.
+func TestbedOptions() Options {
+	p := phy.DSSS()
+	prop := radio.NewLogNormal2400(2.9, 4)
+	return Options{
+		Protocol:        ProtocolDCF,
+		PHY:             p,
+		Prop:            prop,
+		TxPowerDBm:      0,
+		CCAThresholdDBm: -81,
+		FixedCW:         32,
+		RateAdaptation:  true,
+		PayloadBytes:    1000,
+		ComapModel: comap.Model{
+			Prop:           prop,
+			TxPowerDBm:     0,
+			TSIRdB:         4, // lowest-rate threshold, as in the paper
+			TPRR:           0.8,
+			TcsDBm:         -81,
+			CSMissProb:     0.9,
+			SensitivityDBm: -94,
+		},
+		Duration: 5 * time.Second,
+	}
+}
+
+// NS2Options returns the paper's Table I configuration: 6 Mbps fixed rate,
+// 20 dBm, α=3.3, σ=5 dB, T_PRR=95%, Tcs=-80 dBm, T_SIR=10.
+func NS2Options() Options {
+	p := phy.NS2Table1()
+	prop := radio.NewLogNormal2400(3.3, 5)
+	return Options{
+		Protocol:        ProtocolDCF,
+		PHY:             p,
+		Prop:            prop,
+		TxPowerDBm:      20,
+		CCAThresholdDBm: -80,
+		FixedCW:         32,
+		RateAdaptation:  false,
+		PayloadBytes:    1000,
+		ComapModel: comap.Model{
+			Prop:           prop,
+			TxPowerDBm:     20,
+			TSIRdB:         10,
+			TPRR:           0.95,
+			TcsDBm:         -80,
+			CSMissProb:     0.9,
+			SensitivityDBm: -94,
+		},
+		Duration: 5 * time.Second,
+	}
+}
+
+// Station is one assembled node.
+type Station struct {
+	Node     topology.Node
+	MAC      *mac.MAC
+	Agent    *comap.Agent    // nil for DCF
+	Endpoint *comap.Endpoint // nil for DCF
+	Peer     *traffic.Peer   // nil for CO-MAP
+	Locx     *locx.Node      // nil unless Options.InBandLocation
+}
+
+// providerRef lets the CO-MAP agent's location provider be swapped after
+// construction (the in-band exchange node needs the MAC, which needs the
+// agent).
+type providerRef struct{ p loc.Provider }
+
+func (r *providerRef) Position(id frame.NodeID) (geom.Point, bool) {
+	if r.p == nil {
+		return geom.Point{}, false
+	}
+	return r.p.Position(id)
+}
+
+// deliveredFrom returns the per-source goodput meter of this station's sink.
+func (s *Station) deliveredFrom(src frame.NodeID) *stats.GoodputMeter {
+	if s.Endpoint != nil {
+		return s.Endpoint.DeliveredFrom(src)
+	}
+	return s.Peer.DeliveredFrom(src)
+}
+
+// Network is an assembled, runnable scenario.
+type Network struct {
+	Eng      *sim.Engine
+	Medium   *channel.Medium
+	Top      topology.Topology
+	Opts     Options
+	Stations map[frame.NodeID]*Station
+	Locs     *loc.Registry
+
+	providers map[frame.NodeID]*providerRef
+}
+
+// Build assembles the network for the given topology and options.
+func Build(top topology.Topology, opts Options) (*Network, error) {
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Protocol != ProtocolDCF && opts.Protocol != ProtocolComap {
+		return nil, fmt.Errorf("netsim: invalid protocol %d", opts.Protocol)
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive duration")
+	}
+
+	if opts.Header == 0 {
+		opts.Header = HeaderEmbedded
+	}
+
+	eng := sim.New(opts.Seed)
+	medium := channel.NewMedium(eng, opts.Prop, opts.PHY.NoiseFloorDBm)
+	if opts.Protocol == ProtocolComap && opts.Header == HeaderEmbedded {
+		p := opts.PHY
+		medium.HeaderIndicationAt = func(r phy.Rate) time.Duration {
+			// PLCP preamble + MAC header + the extra 4-byte header FCS.
+			return p.PreambleHeader + p.PayloadAirtime(r, phy.MACHeaderBytes+4)
+		}
+	}
+	n := &Network{
+		Eng:       eng,
+		Medium:    medium,
+		Top:       top,
+		Opts:      opts,
+		Stations:  make(map[frame.NodeID]*Station, len(top.Nodes)),
+		providers: make(map[frame.NodeID]*providerRef, len(top.Nodes)),
+	}
+
+	// Location service: every node reports its position once at start-up;
+	// the update threshold follows the paper's rule (half the tolerable
+	// inaccuracy, with a 1 m floor).
+	threshold := opts.PositionErrorMeters / 2
+	if threshold < 1 {
+		threshold = 1
+	}
+	n.Locs = loc.NewRegistry(eng.RNG("loc"), opts.PositionErrorMeters, threshold)
+	for _, node := range top.Nodes {
+		n.Locs.Register(node.ID, node.Pos)
+	}
+
+	senders := top.Senders()
+
+	for _, node := range top.Nodes {
+		node := node
+		tr := medium.AddNode(node.ID, node.Pos, opts.TxPowerDBm, nil)
+		cfg := mac.Config{
+			PHY:               opts.PHY,
+			CCAThresholdDBm:   opts.CCAThresholdDBm,
+			FixedCW:           opts.FixedCW,
+			RTSThresholdBytes: opts.RTSThresholdBytes,
+		}
+		if opts.RateAdaptation {
+			minstrel := rate.NewMinstrel(opts.PHY.Rates,
+				eng.RNG(fmt.Sprintf("minstrel.%d", node.ID)))
+			minstrel.SetFrameTime(frameTimeEstimator(opts))
+			cfg.Rates = minstrel
+		}
+		st := &Station{Node: node}
+		if opts.Protocol == ProtocolComap {
+			provider := &providerRef{p: n.Locs}
+			n.providers[node.ID] = provider
+			agent := comap.NewAgent(node.ID, opts.ComapModel, provider)
+			agent.SetRates(opts.PHY.Rates)
+			cfg.SendDiscoveryHeader = opts.Header == HeaderFrame
+			cfg.NoRetransmit = true
+			cfg.Concurrency = agent
+			cfg.RateCap = agent
+			st.Agent = agent
+		}
+		m := mac.New(eng, tr, cfg)
+		tr.SetListener(m)
+		st.MAC = m
+		if opts.Protocol == ProtocolComap {
+			st.Endpoint = comap.NewEndpoint(eng, m, opts.SRWindow)
+		} else {
+			st.Peer = traffic.NewPeer(eng, m)
+		}
+		n.Stations[node.ID] = st
+	}
+
+	// Persistent concurrency (CO-MAP testbed mode): each station observes
+	// the links announced by discovery headers and bypasses carrier sense
+	// while every active foreign link is coexistence-validated for all of
+	// its own destinations.
+	if opts.Protocol == ProtocolComap {
+		dstsBySrc := make(map[frame.NodeID][]frame.NodeID)
+		for _, f := range top.Flows {
+			dstsBySrc[f.Src] = append(dstsBySrc[f.Src], f.Dst)
+		}
+		for _, node := range top.Nodes {
+			st := n.Stations[node.ID]
+			dsts := dstsBySrc[node.ID]
+			st.Endpoint.OnControl(func(f frame.Frame, _ float64) {
+				if f.Kind == frame.LocationBeacon && st.Locx != nil {
+					if st.Locx.OnBeacon(f) {
+						st.Agent.OnPositionsChanged()
+					}
+					return
+				}
+				if f.Kind != frame.ComapHeader || f.Src == st.Node.ID {
+					return
+				}
+				st.Agent.ObserveLink(f.Src, f.Dst, eng.Now())
+				if len(dsts) == 0 || opts.DisablePersistentConcurrency {
+					return
+				}
+				ok := true
+				for _, d := range dsts {
+					if !st.Agent.PersistentConcurrencyOK(d, eng.Now()) {
+						ok = false
+						break
+					}
+				}
+				st.MAC.SetPersistentConcurrent(ok)
+			})
+		}
+	}
+
+	// In-band location exchange: clients beacon their (noisy) position to
+	// their AP; APs re-broadcast. Agents then consult the learned tables.
+	if opts.Protocol == ProtocolComap && opts.InBandLocation {
+		apOf := make(map[frame.NodeID]frame.NodeID)
+		for _, f := range top.Flows {
+			if dst, ok := n.Stations[f.Dst]; ok && dst.Node.IsAP && !n.Stations[f.Src].Node.IsAP {
+				apOf[f.Src] = f.Dst
+			}
+		}
+		cfg := locx.Config{}
+		for _, node := range top.Nodes {
+			id := node.ID
+			st := n.Stations[id]
+			measure := func() (geom.Point, bool) { return n.Locs.Position(id) }
+			if st.Node.IsAP {
+				st.Locx = locx.NewAP(eng, st.MAC, measure, cfg)
+			} else {
+				ap, ok := apOf[id]
+				if !ok {
+					ap = nearestAP(top, st.Node)
+				}
+				st.Locx = locx.NewClient(eng, st.MAC, ap, measure, cfg)
+			}
+			n.providers[id].p = st.Locx
+			st.Locx.Start()
+		}
+	}
+
+	// Wire traffic flows.
+	for _, f := range top.Flows {
+		f := f
+		src := n.Stations[f.Src]
+		payloadFn := n.payloadFunc(src, f.Dst, senders)
+		switch {
+		case src.Endpoint != nil && opts.CBRBitsPerSec > 0:
+			src.Endpoint.StartCBRStream(f.Dst, payloadFn, opts.CBRBitsPerSec)
+		case src.Endpoint != nil:
+			src.Endpoint.StartStream(f.Dst, payloadFn)
+		case opts.CBRBitsPerSec > 0:
+			src.Peer.StartCBR(f.Dst, payloadFn, opts.CBRBitsPerSec)
+		default:
+			src.Peer.StartSaturated(f.Dst, payloadFn)
+		}
+	}
+	return n, nil
+}
+
+// frameTimeEstimator returns the per-rate full frame-exchange time used by
+// Minstrel's throughput metric: contention overhead + (optional discovery
+// header) + data airtime at the reference payload + SIFS + ACK.
+func frameTimeEstimator(opts Options) func(r phy.Rate) time.Duration {
+	p := opts.PHY
+	overhead := p.DIFS() + p.SlotTime*time.Duration(maxInt(opts.FixedCW, 2)/2) +
+		p.SIFS + p.ACKAirtime()
+	if opts.Protocol == ProtocolComap && opts.Header == HeaderFrame {
+		overhead += p.FrameAirtime(p.BasicRate, phy.ComapHeaderBytes)
+	}
+	payload := opts.PayloadBytes
+	if payload <= 0 {
+		payload = 1000
+	}
+	return func(r phy.Rate) time.Duration {
+		return overhead + p.DataFrameAirtime(r, payload)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// payloadFunc returns the per-frame payload chooser for a flow: fixed for
+// DCF, or CO-MAP's hidden-terminal-aware adaptation when a table is
+// configured. The adaptation also retunes the station's contention window.
+func (n *Network) payloadFunc(src *Station, dst frame.NodeID, senders []frame.NodeID) func() int {
+	opts := n.Opts
+	if src.Agent == nil || opts.AdaptTable == nil {
+		return func() int { return opts.PayloadBytes }
+	}
+	candidates := make([]frame.NodeID, 0, len(senders))
+	for _, s := range senders {
+		if s != src.Node.ID {
+			candidates = append(candidates, s)
+		}
+	}
+	return func() int {
+		// The paper's mechanism is a hidden-terminal response ("dynamic
+		// adaptation of packet size according to the number of potential
+		// HTs"): with none detected, the standard settings stay in place.
+		h, c := src.Agent.CountEnvironment(dst, candidates)
+		if h == 0 {
+			src.MAC.SetFixedCW(opts.FixedCW)
+			return opts.PayloadBytes
+		}
+		setting := opts.AdaptTable.Lookup(h, c)
+		src.MAC.SetFixedCW(setting.W)
+		return setting.PayloadBytes
+	}
+}
+
+// FlowResult is the measured goodput of one flow.
+type FlowResult struct {
+	Flow       topology.Flow
+	GoodputBps float64
+}
+
+// Results of one scenario run.
+type Results struct {
+	Duration time.Duration
+	Flows    []FlowResult
+}
+
+// Goodput returns the goodput of the given flow in bits per second (0 if
+// the flow was not part of the run).
+func (r *Results) Goodput(f topology.Flow) float64 {
+	for _, fr := range r.Flows {
+		if fr.Flow == f {
+			return fr.GoodputBps
+		}
+	}
+	return 0
+}
+
+// Total returns the aggregate goodput across flows.
+func (r *Results) Total() float64 {
+	t := 0.0
+	for _, fr := range r.Flows {
+		t += fr.GoodputBps
+	}
+	return t
+}
+
+// MeanPerFlow returns the mean per-flow goodput.
+func (r *Results) MeanPerFlow() float64 {
+	if len(r.Flows) == 0 {
+		return 0
+	}
+	return r.Total() / float64(len(r.Flows))
+}
+
+// Run executes the scenario for Opts.Duration and returns per-flow goodput.
+func (n *Network) Run() *Results {
+	n.Eng.RunUntil(n.Opts.Duration)
+	res := &Results{Duration: n.Opts.Duration}
+	for _, f := range n.Top.Flows {
+		sink := n.Stations[f.Dst]
+		meter := sink.deliveredFrom(f.Src)
+		res.Flows = append(res.Flows, FlowResult{
+			Flow:       f,
+			GoodputBps: meter.BitsPerSecond(n.Opts.Duration),
+		})
+	}
+	return res
+}
+
+// RunScenario is the one-call convenience: build and run.
+func RunScenario(top topology.Topology, opts Options) (*Results, error) {
+	n, err := Build(top, opts)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run(), nil
+}
+
+// nearestAP returns the closest AP to the given node (fallback association
+// for clients without an uplink flow).
+func nearestAP(top topology.Topology, node topology.Node) frame.NodeID {
+	var best frame.NodeID
+	bestD := math.Inf(1)
+	for _, cand := range top.Nodes {
+		if !cand.IsAP {
+			continue
+		}
+		if d := node.Pos.DistanceTo(cand.Pos); d < bestD {
+			best, bestD = cand.ID, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TestHeaderFrameModeEndToEnd: the testbed header variant (separate frame)
+// must also produce concurrency, at a measurable airtime cost.
+func TestHeaderFrameModeEndToEnd(t *testing.T) {
+	top := topology.ETSweep(30)
+	run := func(mode HeaderMode) (total float64, headers, conc int64) {
+		opts := TestbedOptions()
+		opts.Protocol = ProtocolComap
+		opts.Header = mode
+		opts.Seed = 6
+		opts.Duration = 2 * time.Second
+		n, err := Build(top, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := n.Run()
+		for _, st := range n.Stations {
+			headers += st.MAC.Stats().Get("tx.header")
+			conc += st.MAC.Stats().Get("et.concurrent_tx")
+		}
+		return res.Total(), headers, conc
+	}
+
+	embTotal, embHeaders, embConc := run(HeaderEmbedded)
+	if embHeaders != 0 {
+		t.Errorf("embedded mode sent %d separate header frames", embHeaders)
+	}
+	if embConc == 0 {
+		t.Error("embedded mode: no concurrency")
+	}
+
+	frmTotal, frmHeaders, frmConc := run(HeaderFrame)
+	if frmHeaders == 0 {
+		t.Error("frame mode sent no header frames")
+	}
+	if frmConc == 0 {
+		t.Error("frame mode: no concurrency")
+	}
+	// The separate header frame costs airtime; embedded should not lose.
+	if embTotal < frmTotal*0.95 {
+		t.Errorf("embedded %.2f Mbps unexpectedly below frame mode %.2f Mbps",
+			embTotal/1e6, frmTotal/1e6)
+	}
+}
+
+// TestRTSOptionEndToEnd: the RTS/CTS baseline runs through the netsim stack
+// and mitigates a hidden-terminal topology relative to bare DCF.
+func TestRTSOptionEndToEnd(t *testing.T) {
+	top := topology.HTRoles([]topology.Role{topology.RoleHidden, topology.RoleHidden})
+	flow := top.Flows[0]
+	run := func(rts int) float64 {
+		opts := NS2Options()
+		opts.Protocol = ProtocolDCF
+		opts.RTSThresholdBytes = rts
+		opts.Seed = 8
+		opts.Duration = 3 * time.Second
+		res, err := RunScenario(top, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Goodput(flow)
+	}
+	bare := run(0)
+	withRTS := run(1)
+	if withRTS <= bare {
+		t.Errorf("RTS/CTS %.3f Mbps did not beat bare DCF %.3f Mbps under hidden terminals",
+			withRTS/1e6, bare/1e6)
+	}
+}
+
+// TestDisablePersistentConcurrency: the ablation knob suppresses the CS
+// bypass but leaves chained concurrency working.
+func TestDisablePersistentConcurrency(t *testing.T) {
+	top := topology.ETSweep(30)
+	opts := TestbedOptions()
+	opts.Protocol = ProtocolComap
+	opts.DisablePersistentConcurrency = true
+	opts.Seed = 9
+	opts.Duration = 2 * time.Second
+	n, err := Build(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	var conc int64
+	for _, st := range n.Stations {
+		if st.MAC.PersistentConcurrent() {
+			t.Errorf("station %d entered persistent mode despite the ablation", st.Node.ID)
+		}
+		conc += st.MAC.Stats().Get("et.concurrent_tx")
+	}
+	if conc == 0 {
+		t.Error("chained concurrency should still work")
+	}
+}
+
+// TestSRWindowOption: a tiny selective-repeat window still delivers, just
+// with more head-of-line stalling.
+func TestSRWindowOption(t *testing.T) {
+	top := topology.ETSweep(30)
+	opts := TestbedOptions()
+	opts.Protocol = ProtocolComap
+	opts.SRWindow = 1
+	opts.Seed = 10
+	opts.Duration = time.Second
+	res, err := RunScenario(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() == 0 {
+		t.Error("window=1 delivered nothing")
+	}
+}

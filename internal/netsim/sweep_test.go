@@ -1,0 +1,49 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TestETSweepShape checks the Fig. 8 shape at network level: CO-MAP at least
+// matches DCF at every position (no harm where concurrency is denied) and
+// clearly wins inside the validated exposed-terminal region.
+func TestETSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	const seeds = 4
+	positions := []float64{22, 30, 34}
+	gains := make(map[float64]float64)
+	for _, x := range positions {
+		top := topology.ETSweep(x)
+		var totals [2]float64
+		for i, proto := range []Protocol{ProtocolDCF, ProtocolComap} {
+			for s := int64(0); s < seeds; s++ {
+				opts := TestbedOptions()
+				opts.Seed = 100 + s
+				opts.Duration = 2 * time.Second
+				opts.Protocol = proto
+				res, err := RunScenario(top, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				totals[i] += res.Total()
+			}
+		}
+		gains[x] = totals[1]/totals[0] - 1
+	}
+	// Outside the validated region CO-MAP must do no harm (within noise).
+	if gains[22] < -0.08 {
+		t.Errorf("CO-MAP harms at x=22: %.1f%%", gains[22]*100)
+	}
+	// Inside the region it must win significantly.
+	if gains[30] < 0.15 {
+		t.Errorf("gain at x=30 = %.1f%%, want >= 15%%", gains[30]*100)
+	}
+	if gains[34] < 0.05 {
+		t.Errorf("gain at x=34 = %.1f%%, want >= 5%%", gains[34]*100)
+	}
+}

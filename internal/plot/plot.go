@@ -1,0 +1,169 @@
+// Package plot renders the experiment results as standalone SVG files using
+// only the standard library: simple line charts (goodput vs position or
+// payload) and step charts (empirical CDFs), enough to eyeball the paper's
+// figures next to ours.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labelled polyline.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a minimal XY chart description.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Step renders each series as a staircase (for CDFs).
+	Step bool
+	// Width and Height in pixels (defaults 640x420).
+	Width, Height int
+}
+
+// palette holds the stroke colors assigned to series in order.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginLeft   = 62.0
+	marginRight  = 18.0
+	marginTop    = 34.0
+	marginBottom = 48.0
+)
+
+// WriteSVG renders the chart as an SVG document.
+func (c Chart) WriteSVG(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 420
+	}
+	minX, maxX, minY, maxY, ok := c.bounds()
+	if !ok {
+		return fmt.Errorf("plot: chart %q has no data", c.Title)
+	}
+
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	sx := func(x float64) float64 {
+		if maxX == minX {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + (x-minX)/(maxX-minX)*plotW
+	}
+	sy := func(y float64) float64 {
+		if maxY == minY {
+			return marginTop + plotH/2
+		}
+		return marginTop + plotH - (y-minY)/(maxY-minY)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n", width/2, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			sx(fx), marginTop+plotH+16, tick(fx))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, sy(fy)+4, tick(fy))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginLeft, sy(fy), marginLeft+plotW, sy(fy))
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts strings.Builder
+		for j := range s.X {
+			x, y := sx(s.X[j]), sy(s.Y[j])
+			if j == 0 {
+				fmt.Fprintf(&pts, "%.1f,%.1f", x, y)
+				continue
+			}
+			if c.Step {
+				fmt.Fprintf(&pts, " %.1f,%.1f", x, sy(s.Y[j-1]))
+			}
+			fmt.Fprintf(&pts, " %.1f,%.1f", x, y)
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			pts.String(), color)
+		// Legend entry.
+		ly := marginTop + 8 + float64(i)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			marginLeft+plotW-120, ly, marginLeft+plotW-100, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n",
+			marginLeft+plotW-94, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bounds computes the data extents across series.
+func (c Chart) bounds() (minX, maxX, minY, maxY float64, ok bool) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return 0, 0, 0, 0, false
+	}
+	// Pad Y so curves do not hug the frame; anchor at zero when sensible.
+	if minY > 0 && minY < maxY/3 {
+		minY = 0
+	}
+	maxY += (maxY - minY) * 0.05
+	return minX, maxX, minY, maxY, true
+}
+
+// tick formats an axis tick value compactly.
+func tick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// escape sanitises text for SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

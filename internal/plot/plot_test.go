@@ -1,0 +1,106 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Chart {
+	return Chart{
+		Title:  "goodput vs position",
+		XLabel: "C2 position (m)",
+		YLabel: "Mbps",
+		Series: []Series{
+			{Name: "DCF", X: []float64{10, 20, 30}, Y: []float64{2, 2.5, 3}},
+			{Name: "CO-MAP", X: []float64{10, 20, 30}, Y: []float64{2, 3.5, 4}},
+		},
+	}
+}
+
+func TestWriteSVGBasics(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "goodput vs position",
+		"DCF", "CO-MAP", "C2 position (m)", "Mbps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestWriteSVGEmptyChartErrors(t *testing.T) {
+	var b strings.Builder
+	err := Chart{Title: "empty"}.WriteSVG(&b)
+	if err == nil {
+		t.Error("empty chart should error")
+	}
+}
+
+func TestWriteSVGStepMode(t *testing.T) {
+	c := sample()
+	c.Step = true
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Step mode inserts an extra vertex per segment: 3 points -> 5 vertices.
+	line := b.String()[strings.Index(b.String(), "<polyline"):]
+	line = line[:strings.Index(line, "/>")]
+	if got := strings.Count(line, ","); got != 5 {
+		t.Errorf("step polyline has %d vertices, want 5", got)
+	}
+}
+
+func TestWriteSVGEscapesText(t *testing.T) {
+	c := sample()
+	c.Title = "a < b & c"
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "a < b & c") {
+		t.Error("unescaped text in SVG")
+	}
+	if !strings.Contains(b.String(), "a &lt; b &amp; c") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestWriteSVGDegenerateExtents(t *testing.T) {
+	c := Chart{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{1, 1}}},
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatalf("flat data should render: %v", err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{150, "150"},
+		{3.25, "3.2"}, // banker-style rounding of %.1f
+		{0.05, "0.05"},
+	}
+	for _, tt := range tests {
+		if got := tick(tt.v); got != tt.want {
+			t.Errorf("tick(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

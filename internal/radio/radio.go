@@ -1,0 +1,224 @@
+// Package radio implements the radio propagation and packet-reception models
+// that CO-MAP is built on (paper §IV-B):
+//
+//   - the log-normal shadowing propagation model (eq. 1),
+//   - the pairwise packet reception rate under one interferer (eqs. 2–3),
+//   - the probability that a sender's signal falls below the carrier-sense
+//     threshold at a neighbor (eq. 4).
+//
+// All powers are in dBm and all distances in meters unless stated otherwise.
+package radio
+
+import (
+	"errors"
+	"math"
+)
+
+// DefaultNoiseFloorDBm is the typical noise floor in 2.4 GHz WiFi networks
+// used throughout the paper.
+const DefaultNoiseFloorDBm = -95.0
+
+// SpeedOfLight in meters per second.
+const speedOfLight = 299_792_458.0
+
+// DBmToMilliwatts converts a power in dBm to milliwatts.
+func DBmToMilliwatts(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattsToDBm converts a power in milliwatts to dBm. Zero or negative
+// power maps to -infinity dBm.
+func MilliwattsToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// CombineDBm returns the dBm value of the sum of the given powers
+// (powers add in the linear milliwatt domain, not in dB).
+func CombineDBm(dbms ...float64) float64 {
+	sum := 0.0
+	for _, p := range dbms {
+		if !math.IsInf(p, -1) {
+			sum += DBmToMilliwatts(p)
+		}
+	}
+	return MilliwattsToDBm(sum)
+}
+
+// Phi is the cumulative distribution function of the standard normal
+// distribution.
+func Phi(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// PhiInv is the inverse standard normal CDF (quantile function), computed by
+// bisection on Phi. It is used to derive range cut-offs from probability
+// thresholds; accuracy is ~1e-9 which is far below any physical precision.
+func PhiInv(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, errors.New("radio: PhiInv argument must be in (0, 1)")
+	}
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if Phi(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// FriisRefLossDB returns the free-space path loss in dB at reference distance
+// d0 (meters) for carrier frequency freqHz, per the Friis equation with unity
+// antenna gains. The paper obtains the reference power P(d0) either by field
+// measurement or from this equation.
+func FriisRefLossDB(freqHz, d0 float64) float64 {
+	if freqHz <= 0 || d0 <= 0 {
+		panic("radio: frequency and reference distance must be positive")
+	}
+	lambda := speedOfLight / freqHz
+	return 20 * math.Log10(4*math.Pi*d0/lambda)
+}
+
+// LogNormal is the log-normal shadowing propagation model of eq. (1):
+//
+//	P(d) = P(d0) - 10 α log10(d/d0) + Xσ
+//
+// where Xσ is a zero-mean Gaussian with standard deviation SigmaDB modelling
+// the path-loss variation caused by artifacts in the environment.
+type LogNormal struct {
+	// RefDistance d0 in meters (typically 1 m).
+	RefDistance float64
+	// RefLossDB is the path loss at RefDistance in dB, so that the received
+	// power at d0 is txPower - RefLossDB.
+	RefLossDB float64
+	// Alpha is the path loss exponent (2.9 in the paper's testbed, 3.3 in the
+	// NS-2 floor).
+	Alpha float64
+	// SigmaDB is the shadowing standard deviation (4 dB testbed, 5 dB NS-2).
+	SigmaDB float64
+}
+
+// NewLogNormal2400 returns a log-normal model with the free-space Friis
+// reference loss at 1 m for the 2.4 GHz band and the given path-loss exponent
+// and shadowing deviation.
+func NewLogNormal2400(alpha, sigmaDB float64) LogNormal {
+	return LogNormal{
+		RefDistance: 1,
+		RefLossDB:   FriisRefLossDB(2.4e9, 1),
+		Alpha:       alpha,
+		SigmaDB:     sigmaDB,
+	}
+}
+
+// PathLossDB returns the mean path loss in dB at distance d. Distances below
+// the reference distance are clamped to it (the model is not defined closer
+// than d0).
+func (m LogNormal) PathLossDB(d float64) float64 {
+	if d < m.RefDistance {
+		d = m.RefDistance
+	}
+	return m.RefLossDB + 10*m.Alpha*math.Log10(d/m.RefDistance)
+}
+
+// MeanReceivedDBm returns the mean received power at distance d for the given
+// transmit power (no shadowing sample).
+func (m LogNormal) MeanReceivedDBm(txDBm, d float64) float64 {
+	return txDBm - m.PathLossDB(d)
+}
+
+// Gaussian abstracts the normal-variate source so that callers can supply a
+// seeded *rand.Rand (which has NormFloat64) or a deterministic stub in tests.
+type Gaussian interface {
+	NormFloat64() float64
+}
+
+// SampleReceivedDBm returns one shadowing-affected received power draw at
+// distance d: mean + σ·N(0,1).
+func (m LogNormal) SampleReceivedDBm(txDBm, d float64, g Gaussian) float64 {
+	return m.MeanReceivedDBm(txDBm, d) + m.SigmaDB*g.NormFloat64()
+}
+
+// PRR implements eq. (3): the probability that a receiver decodes a packet
+// when the useful sender is d meters away and a single equal-power interferer
+// is r meters away, given the SIR decoding threshold tSIRdB:
+//
+//	PRR = 1 - Φ( (T_SIR + 10 α log10(d/r)) / (√2 σ) )
+//
+// Both the useful and the interfering signal carry independent shadowing, so
+// the composed variable has standard deviation √2·σ.
+func (m LogNormal) PRR(tSIRdB, d, r float64) float64 {
+	if d < m.RefDistance {
+		d = m.RefDistance
+	}
+	if r < m.RefDistance {
+		r = m.RefDistance
+	}
+	num := tSIRdB + 10*m.Alpha*math.Log10(d/r)
+	return 1 - Phi(num/(math.Sqrt2*m.SigmaDB))
+}
+
+// ProbBelowCS implements eq. (4): the probability that the signal of a sender
+// transmitting at txDBm is received below the carrier-sense threshold tcsDBm
+// by a neighbor r meters away:
+//
+//	Pr{Pr < Tcs} = Φ( (Tcs - P(d0) + 10 α log10(r/d0)) / σ )
+//
+// This probability is monotonically increasing in r; a node is treated as a
+// hidden terminal when it exceeds HiddenTerminalCSMissProb.
+func (m LogNormal) ProbBelowCS(tcsDBm, txDBm, r float64) float64 {
+	if r < m.RefDistance {
+		r = m.RefDistance
+	}
+	pd0 := txDBm - m.RefLossDB
+	num := tcsDBm - pd0 + 10*m.Alpha*math.Log10(r/m.RefDistance)
+	return Phi(num / m.SigmaDB)
+}
+
+// HiddenTerminalCSMissProb is the paper's cut-off: a neighbor is treated as
+// hidden when the probability that it misses the sender's signal by carrier
+// sense exceeds 90%.
+const HiddenTerminalCSMissProb = 0.9
+
+// MeanRangeFor returns the distance at which the mean received power equals
+// thresholdDBm for the given transmit power. It is the deterministic
+// (no-shadowing) communication/CS/interference range.
+func (m LogNormal) MeanRangeFor(txDBm, thresholdDBm float64) float64 {
+	// txDBm - RefLossDB - 10α log10(d/d0) = threshold
+	exp := (txDBm - m.RefLossDB - thresholdDBm) / (10 * m.Alpha)
+	d := m.RefDistance * math.Pow(10, exp)
+	if d < m.RefDistance {
+		return m.RefDistance
+	}
+	return d
+}
+
+// CSMissRangeFor returns the distance beyond which a neighbor misses the
+// sender's signal by carrier sense with probability at least missProb
+// (inverting eq. 4 for r).
+func (m LogNormal) CSMissRangeFor(tcsDBm, txDBm, missProb float64) (float64, error) {
+	z, err := PhiInv(missProb)
+	if err != nil {
+		return 0, err
+	}
+	// z*σ = Tcs - P(d0) + 10α log10(r/d0)
+	pd0 := txDBm - m.RefLossDB
+	exp := (z*m.SigmaDB - tcsDBm + pd0) / (10 * m.Alpha)
+	r := m.RefDistance * math.Pow(10, exp)
+	if r < m.RefDistance {
+		r = m.RefDistance
+	}
+	return r, nil
+}
+
+// SINRdB computes the signal-to-interference-plus-noise ratio in dB for a
+// signal power, a set of interferer powers and a noise floor, all in dBm.
+func SINRdB(signalDBm, noiseFloorDBm float64, interferersDBm ...float64) float64 {
+	denom := DBmToMilliwatts(noiseFloorDBm)
+	for _, p := range interferersDBm {
+		if !math.IsInf(p, -1) {
+			denom += DBmToMilliwatts(p)
+		}
+	}
+	return signalDBm - MilliwattsToDBm(denom)
+}

@@ -1,0 +1,190 @@
+// Package sim is a deterministic discrete-event simulation engine: a virtual
+// clock, a cancellable event queue and seeded random-number streams. It is
+// the substrate that replaces the paper's NS-2 runs and testbed time base.
+//
+// Determinism guarantees: events scheduled for the same instant fire in
+// scheduling order (ties broken by a monotone sequence number), and every
+// random stream is derived from the engine seed by name, so a run is fully
+// reproducible from (seed, program).
+package sim
+
+import (
+	"container/heap"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by Schedule/After so callers
+// can cancel it.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // position in the heap, -1 once removed
+	cancelled bool
+}
+
+// At returns the virtual time the event is (or was) scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; simulations are deterministic single-goroutine programs.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	seed   int64
+	fired  uint64
+	halted bool
+}
+
+// New returns an engine with its clock at zero, seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{seed: seed}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Seed returns the engine seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// EventsFired returns the number of events executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Schedule registers fn to run at absolute virtual time at. Times in the past
+// are clamped to Now (the event runs as the next zero-delay event).
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d after the current virtual time. Negative delays
+// are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling a nil, already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue holds no event at or
+// before the deadline, then advances the clock to exactly the deadline.
+// Events scheduled beyond the deadline remain pending.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	e.halted = false
+	for !e.halted && e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.halted && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes every pending event (including ones scheduled by other
+// events) until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending returns the number of not-yet-cancelled events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// RNG returns a deterministic random stream derived from the engine seed and
+// the stream name. Equal (seed, name) pairs always produce identical streams,
+// so adding a new consumer does not perturb existing ones.
+func (e *Engine) RNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

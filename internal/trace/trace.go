@@ -1,0 +1,177 @@
+// Package trace records PHY-level events of a simulated network as JSON
+// Lines, one object per event — the equivalent of NS-2's wireless trace file
+// or a pcap for this simulator. A Tracer wraps any channel.Listener, so it
+// can be interposed per node without the MAC noticing.
+//
+// Event kinds: "rx" (frame delivered to a locked radio, ok or corrupted),
+// "txdone" (own transmission left the air) and "energy" (aggregate in-band
+// power changed; only recorded when energy tracing is enabled — it is
+// voluminous).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// Event is one trace record.
+type Event struct {
+	// AtMicros is the virtual time in microseconds.
+	AtMicros int64 `json:"at_us"`
+	// Node is the observing station.
+	Node frame.NodeID `json:"node"`
+	// Kind is "rx", "txdone" or "energy".
+	Kind string `json:"kind"`
+	// Frame fields (rx/txdone).
+	FrameKind string       `json:"frame,omitempty"`
+	Src       frame.NodeID `json:"src,omitempty"`
+	Dst       frame.NodeID `json:"dst,omitempty"`
+	Seq       uint16       `json:"seq,omitempty"`
+	Payload   int          `json:"payload,omitempty"`
+	Retry     bool         `json:"retry,omitempty"`
+	// OK reports decode success for rx events.
+	OK bool `json:"ok,omitempty"`
+	// RSSIDBm is the received signal strength (rx) or aggregate energy
+	// (energy events).
+	RSSIDBm float64 `json:"rssi_dbm,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be cheap; they run inside
+// the simulation loop.
+type Sink interface {
+	Record(Event)
+}
+
+// Writer is a Sink that encodes events as JSON Lines.
+type Writer struct {
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewWriter wraps an io.Writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{enc: json.NewEncoder(w)}
+}
+
+// Record implements Sink.
+func (w *Writer) Record(e Event) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(e)
+	if w.err == nil {
+		w.n++
+	}
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() int { return w.n }
+
+// Err returns the first encoding error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Buffer is a Sink that collects events in memory (tests, analysis).
+type Buffer struct {
+	Events []Event
+}
+
+// Record implements Sink.
+func (b *Buffer) Record(e Event) { b.Events = append(b.Events, e) }
+
+// Tracer wraps a channel.Listener and mirrors its indications into a Sink.
+type Tracer struct {
+	eng    *sim.Engine
+	node   frame.NodeID
+	inner  channel.Listener
+	sink   Sink
+	energy bool
+}
+
+var _ channel.Listener = (*Tracer)(nil)
+
+// New wraps inner so that node's PHY events flow into sink. Set energy to
+// also record every aggregate-power change (very verbose).
+func New(eng *sim.Engine, node frame.NodeID, inner channel.Listener, sink Sink, energy bool) *Tracer {
+	return &Tracer{eng: eng, node: node, inner: inner, sink: sink, energy: energy}
+}
+
+// Attach interposes tracers on every node of a medium, returning the number
+// wrapped. Call after the MAC listeners are installed.
+func Attach(eng *sim.Engine, m *channel.Medium, sink Sink, energy bool) int {
+	n := 0
+	for _, tr := range m.Nodes() {
+		tr.SetListener(New(eng, tr.ID(), tr.Listener(), sink, energy))
+		n++
+	}
+	return n
+}
+
+// base converts a frame into the shared event fields.
+func (t *Tracer) base(kind string, f frame.Frame) Event {
+	return Event{
+		AtMicros:  int64(t.eng.Now() / time.Microsecond),
+		Node:      t.node,
+		Kind:      kind,
+		FrameKind: f.Kind.String(),
+		Src:       f.Src,
+		Dst:       f.Dst,
+		Seq:       f.Seq,
+		Payload:   f.PayloadBytes,
+		Retry:     f.Retry,
+	}
+}
+
+// EnergyChanged implements channel.Listener.
+func (t *Tracer) EnergyChanged(agg float64) {
+	if t.energy {
+		t.sink.Record(Event{
+			AtMicros: int64(t.eng.Now() / time.Microsecond),
+			Node:     t.node,
+			Kind:     "energy",
+			RSSIDBm:  agg,
+		})
+	}
+	if t.inner != nil {
+		t.inner.EnergyChanged(agg)
+	}
+}
+
+// FrameReceived implements channel.Listener.
+func (t *Tracer) FrameReceived(f frame.Frame, ok bool, rssi float64) {
+	e := t.base("rx", f)
+	e.OK = ok
+	e.RSSIDBm = rssi
+	t.sink.Record(e)
+	if t.inner != nil {
+		t.inner.FrameReceived(f, ok, rssi)
+	}
+}
+
+// TransmitDone implements channel.Listener.
+func (t *Tracer) TransmitDone(f frame.Frame) {
+	t.sink.Record(t.base("txdone", f))
+	if t.inner != nil {
+		t.inner.TransmitDone(f)
+	}
+}
+
+// String summarises an event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case "rx":
+		return fmt.Sprintf("%dus node %d RX %s %d->%d seq=%d ok=%v rssi=%.1f",
+			e.AtMicros, e.Node, e.FrameKind, e.Src, e.Dst, e.Seq, e.OK, e.RSSIDBm)
+	case "txdone":
+		return fmt.Sprintf("%dus node %d TXDONE %s %d->%d seq=%d",
+			e.AtMicros, e.Node, e.FrameKind, e.Src, e.Dst, e.Seq)
+	default:
+		return fmt.Sprintf("%dus node %d %s %.1f dBm", e.AtMicros, e.Node, e.Kind, e.RSSIDBm)
+	}
+}

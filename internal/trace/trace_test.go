@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func runTracedScenario(t *testing.T, sink Sink, energy bool) {
+	t.Helper()
+	top := topology.ETSweep(30)
+	opts := netsim.TestbedOptions()
+	opts.Protocol = netsim.ProtocolDCF
+	opts.Seed = 1
+	opts.Duration = 200 * time.Millisecond
+	n, err := netsim.Build(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Attach(n.Eng, n.Medium, sink, energy); got != len(top.Nodes) {
+		t.Fatalf("Attach wrapped %d nodes", got)
+	}
+	n.Run()
+}
+
+func TestBufferCollectsEvents(t *testing.T) {
+	var buf Buffer
+	runTracedScenario(t, &buf, false)
+	if len(buf.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	var rx, tx int
+	for _, e := range buf.Events {
+		switch e.Kind {
+		case "rx":
+			rx++
+		case "txdone":
+			tx++
+		case "energy":
+			t.Fatal("energy event recorded while disabled")
+		}
+		if e.AtMicros < 0 || e.AtMicros > 200_000 {
+			t.Fatalf("event outside run window: %+v", e)
+		}
+	}
+	if rx == 0 || tx == 0 {
+		t.Errorf("rx=%d tx=%d", rx, tx)
+	}
+}
+
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	// The tracer must be a pure observer: goodput with and without it is
+	// bit-identical.
+	run := func(traced bool) float64 {
+		top := topology.ETSweep(30)
+		opts := netsim.TestbedOptions()
+		opts.Protocol = netsim.ProtocolComap
+		opts.Seed = 9
+		opts.Duration = 500 * time.Millisecond
+		n, err := netsim.Build(top, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traced {
+			Attach(n.Eng, n.Medium, &Buffer{}, true)
+		}
+		return n.Run().Total()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Errorf("tracing changed the outcome: %v vs %v", a, b)
+	}
+}
+
+func TestWriterEmitsJSONLines(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	runTracedScenario(t, w, false)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	if w.Count() == 0 {
+		t.Fatal("nothing written")
+	}
+	lines := 0
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != w.Count() {
+		t.Errorf("lines=%d count=%d", lines, w.Count())
+	}
+}
+
+func TestEnergyEventsOptIn(t *testing.T) {
+	var buf Buffer
+	runTracedScenario(t, &buf, true)
+	energy := 0
+	for _, e := range buf.Events {
+		if e.Kind == "energy" {
+			energy++
+		}
+	}
+	if energy == 0 {
+		t.Error("energy tracing enabled but no events recorded")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	eng := sim.New(1)
+	_ = eng
+	events := []Event{
+		{Kind: "rx", AtMicros: 10, Node: 1, FrameKind: "DATA", Src: 2, Dst: 1, Seq: 3, OK: true, RSSIDBm: -70},
+		{Kind: "txdone", AtMicros: 20, Node: 2, FrameKind: "ACK", Src: 2, Dst: 1},
+		{Kind: "energy", AtMicros: 30, Node: 1, RSSIDBm: -81},
+	}
+	for _, e := range events {
+		if e.String() == "" {
+			t.Errorf("empty String for %+v", e)
+		}
+	}
+	if !strings.Contains(events[0].String(), "RX DATA") {
+		t.Errorf("rx string = %q", events[0].String())
+	}
+}
+
+var _ = geom.Pt
+var _ = frame.Broadcast

@@ -1,0 +1,199 @@
+// Package traffic drives application load over plain-DCF stations: saturated
+// sources (the paper's backlogged Iperf TCP senders), constant-bit-rate
+// sources (the 3 Mbps CBR streams of Table I) and Poisson sources, plus a
+// measuring sink with standard 802.11 duplicate suppression.
+//
+// CO-MAP stations use comap.Endpoint instead, which integrates the
+// selective-repeat link layer; this package serves the baseline protocol.
+package traffic
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// queueTarget is how many frames a source keeps in the MAC queue.
+const queueTarget = 2
+
+// creditInterval is the CBR token-refill period.
+const creditInterval = 10 * time.Millisecond
+
+// source is one outgoing flow of a Peer.
+type source struct {
+	dst       frame.NodeID
+	payloadFn func() int
+	seq       uint16
+	// credit is the CBR byte bucket; nil = saturated.
+	credit   *float64
+	rateBps  float64
+	creditEv *sim.Event
+	active   bool
+}
+
+// Peer binds traffic sources and a measuring sink to one MAC instance (a
+// station can be either or both — APs with downlink traffic are both, and an
+// AP carries one source per associated client).
+type Peer struct {
+	eng *sim.Engine
+	m   *mac.MAC
+
+	sources []*source
+	rr      int
+
+	// sink state: last sequence number per source for duplicate rejection.
+	lastSeq   map[frame.NodeID]uint16
+	hasLast   map[frame.NodeID]bool
+	delivered stats.GoodputMeter
+	bySrc     map[frame.NodeID]*stats.GoodputMeter
+	onDeliver func(f frame.Frame)
+}
+
+// NewPeer wires a peer onto the MAC, installing its hooks.
+func NewPeer(eng *sim.Engine, m *mac.MAC) *Peer {
+	p := &Peer{
+		eng:     eng,
+		m:       m,
+		lastSeq: make(map[frame.NodeID]uint16),
+		hasLast: make(map[frame.NodeID]bool),
+		bySrc:   make(map[frame.NodeID]*stats.GoodputMeter),
+	}
+	m.SetHooks(mac.Hooks{
+		OnSendComplete: func(frame.Frame, bool) { p.pump() },
+		OnReceive:      p.onReceive,
+	})
+	return p
+}
+
+// MAC returns the underlying MAC.
+func (p *Peer) MAC() *mac.MAC { return p.m }
+
+// Delivered returns the aggregate unique-payload meter of the sink.
+func (p *Peer) Delivered() *stats.GoodputMeter { return &p.delivered }
+
+// DeliveredFrom returns the per-source unique-payload meter (created on
+// first use).
+func (p *Peer) DeliveredFrom(src frame.NodeID) *stats.GoodputMeter {
+	g, ok := p.bySrc[src]
+	if !ok {
+		g = &stats.GoodputMeter{}
+		p.bySrc[src] = g
+	}
+	return g
+}
+
+// OnDeliver registers a callback for each newly delivered (unique) frame.
+func (p *Peer) OnDeliver(fn func(f frame.Frame)) { p.onDeliver = fn }
+
+// StartSaturated begins a backlogged stream towards dst; payloadFn is
+// consulted per frame. Multiple streams to distinct destinations share the
+// MAC round-robin.
+func (p *Peer) StartSaturated(dst frame.NodeID, payloadFn func() int) {
+	p.sources = append(p.sources, &source{dst: dst, payloadFn: payloadFn, active: true})
+	p.pump()
+}
+
+// StartCBR begins a constant-bit-rate stream offering bitsPerSec towards
+// dst.
+func (p *Peer) StartCBR(dst frame.NodeID, payloadFn func() int, bitsPerSec float64) {
+	credit := 0.0
+	s := &source{dst: dst, payloadFn: payloadFn, credit: &credit, rateBps: bitsPerSec, active: true}
+	p.sources = append(p.sources, s)
+	p.scheduleCredit(s)
+	p.pump()
+}
+
+func (p *Peer) scheduleCredit(s *source) {
+	s.creditEv = p.eng.After(creditInterval, func() {
+		*s.credit += s.rateBps / 8 * creditInterval.Seconds()
+		if bucketCap := s.rateBps / 8; *s.credit > bucketCap {
+			*s.credit = bucketCap
+		}
+		p.pump()
+		p.scheduleCredit(s)
+	})
+}
+
+// StartPoisson begins a Poisson arrival process with the given mean frame
+// rate towards dst. Poisson arrivals bypass the pump: each arrival enqueues
+// directly (queue overflow drops are counted by the MAC).
+func (p *Peer) StartPoisson(dst frame.NodeID, payloadFn func() int, framesPerSec float64, rng *rand.Rand) {
+	var seq uint16
+	var arrive func()
+	arrive = func() {
+		f := frame.Frame{Kind: frame.Data, Dst: dst, Seq: seq, PayloadBytes: payloadFn()}
+		seq++
+		_ = p.m.Enqueue(f)
+		gap := rng.ExpFloat64() / framesPerSec
+		p.eng.After(time.Duration(gap*float64(time.Second)), arrive)
+	}
+	gap := rng.ExpFloat64() / framesPerSec
+	p.eng.After(time.Duration(gap*float64(time.Second)), arrive)
+}
+
+// Stop halts all sources; queued frames drain normally.
+func (p *Peer) Stop() {
+	for _, s := range p.sources {
+		s.active = false
+		if s.creditEv != nil {
+			p.eng.Cancel(s.creditEv)
+			s.creditEv = nil
+		}
+	}
+}
+
+func (p *Peer) pump() {
+	if len(p.sources) == 0 {
+		return
+	}
+	for p.m.QueueLen() < queueTarget {
+		f, ok := p.nextFrame()
+		if !ok {
+			return
+		}
+		if err := p.m.Enqueue(f); err != nil {
+			return
+		}
+	}
+}
+
+func (p *Peer) nextFrame() (frame.Frame, bool) {
+	for i := 0; i < len(p.sources); i++ {
+		s := p.sources[(p.rr+i)%len(p.sources)]
+		if !s.active {
+			continue
+		}
+		payload := s.payloadFn()
+		if s.credit != nil && *s.credit < float64(payload) {
+			continue
+		}
+		if s.credit != nil {
+			*s.credit -= float64(payload)
+		}
+		f := frame.Frame{Kind: frame.Data, Dst: s.dst, Seq: s.seq, PayloadBytes: payload}
+		s.seq++
+		p.rr = (p.rr + i + 1) % len(p.sources)
+		return f, true
+	}
+	return frame.Frame{}, false
+}
+
+// onReceive implements the sink with 802.11-style duplicate rejection: a
+// retransmitted frame whose (src, seq) matches the last reception from that
+// source is dropped.
+func (p *Peer) onReceive(f frame.Frame, _ float64) {
+	if f.Retry && p.hasLast[f.Src] && p.lastSeq[f.Src] == f.Seq {
+		return
+	}
+	p.lastSeq[f.Src] = f.Seq
+	p.hasLast[f.Src] = true
+	p.delivered.AddPayload(f.PayloadBytes)
+	p.DeliveredFrom(f.Src).AddPayload(f.PayloadBytes)
+	if p.onDeliver != nil {
+		p.onDeliver(f)
+	}
+}
