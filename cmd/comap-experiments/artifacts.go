@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// jsonDir is the output directory for -json artifacts (empty = disabled).
+var jsonDir string
+
+// artifact is the JSON envelope one figure run leaves behind: the run
+// configuration, how long it took, and the figure's data series verbatim.
+type artifact struct {
+	Figure     string           `json:"figure"`
+	Opts       experiments.Opts `json:"opts"`
+	ElapsedSec float64          `json:"elapsed_sec"`
+	Data       any              `json:"data"`
+}
+
+// writeArtifact records one figure's result as indented JSON in jsonDir so
+// later analysis can query runs without re-simulating. Failures are soft:
+// a run whose numbers printed fine should not die on a fileserver hiccup.
+func writeArtifact(name string, opts experiments.Opts, elapsed time.Duration, data any) {
+	if jsonDir == "" {
+		return
+	}
+	if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "comap-experiments: json dir: %v\n", err)
+		return
+	}
+	path := filepath.Join(jsonDir, name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comap-experiments: %v\n", err)
+		return
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(artifact{
+		Figure:     name,
+		Opts:       opts,
+		ElapsedSec: elapsed.Seconds(),
+		Data:       data,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comap-experiments: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -26,8 +26,10 @@ func main() {
 	duration := flag.Duration("duration", 0, "override simulated duration per run")
 	topologies := flag.Int("topologies", 0, "override number of Fig. 10 topologies")
 	svg := flag.String("svg", "", "also render each figure as an SVG into this directory")
+	jsonOut := flag.String("json", "results", "write per-figure JSON artifacts into this directory (empty = off)")
 	flag.Parse()
 	svgDir = *svg
+	jsonDir = *jsonOut
 
 	opts := experiments.Quick()
 	if *full {
@@ -56,6 +58,7 @@ func run(fig string, opts experiments.Opts) error {
 	if want("table1") {
 		ran = true
 		experiments.PrintTableI(os.Stdout)
+		writeArtifact("table1", opts, 0, experiments.TableI())
 		fmt.Println()
 	}
 	if want("1") {
@@ -136,6 +139,7 @@ func runFig1(opts experiments.Opts) error {
 		"C2 position from AP1 (m)", res.C1Goodput, res.C2Goodput)); err != nil {
 		return err
 	}
+	writeArtifact("fig1", opts, time.Since(start), res)
 	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	return nil
 }
@@ -152,6 +156,7 @@ func runFig2(opts experiments.Opts) error {
 		"payload (bytes)", res.NoHT, res.OneHT)); err != nil {
 		return err
 	}
+	writeArtifact("fig2", opts, time.Since(start), res)
 	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	return nil
 }
@@ -172,6 +177,7 @@ func runFig7(opts experiments.Opts) error {
 			return err
 		}
 	}
+	writeArtifact("fig7", opts, time.Since(start), panels)
 	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	return nil
 }
@@ -188,6 +194,7 @@ func runFig8(opts experiments.Opts) error {
 		"C2 position from AP1 (m)", res.DCF, res.Comap)); err != nil {
 		return err
 	}
+	writeArtifact("fig8", opts, time.Since(start), res)
 	fmt.Printf("mean aggregate gain where CO-MAP transmitted concurrently: %+.1f%% (paper: +77.5%%)\n", res.ETRegionGainPct)
 	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	return nil
@@ -204,6 +211,7 @@ func runFig9(opts experiments.Opts) error {
 	if err := writeSVG("fig9", cdfChart("Fig. 9: hidden-terminal topologies", res.DCF, res.Comap)); err != nil {
 		return err
 	}
+	writeArtifact("fig9", opts, time.Since(start), res)
 	fmt.Printf("mean gain: %+.1f%% (paper: +38.5%%)\n", res.MeanGainPct)
 	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	return nil
@@ -221,6 +229,7 @@ func runFig10(opts experiments.Opts) error {
 		res.DCF, res.Comap, res.ComapErr)); err != nil {
 		return err
 	}
+	writeArtifact("fig10", opts, time.Since(start), res)
 	fmt.Printf("mean gain, perfect positions: %+.1f%% (paper: +38.5%%)\n", res.GainPerfectPct)
 	fmt.Printf("mean gain, %d m position error: %+.1f%% (paper: +18.7%%)\n",
 		experiments.Fig10PositionError, res.GainErrorPct)
@@ -240,6 +249,7 @@ func runAblation(opts experiments.Opts) error {
 	fmt.Printf("  %-34s %6.2f\n", "CO-MAP, separate header frame", res.HeaderFrame)
 	fmt.Printf("  %-34s %6.2f\n", "CO-MAP, no persistent concurrency", res.NoPersistent)
 	fmt.Printf("  %-34s %6.2f\n", "CO-MAP, in-band location exchange", res.InBandLocation)
+	writeArtifact("ablation", opts, time.Since(start), res)
 	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	return nil
 }
@@ -254,6 +264,7 @@ func runRTS(opts experiments.Opts) error {
 	fmt.Printf("  %-12s %6.3f Mbps\n", "basic DCF", res.DCF)
 	fmt.Printf("  %-12s %6.3f Mbps\n", "RTS/CTS", res.RTSCTS)
 	fmt.Printf("  %-12s %6.3f Mbps\n", "CO-MAP", res.Comap)
+	writeArtifact("rts", opts, time.Since(start), res)
 	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	return nil
 }
@@ -268,6 +279,7 @@ func runOverhead(opts experiments.Opts) error {
 	fmt.Printf("  oracle positions:  %6.2f Mbps aggregate\n", res.OracleMbps)
 	fmt.Printf("  in-band exchange:  %6.2f Mbps aggregate\n", res.InBandMbps)
 	fmt.Printf("  beacons: %d frames, %d bytes of airtime\n", res.Beacons, res.BeaconBytes)
+	writeArtifact("overhead", opts, time.Since(start), res)
 	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	return nil
 }

@@ -46,6 +46,8 @@ func run() error {
 		cw         = flag.Int("cw", 0, "fixed contention window in slots (0 = regime default)")
 		adapt      = flag.Bool("adapt", true, "comap: enable hidden-terminal packet-size/CW adaptation")
 		tracePath  = flag.String("trace", "", "write a JSONL PHY event trace to this file")
+		reportPath = flag.String("report", "", "write a JSON run report to this file")
+		slice      = flag.Duration("slice", 0, "goodput time-slice interval for the report (0 = no slicing)")
 	)
 	flag.Parse()
 
@@ -95,19 +97,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var (
+		traceFile *os.File
+		traceW    *trace.Writer
+	)
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+		traceFile, err = os.Create(*tracePath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w := trace.NewWriter(f)
-		trace.Attach(n.Eng, n.Medium, w, false)
-		defer func() {
-			fmt.Printf("wrote %d trace events to %s\n", w.Count(), *tracePath)
-		}()
+		traceW = trace.NewWriter(traceFile)
+		trace.Attach(n.Eng, n.Medium, traceW, false)
 	}
+	n.StartSlicing(*slice)
 	res := n.Run()
+	if traceW != nil {
+		// Surface buffered-write and close failures instead of silently
+		// reporting a truncated trace as success.
+		if err := traceW.Err(); err != nil {
+			traceFile.Close()
+			return fmt.Errorf("writing trace %s: %w", *tracePath, err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("closing trace %s: %w", *tracePath, err)
+		}
+	}
 
 	fmt.Printf("topology %s, protocol %v, %v simulated\n", top.Name, opts.Protocol, opts.Duration)
 	res.PrintFlows(os.Stdout)
@@ -132,6 +146,24 @@ func run() error {
 			fmt.Printf(" %s=%d", name, snap[name])
 		}
 		fmt.Println()
+	}
+
+	if traceW != nil {
+		fmt.Printf("wrote %d trace events to %s\n", traceW.Count(), *tracePath)
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			return err
+		}
+		if err := n.Report(res).WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing report %s: %w", *reportPath, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing report %s: %w", *reportPath, err)
+		}
+		fmt.Printf("wrote run report to %s\n", *reportPath)
 	}
 	return nil
 }

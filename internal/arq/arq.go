@@ -14,7 +14,12 @@
 // the MAC layer that owns it.
 package arq
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
 
 // DefaultWindow is the default send window size.
 const DefaultWindow = 8
@@ -30,6 +35,9 @@ type entry struct {
 	payload  int
 	attempts int
 	sent     bool
+	// firstAt is the virtual time the sequence number was minted; zero
+	// unless the sender is instrumented.
+	firstAt time.Duration
 }
 
 // Sender is the transmit side of the selective-repeat protocol.
@@ -40,6 +48,13 @@ type Sender struct {
 	inflight    []*entry // unacked frames, oldest first
 	dropped     int
 	delivered   int
+
+	// Telemetry (nil unless Instrument was called; all recording nil-safe).
+	now      func() time.Duration
+	mOcc     *metrics.Dist
+	mDeliver *metrics.Timing
+	mRetx    *metrics.Timing
+	mDropped *metrics.Counter
 }
 
 // NewSender creates a sender with the given window size and per-frame
@@ -57,6 +72,20 @@ func NewSender(window, maxAttempts int) *Sender {
 		maxAttempts = DefaultMaxAttempts
 	}
 	return &Sender{window: window, maxAttempts: maxAttempts}
+}
+
+// Instrument attaches telemetry to the sender: the "arq.window_occupancy"
+// distribution (in-flight frames sampled at every send decision), the
+// "arq.delivery_latency" mint→ACK timing, its "arq.retx_latency" subset for
+// frames that needed more than one attempt, and the "arq.dropped" counter.
+// now supplies the virtual clock (typically sim.Engine.Now). The package
+// stays timer-free: the clock is only read, never scheduled on.
+func (s *Sender) Instrument(reg *metrics.Registry, now func() time.Duration) {
+	s.now = now
+	s.mOcc = reg.Dist("arq.window_occupancy")
+	s.mDeliver = reg.Timing("arq.delivery_latency")
+	s.mRetx = reg.Timing("arq.retx_latency")
+	s.mDropped = reg.Counter("arq.dropped")
 }
 
 // Window returns the configured send window size.
@@ -90,6 +119,7 @@ func (s *Sender) dropHopeless() {
 	for len(s.inflight) > 0 && s.inflight[0].attempts >= s.maxAttempts {
 		s.inflight = s.inflight[1:]
 		s.dropped++
+		s.mDropped.Inc()
 	}
 }
 
@@ -106,8 +136,12 @@ func (s *Sender) NextNew(newPayload int) (seq uint16, ok bool) {
 		return 0, false
 	}
 	e := &entry{seq: s.next, payload: newPayload, attempts: 1, sent: true}
+	if s.now != nil {
+		e.firstAt = s.now()
+	}
 	s.next++
 	s.inflight = append(s.inflight, e)
+	s.mOcc.Observe(float64(len(s.inflight)))
 	return e.seq, true
 }
 
@@ -122,6 +156,7 @@ func (s *Sender) NextRetransmit() (seq uint16, payload int, ok bool) {
 	e := s.inflight[0]
 	e.attempts++
 	s.inflight = append(s.inflight[1:], e)
+	s.mOcc.Observe(float64(len(s.inflight)))
 	return e.seq, e.payload, true
 }
 
@@ -142,6 +177,13 @@ func (s *Sender) OnAck(ackSeq uint16, bitmap uint32) (frames, payloadBytes int) 
 			frames++
 			payloadBytes += e.payload
 			s.delivered++
+			if s.now != nil {
+				lat := s.now() - e.firstAt
+				s.mDeliver.Observe(lat)
+				if e.attempts > 1 {
+					s.mRetx.Observe(lat)
+				}
+			}
 			continue
 		}
 		kept = append(kept, e)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/frame"
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/sim"
@@ -76,6 +77,11 @@ type Medium struct {
 	// receive a synthetic ComapHeader indication (marked Retry to say "the
 	// announced data is already on the air").
 	HeaderIndicationAt func(r phy.Rate) time.Duration
+
+	metrics    *metrics.Registry
+	air        *metrics.StateClock
+	collisions *metrics.Counter
+	txStarts   *metrics.Counter
 }
 
 // pairKey identifies an unordered node pair (radio reciprocity makes the
@@ -104,6 +110,29 @@ func NewMedium(eng *sim.Engine, model radio.LogNormal, noiseFloorDBm float64) *M
 		CaptureMarginDB:      DefaultCaptureMarginDB,
 		StaticShadowFraction: 0.7,
 		staticShadow:         make(map[pairKey]float64),
+	}
+}
+
+// SetMetrics attaches a telemetry registry to the medium. It records the
+// "medium" busy/idle airtime clock, the "tx_starts" and "collisions"
+// counters and a per-node "collision.node.<id>" counter incremented whenever
+// interference corrupts a frame that node's radio was locked onto. Call
+// before traffic starts; a nil registry detaches.
+func (m *Medium) SetMetrics(reg *metrics.Registry) {
+	m.metrics = reg
+	m.air = reg.StateClock("medium", m.eng.Now, "idle")
+	m.collisions = reg.Counter("collisions")
+	m.txStarts = reg.Counter("tx_starts")
+}
+
+// Metrics returns the attached registry (nil if none).
+func (m *Medium) Metrics() *metrics.Registry { return m.metrics }
+
+func (m *Medium) touchAir() {
+	if len(m.active) > 0 {
+		m.air.Set("busy")
+	} else {
+		m.air.Set("idle")
 	}
 }
 
@@ -232,6 +261,8 @@ func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Durati
 	t.sending = tx
 	t.lock = nil // half-duplex: abort any reception
 	m.active = append(m.active, tx)
+	m.txStarts.Inc()
+	m.touchAir()
 
 	for _, n := range m.nodes {
 		if n == t {
@@ -307,6 +338,12 @@ func (m *Medium) updateSINR(n *Transceiver) {
 	sinr := radio.SINRdB(rec.signalDBm, m.noise, interferers...)
 	if sinr < rec.tx.rate.MinSIRdB {
 		rec.corrupted = true
+		// A collision overlap: interference pushed this node's locked frame
+		// below its SINR threshold. Latched once per reception.
+		m.collisions.Inc()
+		if m.metrics != nil {
+			m.metrics.Counter(fmt.Sprintf("collision.node.%d", n.id)).Inc()
+		}
 	}
 }
 
@@ -329,6 +366,7 @@ func (m *Medium) endTransmission(tx *transmission) {
 		}
 	}
 	tx.from.sending = nil
+	m.touchAir()
 
 	for _, n := range m.nodes {
 		if n == tx.from {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bianchi"
 	"repro/internal/frame"
 	"repro/internal/loc"
+	"repro/internal/metrics"
 	"repro/internal/phy"
 )
 
@@ -85,6 +86,19 @@ type Agent struct {
 	// seen records when each foreign link was last observed on the air
 	// (from its discovery header); it drives persistent concurrency.
 	seen map[Link]time.Duration
+
+	// Telemetry (nil-safe; see SetMetrics).
+	mHeaders    *metrics.Counter
+	mHit        *metrics.Counter
+	mMiss       *metrics.Counter
+	mAllow      *metrics.Counter
+	mDeny       *metrics.Counter
+	mPersistOK  *metrics.Counter
+	mPersistNo  *metrics.Counter
+	mInvalidate *metrics.Counter
+	mMapSize    *metrics.Gauge
+	mEnvHidden  *metrics.Gauge
+	mEnvCont    *metrics.Gauge
 }
 
 // NewAgent builds an agent for node id over the given analysis model and
@@ -99,9 +113,29 @@ func NewAgent(id frame.NodeID, model Model, locs loc.Provider) *Agent {
 	}
 }
 
+// SetMetrics attaches a telemetry registry: discovery-header observations
+// ("comap.header.observed"), co-occurrence-map hit/miss/verdict counters and
+// size gauge, persistent-concurrency (ET bypass) decisions and the
+// hidden-terminal environment gauges. All recording is nil-safe, so agents
+// without a registry pay nothing.
+func (a *Agent) SetMetrics(reg *metrics.Registry) {
+	a.mHeaders = reg.Counter("comap.header.observed")
+	a.mHit = reg.Counter("comap.map.hit")
+	a.mMiss = reg.Counter("comap.map.miss")
+	a.mAllow = reg.Counter("comap.validate.allowed")
+	a.mDeny = reg.Counter("comap.validate.denied")
+	a.mPersistOK = reg.Counter("comap.persistent.ok")
+	a.mPersistNo = reg.Counter("comap.persistent.blocked")
+	a.mInvalidate = reg.Counter("comap.map.invalidate")
+	a.mMapSize = reg.Gauge("comap.map.links")
+	a.mEnvHidden = reg.Gauge("comap.env.hidden")
+	a.mEnvCont = reg.Gauge("comap.env.contenders")
+}
+
 // ObserveLink records that the link src→dst was seen transmitting at the
 // given virtual time (the MAC decoded its discovery header).
 func (a *Agent) ObserveLink(src, dst frame.NodeID, now time.Duration) {
+	a.mHeaders.Inc()
 	a.seen[Link{Src: src, Dst: dst}] = now
 }
 
@@ -116,6 +150,16 @@ const DefaultLinkMaxAge = 500 * time.Millisecond
 // testbed implementation, which raises the validated exposed terminal's CCA
 // threshold so its transmissions proceed regardless of the ongoing one.
 func (a *Agent) PersistentConcurrencyOK(myDst frame.NodeID, now time.Duration) bool {
+	ok := a.persistentConcurrencyOK(myDst, now)
+	if ok {
+		a.mPersistOK.Inc()
+	} else {
+		a.mPersistNo.Inc()
+	}
+	return ok
+}
+
+func (a *Agent) persistentConcurrencyOK(myDst frame.NodeID, now time.Duration) bool {
 	active := 0
 	for l, at := range a.seen {
 		if now-at > DefaultLinkMaxAge {
@@ -157,12 +201,20 @@ const concurrencyFloorFactor = 0.5
 func (a *Agent) Allowed(ongoingSrc, ongoingDst, myDst frame.NodeID) bool {
 	ongoing := Link{Src: ongoingSrc, Dst: ongoingDst}
 	if allowed, found := a.cmap.Lookup(ongoing, myDst); found {
+		a.mHit.Inc()
 		return allowed
 	}
+	a.mMiss.Inc()
 	allowed := a.model.Coexist(a.locs, ongoingSrc, ongoingDst, a.id, myDst) &&
 		a.rateEconomical(a.id, myDst, ongoingSrc) &&
 		a.rateEconomical(ongoingSrc, ongoingDst, a.id)
 	a.cmap.Insert(ongoing, myDst, allowed)
+	if allowed {
+		a.mAllow.Inc()
+	} else {
+		a.mDeny.Inc()
+	}
+	a.mMapSize.Set(float64(a.cmap.Len()))
 	return allowed
 }
 
@@ -215,7 +267,11 @@ func (a *Agent) fastestAlone(d float64) phy.Rate {
 }
 
 // OnPositionsChanged invalidates cached verdicts after location updates.
-func (a *Agent) OnPositionsChanged() { a.cmap.Invalidate() }
+func (a *Agent) OnPositionsChanged() {
+	a.cmap.Invalidate()
+	a.mInvalidate.Inc()
+	a.mMapSize.Set(0)
+}
 
 // SetRates installs the PHY rate set used by CapRate. The slice is copied.
 func (a *Agent) SetRates(rates []phy.Rate) {
@@ -270,8 +326,11 @@ func (a *Agent) slowestRate() phy.Rate {
 // CountEnvironment returns the number of potential hidden terminals and
 // contending nodes of the link a.id→dst among the candidate senders.
 func (a *Agent) CountEnvironment(dst frame.NodeID, candidates []frame.NodeID) (hidden, contenders int) {
-	return len(a.model.HiddenTerminals(a.locs, a.id, dst, candidates)),
-		len(a.model.Contenders(a.locs, a.id, candidates))
+	hidden = len(a.model.HiddenTerminals(a.locs, a.id, dst, candidates))
+	contenders = len(a.model.Contenders(a.locs, a.id, candidates))
+	a.mEnvHidden.Set(float64(hidden))
+	a.mEnvCont.Set(float64(contenders))
+	return hidden, contenders
 }
 
 // Adaptation returns the goodput-optimal (contention window, packet size)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/arq"
 	"repro/internal/frame"
 	"repro/internal/mac"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -48,6 +49,8 @@ type Endpoint struct {
 	bySrc     map[frame.NodeID]*stats.GoodputMeter
 	onDeliver func(f frame.Frame)
 	onControl func(f frame.Frame, rssiDBm float64)
+
+	metrics *metrics.Registry
 }
 
 // NewEndpoint wires an endpoint onto the MAC (installing its hooks) with the
@@ -78,6 +81,19 @@ func NewEndpoint(eng *sim.Engine, m *mac.MAC, window int) *Endpoint {
 // headers, location beacons); the CO-MAP agent uses it to track active
 // links.
 func (e *Endpoint) OnControl(fn func(f frame.Frame, rssiDBm float64)) { e.onControl = fn }
+
+// SetMetrics attaches a telemetry registry: the ARQ senders of streams
+// started afterwards record their window occupancy and delivery latencies
+// into it (see arq.Sender.Instrument). Call before wiring traffic.
+func (e *Endpoint) SetMetrics(reg *metrics.Registry) { e.metrics = reg }
+
+// instrument wires the endpoint's registry into a freshly created sender.
+func (e *Endpoint) instrument(s *arq.Sender) *arq.Sender {
+	if e.metrics != nil {
+		s.Instrument(e.metrics, e.eng.Now)
+	}
+	return s
+}
 
 // MAC returns the underlying MAC.
 func (e *Endpoint) MAC() *mac.MAC { return e.m }
@@ -127,7 +143,7 @@ func (e *Endpoint) OnDeliver(fn func(f frame.Frame)) { e.onDeliver = fn }
 func (e *Endpoint) StartStream(dst frame.NodeID, payloadFn func() int) {
 	e.streams = append(e.streams, &stream{
 		dst:       dst,
-		send:      arq.NewSender(e.window, 0),
+		send:      e.instrument(arq.NewSender(e.window, 0)),
 		payloadFn: payloadFn,
 		active:    true,
 	})
@@ -141,7 +157,7 @@ func (e *Endpoint) StartCBRStream(dst frame.NodeID, payloadFn func() int, bitsPe
 	credit := 0.0
 	s := &stream{
 		dst:        dst,
-		send:       arq.NewSender(e.window, 0),
+		send:       e.instrument(arq.NewSender(e.window, 0)),
 		payloadFn:  payloadFn,
 		credit:     &credit,
 		creditRate: bitsPerSec / 8,

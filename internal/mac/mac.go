@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/frame"
+	"repro/internal/metrics"
 	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/sim"
@@ -117,6 +118,10 @@ type Config struct {
 	ETDeltaDBm float64
 	// Rates selects transmit rates; nil uses the PHY's lowest rate.
 	Rates RateSelector
+	// Metrics, when set, receives the MAC's telemetry: the "mac.access_latency"
+	// enqueue→ACK timing and the "mac" airtime state clock whose states
+	// (tx/wait/busy/nav/defer/backoff/idle) partition the run duration.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -163,8 +168,11 @@ type MAC struct {
 	hooks Hooks
 	stat  *stats.Counter
 
-	queue   []frame.Frame
-	retries int
+	queue []frame.Frame
+	// queuedAt mirrors queue with each frame's enqueue time, feeding the
+	// access-latency timing.
+	queuedAt []time.Duration
+	retries  int
 	cw      int
 	counter int
 	st      phase
@@ -199,6 +207,10 @@ type MAC struct {
 	// transmissions of one ET by disabling its carrier sense with a high CCA
 	// threshold", §VI-B) until the agent revokes it.
 	persistent bool
+
+	accessLatency *metrics.Timing
+	dropLatency   *metrics.Timing
+	air           *metrics.StateClock
 }
 
 var _ channel.Listener = (*MAC)(nil)
@@ -218,8 +230,41 @@ func New(eng *sim.Engine, tr *channel.Transceiver, cfg Config) *MAC {
 		cw:      0,
 	}
 	m.cw = m.initialCW()
+	// Nil-safe instruments: with no registry these stay nil and every
+	// recording below is a no-op.
+	m.accessLatency = cfg.Metrics.Timing("mac.access_latency")
+	m.dropLatency = cfg.Metrics.Timing("mac.drop_latency")
+	m.air = cfg.Metrics.StateClock("mac", eng.Now, "idle")
 	return m
 }
+
+// airtimeState derives the current airtime-accounting state. Priority
+// matters: a transmitting radio is "tx" whatever the access phase, a busy
+// medium masks a frozen backoff, and the DIFS/EIFS wait is split out from
+// the slot countdown so defer time is visible separately.
+func (m *MAC) airtimeState() string {
+	switch {
+	case m.tr.Transmitting():
+		return "tx"
+	case m.st == phaseWaitAck || m.st == phaseWaitCTS || m.ackPending:
+		return "wait"
+	case m.busy:
+		return "busy"
+	case m.navActive:
+		return "nav"
+	case m.st == phaseAccess:
+		if m.difsEv != nil {
+			return "defer"
+		}
+		return "backoff"
+	default:
+		return "idle"
+	}
+}
+
+// touchAir re-derives the airtime state; called after every transition that
+// can change it.
+func (m *MAC) touchAir() { m.air.Set(m.airtimeState()) }
 
 func itoa(v int) string {
 	if v == 0 {
@@ -290,9 +335,11 @@ func (m *MAC) Enqueue(f frame.Frame) error {
 	}
 	f.Src = m.ID()
 	m.queue = append(m.queue, f)
+	m.queuedAt = append(m.queuedAt, m.eng.Now())
 	if m.st == phaseIdle && !m.ackPending {
 		m.startAccess()
 	}
+	m.touchAir()
 	return nil
 }
 
@@ -335,6 +382,7 @@ func (m *MAC) SetPersistentConcurrent(on bool) {
 	}
 	m.persistent = on
 	m.reevaluateAccess()
+	m.touchAir()
 }
 
 // PersistentConcurrent reports the current persistent-concurrency state.
@@ -355,8 +403,10 @@ func (m *MAC) setNAV(d time.Duration) {
 		m.navEv = nil
 		m.navActive = false
 		m.reevaluateAccess()
+		m.touchAir()
 	})
 	m.reevaluateAccess()
+	m.touchAir()
 }
 
 func (m *MAC) cancelAccessTimers() {
@@ -373,6 +423,7 @@ func (m *MAC) cancelAccessTimers() {
 func (m *MAC) scheduleDefer() {
 	m.cancelAccessTimers()
 	if m.st != phaseAccess || !m.channelClear() {
+		m.touchAir()
 		return
 	}
 	d := m.cfg.PHY.DIFS()
@@ -380,6 +431,7 @@ func (m *MAC) scheduleDefer() {
 		d = m.cfg.PHY.EIFS()
 	}
 	m.difsEv = m.eng.After(d, m.onDeferComplete)
+	m.touchAir()
 }
 
 func (m *MAC) onDeferComplete() {
@@ -390,6 +442,7 @@ func (m *MAC) onDeferComplete() {
 		return
 	}
 	m.slotEv = m.eng.After(m.cfg.PHY.SlotTime, m.onSlot)
+	m.touchAir()
 }
 
 func (m *MAC) onSlot() {
@@ -458,10 +511,12 @@ func (m *MAC) transmit(f frame.Frame, r phy.Rate) {
 		m.counter = -1
 		m.startAccess()
 	}
+	m.touchAir()
 }
 
 // TransmitDone implements channel.Listener.
 func (m *MAC) TransmitDone(f frame.Frame) {
+	defer m.touchAir()
 	switch {
 	case f.Kind == frame.RTS && m.st == phaseTxRTS:
 		m.st = phaseWaitCTS
@@ -495,6 +550,7 @@ func (m *MAC) ctsTimeout() time.Duration {
 
 // onCTSTimeout handles a missing CTS: back off and retry like a collision.
 func (m *MAC) onCTSTimeout() {
+	defer m.touchAir()
 	m.ctsTimeoutEv = nil
 	m.stat.Inc("cts.timeout")
 	m.retries++
@@ -534,9 +590,11 @@ func (m *MAC) resumeAfterAck() {
 			m.startAccess()
 		}
 	}
+	m.touchAir()
 }
 
 func (m *MAC) onAckTimeout() {
+	defer m.touchAir()
 	m.ackTimeoutEv = nil
 	m.stat.Inc("ack.timeout")
 	cur := m.queue[0]
@@ -564,6 +622,13 @@ func (m *MAC) onAckTimeout() {
 func (m *MAC) completeCurrent(acked bool) {
 	cur := m.queue[0]
 	m.queue = m.queue[1:]
+	elapsed := m.eng.Now() - m.queuedAt[0]
+	m.queuedAt = m.queuedAt[1:]
+	if acked {
+		m.accessLatency.Observe(elapsed)
+	} else {
+		m.dropLatency.Observe(elapsed)
+	}
 	m.retries = 0
 	m.cw = m.initialCW()
 	m.counter = -1
@@ -574,12 +639,14 @@ func (m *MAC) completeCurrent(acked bool) {
 	if len(m.queue) > 0 && !m.ackPending {
 		m.startAccess()
 	}
+	m.touchAir()
 }
 
 // --- reception ----------------------------------------------------------
 
 // FrameReceived implements channel.Listener.
 func (m *MAC) FrameReceived(f frame.Frame, ok bool, rssi float64) {
+	defer m.touchAir()
 	if !ok {
 		m.stat.Inc("rx.corrupt")
 		m.eifs = true
@@ -666,8 +733,11 @@ func (m *MAC) promoteConcurrent(ongoingSrc, ongoingDst frame.NodeID) bool {
 		if !m.cfg.Concurrency.Allowed(ongoingSrc, ongoingDst, f.Dst) {
 			continue
 		}
+		at := m.queuedAt[i]
 		copy(m.queue[1:i+1], m.queue[:i])
 		m.queue[0] = f
+		copy(m.queuedAt[1:i+1], m.queuedAt[:i])
+		m.queuedAt[0] = at
 		return true
 	}
 	return false
@@ -678,6 +748,7 @@ func (m *MAC) scheduleCTS(rts frame.Frame) {
 	cts := frame.Frame{Kind: frame.CTS, Src: m.ID(), Dst: rts.Src, PayloadBytes: rts.PayloadBytes}
 	m.ackPending = true
 	m.cancelAccessTimers()
+	m.touchAir()
 	m.eng.After(m.cfg.PHY.SIFS, func() {
 		if m.tr.Transmitting() {
 			m.ackPending = false
@@ -689,6 +760,7 @@ func (m *MAC) scheduleCTS(rts frame.Frame) {
 			m.ackPending = false
 			m.resumeAfterAck()
 		}
+		m.touchAir()
 	})
 }
 
@@ -770,6 +842,7 @@ func (m *MAC) scheduleAck(data frame.Frame) {
 	}
 	m.ackPending = true
 	m.cancelAccessTimers()
+	m.touchAir()
 	m.eng.After(m.cfg.PHY.SIFS, func() {
 		if m.tr.Transmitting() {
 			// Should not happen (half-duplex discipline), but never wedge.
@@ -787,10 +860,12 @@ func (m *MAC) transmitAck(ack frame.Frame) {
 		m.ackPending = false
 		m.resumeAfterAck()
 	}
+	m.touchAir()
 }
 
 // EnergyChanged implements channel.Listener.
 func (m *MAC) EnergyChanged(aggDBm float64) {
+	defer m.touchAir()
 	oldMW := m.energyMW
 	newMW := 0.0
 	if !math.IsInf(aggDBm, -1) {

@@ -1,0 +1,484 @@
+// Package metrics is the simulator's unified telemetry layer: a
+// zero-dependency registry of named counters, gauges, value distributions,
+// fixed-bucket duration histograms and state clocks, plus a time-sliced
+// series sampler driven by sim.Engine events (sampler.go).
+//
+// The package follows the simulator's single-goroutine discipline — no
+// locks, no atomics — and instruments never feed back into protocol
+// behaviour, so attaching them cannot perturb a deterministic run.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge, *Dist,
+// *Timing or *StateClock are no-ops, and a nil *Registry hands out nil
+// instruments. Instrumented code therefore records unconditionally and pays
+// nothing when telemetry is not wired up.
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Counter is a named monotonically increasing event count.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add increments by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a named last-written value.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g != nil {
+		g.v, g.set = g.v+d, true
+	}
+}
+
+// Value returns the current value (0 on a nil or never-set gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Dist is a streaming distribution of unitless values (window occupancy,
+// queue lengths): count, mean, min, max and variance via stats.Online.
+type Dist struct{ o stats.Online }
+
+// Observe records one value.
+func (d *Dist) Observe(x float64) {
+	if d != nil {
+		d.o.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (d *Dist) N() int {
+	if d == nil {
+		return 0
+	}
+	return d.o.N()
+}
+
+// Mean returns the sample mean.
+func (d *Dist) Mean() float64 {
+	if d == nil {
+		return 0
+	}
+	return d.o.Mean()
+}
+
+// Max returns the largest observation.
+func (d *Dist) Max() float64 {
+	if d == nil {
+		return 0
+	}
+	return d.o.Max()
+}
+
+// Timing is a duration distribution: streaming moments, a fixed-bucket
+// histogram (stats.Histogram over seconds) and the raw samples, kept so
+// reports can compute exact percentiles through stats.ECDF.
+type Timing struct {
+	o       stats.Online
+	hist    *stats.Histogram
+	samples []float64 // seconds
+}
+
+// Default histogram range for Registry.Timing: [0, 1s) in 50 bins of 20 ms.
+// Out-of-range samples land in the histogram's Under/Over counts; exact
+// values survive in the raw samples either way.
+const (
+	defaultTimingHi   = time.Second
+	defaultTimingBins = 50
+)
+
+func newTiming(lo, hi time.Duration, bins int) *Timing {
+	return &Timing{hist: stats.NewHistogram(lo.Seconds(), hi.Seconds(), bins)}
+}
+
+// Observe records one duration.
+func (t *Timing) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	s := d.Seconds()
+	t.o.Add(s)
+	t.hist.Add(s)
+	t.samples = append(t.samples, s)
+}
+
+// N returns the number of observations.
+func (t *Timing) N() int {
+	if t == nil {
+		return 0
+	}
+	return t.o.N()
+}
+
+// Mean returns the mean duration.
+func (t *Timing) Mean() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return secondsToDuration(t.o.Mean())
+}
+
+// Max returns the largest observed duration.
+func (t *Timing) Max() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return secondsToDuration(t.o.Max())
+}
+
+// Quantile returns the q-th percentile (nearest rank) over all samples, or 0
+// with no samples.
+func (t *Timing) Quantile(q float64) time.Duration {
+	if t == nil || len(t.samples) == 0 {
+		return 0
+	}
+	v, err := stats.NewECDF(t.samples).Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return secondsToDuration(v)
+}
+
+// Histogram exposes the fixed-bucket histogram (nil on a nil Timing).
+func (t *Timing) Histogram() *stats.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.hist
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// StateClock partitions elapsed virtual time into named states: every Set
+// closes the open interval and charges it to the previous state. By
+// construction the buckets of a snapshot sum to exactly (now - creation
+// time), which is what makes per-station airtime breakdowns auditable.
+type StateClock struct {
+	now   func() time.Duration
+	state string
+	since time.Duration
+	acc   map[string]time.Duration
+}
+
+func newStateClock(now func() time.Duration, initial string) *StateClock {
+	return &StateClock{now: now, state: initial, since: now(), acc: make(map[string]time.Duration)}
+}
+
+// Set transitions to state, charging the time since the last transition to
+// the previous state. Setting the current state is a no-op.
+func (s *StateClock) Set(state string) {
+	if s == nil || state == s.state {
+		return
+	}
+	t := s.now()
+	s.acc[s.state] += t - s.since
+	s.state, s.since = state, t
+}
+
+// State returns the current state ("" on a nil clock).
+func (s *StateClock) State() string {
+	if s == nil {
+		return ""
+	}
+	return s.state
+}
+
+// In returns the total time charged to state, including the open interval if
+// state is current.
+func (s *StateClock) In(state string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := s.acc[state]
+	if state == s.state {
+		d += s.now() - s.since
+	}
+	return d
+}
+
+// Breakdown returns a copy of the per-state totals with the open interval
+// charged up to now. The clock itself is not mutated.
+func (s *StateClock) Breakdown() map[string]time.Duration {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(s.acc)+1)
+	for k, v := range s.acc {
+		out[k] = v
+	}
+	out[s.state] += s.now() - s.since
+	return out
+}
+
+// Registry is a named collection of instruments with get-or-create
+// semantics: asking twice for the same name returns the same instrument, so
+// independent components can share an accumulator.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	dists    map[string]*Dist
+	timings  map[string]*Timing
+	clocks   map[string]*StateClock
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		dists:    make(map[string]*Dist),
+		timings:  make(map[string]*Timing),
+		clocks:   make(map[string]*StateClock),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Dist returns the named distribution, creating it on first use.
+func (r *Registry) Dist(name string) *Dist {
+	if r == nil {
+		return nil
+	}
+	d, ok := r.dists[name]
+	if !ok {
+		d = &Dist{}
+		r.dists[name] = d
+	}
+	return d
+}
+
+// Timing returns the named duration distribution with the default histogram
+// buckets, creating it on first use.
+func (r *Registry) Timing(name string) *Timing {
+	return r.TimingBuckets(name, 0, defaultTimingHi, defaultTimingBins)
+}
+
+// TimingBuckets returns the named duration distribution with an explicit
+// histogram range [lo, hi) split into bins. The range only applies on
+// creation; later calls return the existing instrument.
+func (r *Registry) TimingBuckets(name string, lo, hi time.Duration, bins int) *Timing {
+	if r == nil {
+		return nil
+	}
+	t, ok := r.timings[name]
+	if !ok {
+		t = newTiming(lo, hi, bins)
+		r.timings[name] = t
+	}
+	return t
+}
+
+// StateClock returns the named state clock, creating it on first use in the
+// given initial state with now as its time source.
+func (r *Registry) StateClock(name string, now func() time.Duration, initial string) *StateClock {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.clocks[name]
+	if !ok {
+		c = newStateClock(now, initial)
+		r.clocks[name] = c
+	}
+	return c
+}
+
+// --- exposition -----------------------------------------------------------
+
+// Snapshot is a JSON-marshalable copy of a registry's instruments. Empty
+// instrument classes are omitted.
+type Snapshot struct {
+	Counters map[string]int64          `json:"counters,omitempty"`
+	Gauges   map[string]float64        `json:"gauges,omitempty"`
+	Dists    map[string]DistSnapshot   `json:"dists,omitempty"`
+	Timings  map[string]TimingSnapshot `json:"timings,omitempty"`
+	// AirtimeSec maps clock name -> state -> seconds; each clock's states
+	// sum to the elapsed time since the clock was created.
+	AirtimeSec map[string]map[string]float64 `json:"airtime_sec,omitempty"`
+}
+
+// DistSnapshot summarises a Dist.
+type DistSnapshot struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+}
+
+// TimingSnapshot summarises a Timing in milliseconds.
+type TimingSnapshot struct {
+	N      int     `json:"n"`
+	MeanMs float64 `json:"mean_ms"`
+	MinMs  float64 `json:"min_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// Buckets lists the non-empty histogram bins.
+	Buckets []TimingBucket `json:"buckets,omitempty"`
+	// Under/Over count samples outside the histogram range (they are still
+	// part of the moments and percentiles above).
+	Under int `json:"under,omitempty"`
+	Over  int `json:"over,omitempty"`
+}
+
+// TimingBucket is one non-empty histogram bin.
+type TimingBucket struct {
+	LoMs  float64 `json:"lo_ms"`
+	HiMs  float64 `json:"hi_ms"`
+	Count int     `json:"count"`
+}
+
+// Snapshot captures every instrument of the registry. A nil registry yields
+// a zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.dists) > 0 {
+		s.Dists = make(map[string]DistSnapshot, len(r.dists))
+		for n, d := range r.dists {
+			s.Dists[n] = DistSnapshot{
+				N: d.o.N(), Mean: d.o.Mean(), Min: d.o.Min(), Max: d.o.Max(), StdDev: d.o.StdDev(),
+			}
+		}
+	}
+	if len(r.timings) > 0 {
+		s.Timings = make(map[string]TimingSnapshot, len(r.timings))
+		for n, t := range r.timings {
+			s.Timings[n] = t.snapshot()
+		}
+	}
+	if len(r.clocks) > 0 {
+		s.AirtimeSec = make(map[string]map[string]float64, len(r.clocks))
+		for n, c := range r.clocks {
+			states := make(map[string]float64)
+			for st, d := range c.Breakdown() {
+				states[st] = d.Seconds()
+			}
+			s.AirtimeSec[n] = states
+		}
+	}
+	return s
+}
+
+func (t *Timing) snapshot() TimingSnapshot {
+	snap := TimingSnapshot{N: t.o.N()}
+	if t.o.N() == 0 {
+		return snap
+	}
+	const ms = 1e3
+	snap.MeanMs = t.o.Mean() * ms
+	snap.MinMs = t.o.Min() * ms
+	snap.MaxMs = t.o.Max() * ms
+	e := stats.NewECDF(t.samples)
+	q := func(p float64) float64 {
+		v, err := e.Quantile(p)
+		if err != nil {
+			return 0
+		}
+		return v * ms
+	}
+	snap.P50Ms, snap.P90Ms, snap.P99Ms = q(0.5), q(0.9), q(0.99)
+	snap.Under, snap.Over = t.hist.Under, t.hist.Over
+	for i, c := range t.hist.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := t.hist.Lo + float64(i)*(t.hist.Hi-t.hist.Lo)/float64(len(t.hist.Counts))
+		hi := t.hist.Lo + float64(i+1)*(t.hist.Hi-t.hist.Lo)/float64(len(t.hist.Counts))
+		snap.Buckets = append(snap.Buckets, TimingBucket{LoMs: lo * ms, HiMs: hi * ms, Count: c})
+	}
+	return snap
+}
+
+// CounterNames returns the registered counter names in sorted order.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

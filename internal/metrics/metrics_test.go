@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(2)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %v", g.Value())
+	}
+	d := r.Dist("d")
+	d.Observe(5)
+	if d.N() != 0 || d.Mean() != 0 {
+		t.Fatal("nil dist recorded")
+	}
+	tm := r.Timing("t")
+	tm.Observe(time.Millisecond)
+	if tm.N() != 0 || tm.Quantile(0.5) != 0 {
+		t.Fatal("nil timing recorded")
+	}
+	sc := r.StateClock("c", func() time.Duration { return 0 }, "idle")
+	sc.Set("busy")
+	if sc.State() != "" || sc.In("busy") != 0 || sc.Breakdown() != nil {
+		t.Fatal("nil state clock recorded")
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Timings != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	a.Inc()
+	if got := r.Counter("a").Value(); got != 1 {
+		t.Fatalf("counter not shared: %d", got)
+	}
+	if r.Gauge("g") != r.Gauge("g") || r.Dist("d") != r.Dist("d") || r.Timing("t") != r.Timing("t") {
+		t.Fatal("instruments not shared by name")
+	}
+	names := r.CounterNames()
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestTimingPercentiles(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timing("lat")
+	for i := 1; i <= 100; i++ {
+		tm.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if tm.N() != 100 {
+		t.Fatalf("N = %d", tm.N())
+	}
+	if got := tm.Quantile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := tm.Quantile(0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := tm.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	snap := tm.snapshot()
+	if snap.P50Ms != 50 || snap.P90Ms != 90 || snap.P99Ms != 99 {
+		t.Fatalf("snapshot percentiles: %+v", snap)
+	}
+	total := snap.Under + snap.Over
+	for _, b := range snap.Buckets {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Fatalf("bucket counts sum to %d", total)
+	}
+}
+
+func TestStateClockSumsToElapsed(t *testing.T) {
+	now := time.Duration(0)
+	clock := func() time.Duration { return now }
+	r := NewRegistry()
+	sc := r.StateClock("mac", clock, "idle")
+
+	now = 10 * time.Millisecond
+	sc.Set("tx")
+	now = 25 * time.Millisecond
+	sc.Set("idle")
+	now = 30 * time.Millisecond
+	sc.Set("idle") // no-op transition
+	now = 40 * time.Millisecond
+
+	if got := sc.In("tx"); got != 15*time.Millisecond {
+		t.Fatalf("tx = %v", got)
+	}
+	if got := sc.In("idle"); got != 25*time.Millisecond {
+		t.Fatalf("idle = %v", got)
+	}
+	var total time.Duration
+	for _, d := range sc.Breakdown() {
+		total += d
+	}
+	if total != now {
+		t.Fatalf("breakdown sums to %v, elapsed %v", total, now)
+	}
+	// Breakdown must not mutate the clock.
+	if got := sc.In("idle"); got != 25*time.Millisecond {
+		t.Fatalf("idle after Breakdown = %v", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx").Add(7)
+	r.Gauge("cw").Set(32)
+	r.Dist("occ").Observe(3)
+	r.Timing("lat").Observe(2 * time.Millisecond)
+	now := time.Duration(0)
+	r.StateClock("mac", func() time.Duration { return now }, "idle")
+	now = 5 * time.Millisecond
+
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Counters["tx"] != 7 || back.Gauges["cw"] != 32 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if math.Abs(back.AirtimeSec["mac"]["idle"]-0.005) > 1e-9 {
+		t.Fatalf("airtime: %+v", back.AirtimeSec)
+	}
+}
+
+func TestSamplerTicks(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSampler(eng, 100*time.Millisecond)
+	v := 0.0
+	ser := s.Track("v", func() float64 { return v })
+	ticks := 0
+	s.OnTick(func(time.Duration) { ticks++; v += 1 })
+	s.Start()
+	s.Start() // idempotent
+	eng.RunUntil(time.Second)
+	if ticks != 10 || ser.Len() != 10 {
+		t.Fatalf("ticks = %d, samples = %d", ticks, ser.Len())
+	}
+	if ser.At[0] != 100*time.Millisecond || ser.At[9] != time.Second {
+		t.Fatalf("sample times: %v", ser.At)
+	}
+	// Probe runs before OnTick: first sample sees v=0, last sees v=9.
+	if ser.Values[0] != 0 || ser.Values[9] != 9 {
+		t.Fatalf("sample values: %v", ser.Values)
+	}
+	pts := ser.Points()
+	if pts[9].TSec != 1.0 || pts[9].V != 9 {
+		t.Fatalf("points: %+v", pts[9])
+	}
+	s.Stop()
+	eng.RunUntil(2 * time.Second)
+	if ser.Len() != 10 {
+		t.Fatalf("sampler kept ticking after Stop: %d", ser.Len())
+	}
+}

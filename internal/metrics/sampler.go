@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SamplePoint is one (time, value) observation of a Series.
+type SamplePoint struct {
+	TSec float64 `json:"t_sec"`
+	V    float64 `json:"v"`
+}
+
+// Series is a time series filled in by a Sampler at fixed intervals.
+type Series struct {
+	Name   string
+	At     []time.Duration
+	Values []float64
+}
+
+// Len returns the number of samples taken so far.
+func (s *Series) Len() int { return len(s.At) }
+
+// Points converts the series to JSON-friendly sample points.
+func (s *Series) Points() []SamplePoint {
+	pts := make([]SamplePoint, len(s.At))
+	for i := range s.At {
+		pts[i] = SamplePoint{TSec: s.At[i].Seconds(), V: s.Values[i]}
+	}
+	return pts
+}
+
+// Sampler periodically evaluates registered probe functions on the
+// simulation engine's virtual clock. Ticks fire at interval, 2·interval, …
+// relative to Start; probes run inside the simulation loop and must not
+// mutate protocol state.
+type Sampler struct {
+	eng      *sim.Engine
+	interval time.Duration
+	names    []string
+	probes   []func() float64
+	series   []*Series
+	onTick   []func(now time.Duration)
+	ev       *sim.Event
+}
+
+// NewSampler creates a sampler on eng firing every interval (which must be
+// positive; NewSampler panics otherwise, as a zero interval would wedge the
+// event loop).
+func NewSampler(eng *sim.Engine, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		panic("metrics: non-positive sampler interval")
+	}
+	return &Sampler{eng: eng, interval: interval}
+}
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Track registers a probe evaluated on every tick; its values accumulate in
+// the returned Series. Register before Start.
+func (s *Sampler) Track(name string, probe func() float64) *Series {
+	ser := &Series{Name: name}
+	s.names = append(s.names, name)
+	s.probes = append(s.probes, probe)
+	s.series = append(s.series, ser)
+	return ser
+}
+
+// OnTick registers a callback invoked (after the probes) on every tick.
+func (s *Sampler) OnTick(fn func(now time.Duration)) {
+	s.onTick = append(s.onTick, fn)
+}
+
+// Start schedules the first tick one interval from now. Starting an already
+// started sampler is a no-op.
+func (s *Sampler) Start() {
+	if s.ev != nil {
+		return
+	}
+	s.schedule()
+}
+
+// Stop cancels the pending tick.
+func (s *Sampler) Stop() {
+	if s.ev != nil {
+		s.eng.Cancel(s.ev)
+		s.ev = nil
+	}
+}
+
+func (s *Sampler) schedule() {
+	s.ev = s.eng.After(s.interval, func() {
+		s.ev = nil
+		now := s.eng.Now()
+		for i, probe := range s.probes {
+			s.series[i].At = append(s.series[i].At, now)
+			s.series[i].Values = append(s.series[i].Values, probe())
+		}
+		for _, fn := range s.onTick {
+			fn(now)
+		}
+		s.schedule()
+	})
+}

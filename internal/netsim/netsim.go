@@ -18,6 +18,7 @@ import (
 	"repro/internal/loc"
 	"repro/internal/locx"
 	"repro/internal/mac"
+	"repro/internal/metrics"
 	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/rate"
@@ -184,6 +185,10 @@ type Station struct {
 	Endpoint *comap.Endpoint // nil for DCF
 	Peer     *traffic.Peer   // nil for CO-MAP
 	Locx     *locx.Node      // nil unless Options.InBandLocation
+	// Metrics is the station's telemetry registry: MAC access latency and
+	// airtime clock, CO-MAP agent counters and ARQ instrumentation all land
+	// here. Always non-nil after Build.
+	Metrics *metrics.Registry
 }
 
 // providerRef lets the CO-MAP agent's location provider be swapped after
@@ -214,8 +219,16 @@ type Network struct {
 	Opts     Options
 	Stations map[frame.NodeID]*Station
 	Locs     *loc.Registry
+	// MediumMetrics holds the channel-level telemetry (busy/idle airtime,
+	// collision overlaps). Always non-nil after Build.
+	MediumMetrics *metrics.Registry
 
 	providers map[frame.NodeID]*providerRef
+
+	// Goodput slicing (see StartSlicing) and engine self-profiling.
+	sampler     *metrics.Sampler
+	sliceSeries map[topology.Flow]*metrics.Series
+	wall        time.Duration
 }
 
 // Build assembles the network for the given topology and options.
@@ -244,13 +257,15 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		}
 	}
 	n := &Network{
-		Eng:       eng,
-		Medium:    medium,
-		Top:       top,
-		Opts:      opts,
-		Stations:  make(map[frame.NodeID]*Station, len(top.Nodes)),
-		providers: make(map[frame.NodeID]*providerRef, len(top.Nodes)),
+		Eng:           eng,
+		Medium:        medium,
+		Top:           top,
+		Opts:          opts,
+		Stations:      make(map[frame.NodeID]*Station, len(top.Nodes)),
+		MediumMetrics: metrics.NewRegistry(),
+		providers:     make(map[frame.NodeID]*providerRef, len(top.Nodes)),
 	}
+	medium.SetMetrics(n.MediumMetrics)
 
 	// Location service: every node reports its position once at start-up;
 	// the update threshold follows the paper's rule (half the tolerable
@@ -281,12 +296,14 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 			minstrel.SetFrameTime(frameTimeEstimator(opts))
 			cfg.Rates = minstrel
 		}
-		st := &Station{Node: node}
+		st := &Station{Node: node, Metrics: metrics.NewRegistry()}
+		cfg.Metrics = st.Metrics
 		if opts.Protocol == ProtocolComap {
 			provider := &providerRef{p: n.Locs}
 			n.providers[node.ID] = provider
 			agent := comap.NewAgent(node.ID, opts.ComapModel, provider)
 			agent.SetRates(opts.PHY.Rates)
+			agent.SetMetrics(st.Metrics)
 			cfg.SendDiscoveryHeader = opts.Header == HeaderFrame
 			cfg.NoRetransmit = true
 			cfg.Concurrency = agent
@@ -298,6 +315,7 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		st.MAC = m
 		if opts.Protocol == ProtocolComap {
 			st.Endpoint = comap.NewEndpoint(eng, m, opts.SRWindow)
+			st.Endpoint.SetMetrics(st.Metrics)
 		} else {
 			st.Peer = traffic.NewPeer(eng, m)
 		}
@@ -484,9 +502,40 @@ func (r *Results) MeanPerFlow() float64 {
 	return r.Total() / float64(len(r.Flows))
 }
 
+// StartSlicing schedules a goodput sampler that records each flow's
+// cumulative delivered bytes every interval, so reports can expose goodput
+// over time slices. Call after Build and before Run; a non-positive interval
+// is a no-op. The sampler only reads meters — it cannot perturb the run.
+func (n *Network) StartSlicing(interval time.Duration) {
+	if interval <= 0 || n.sampler != nil {
+		return
+	}
+	n.sampler = metrics.NewSampler(n.Eng, interval)
+	n.sliceSeries = make(map[topology.Flow]*metrics.Series, len(n.Top.Flows))
+	for _, f := range n.Top.Flows {
+		meter := n.Stations[f.Dst].deliveredFrom(f.Src)
+		n.sliceSeries[f] = n.sampler.Track(
+			fmt.Sprintf("flow.%d-%d.bytes", f.Src, f.Dst),
+			func() float64 { return float64(meter.Bytes()) },
+		)
+	}
+	n.sampler.Start()
+}
+
+// SliceInterval returns the goodput sampling interval (0 when slicing is
+// off).
+func (n *Network) SliceInterval() time.Duration {
+	if n.sampler == nil {
+		return 0
+	}
+	return n.sampler.Interval()
+}
+
 // Run executes the scenario for Opts.Duration and returns per-flow goodput.
 func (n *Network) Run() *Results {
+	start := time.Now()
 	n.Eng.RunUntil(n.Opts.Duration)
+	n.wall = time.Since(start)
 	res := &Results{Duration: n.Opts.Duration}
 	for _, f := range n.Top.Flows {
 		sink := n.Stations[f.Dst]

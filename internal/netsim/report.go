@@ -1,0 +1,187 @@
+package netsim
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// Report is the machine-readable record of one scenario run: per-flow
+// goodput (optionally sliced over time), per-station protocol counters,
+// MAC access-latency percentiles, airtime breakdowns and engine
+// self-profiling. It is what `comap-sim -report` emits and what experiment
+// artifacts embed.
+type Report struct {
+	Topology    string  `json:"topology"`
+	Protocol    string  `json:"protocol"`
+	Seed        int64   `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+	// SliceSec is the goodput sampling interval (absent when slicing off).
+	SliceSec float64          `json:"slice_sec,omitempty"`
+	Engine   EngineReport     `json:"engine"`
+	Summary  Summary          `json:"summary"`
+	Flows    []FlowReport     `json:"flows"`
+	Stations []StationReport  `json:"stations"`
+	Medium   metrics.Snapshot `json:"medium"`
+}
+
+// EngineReport is the simulator's self-profiling block.
+type EngineReport struct {
+	EventsFired  uint64  `json:"events_fired"`
+	PendingAtEnd int     `json:"pending_at_end"`
+	WallSec      float64 `json:"wall_sec"`
+	// EventsPerSec is the wall-clock event throughput of the run (0 when the
+	// wall time is unmeasurably small).
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// FlowReport is one flow's goodput, with its time slices when slicing was
+// enabled.
+type FlowReport struct {
+	Src        frame.NodeID   `json:"src"`
+	Dst        frame.NodeID   `json:"dst"`
+	GoodputBps float64        `json:"goodput_bps"`
+	Slices     []GoodputSlice `json:"slices,omitempty"`
+}
+
+// GoodputSlice is the goodput of one flow over one time slice.
+type GoodputSlice struct {
+	StartSec   float64 `json:"start_sec"`
+	EndSec     float64 `json:"end_sec"`
+	Bytes      int64   `json:"bytes"`
+	GoodputBps float64 `json:"goodput_bps"`
+}
+
+// StationReport is one station's telemetry snapshot.
+type StationReport struct {
+	ID   frame.NodeID `json:"id"`
+	IsAP bool         `json:"is_ap,omitempty"`
+	// Counters is the MAC's protocol counter set (tx.data, ack.timeout, …).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// LatencyMs summarises the MAC access latency (enqueue→ACK) of frames
+	// that completed successfully; absent when none did.
+	LatencyMs *LatencyMs `json:"latency_ms,omitempty"`
+	// AirtimeSec partitions the run duration into the MAC's airtime states
+	// (tx/wait/busy/nav/defer/backoff/idle); the values sum to the run
+	// duration by construction.
+	AirtimeSec map[string]float64 `json:"airtime_sec,omitempty"`
+	// Metrics is the full registry snapshot (CO-MAP agent counters, ARQ
+	// instrumentation, timing histograms, …).
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// LatencyMs is a latency distribution summary in milliseconds.
+type LatencyMs struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Report assembles the run report from the network's telemetry and the
+// per-flow results. Call after Run.
+func (n *Network) Report(res *Results) *Report {
+	r := &Report{
+		Topology:    n.Top.Name,
+		Protocol:    n.Opts.Protocol.String(),
+		Seed:        n.Opts.Seed,
+		DurationSec: n.Opts.Duration.Seconds(),
+		SliceSec:    n.SliceInterval().Seconds(),
+		Summary:     n.Summarize(),
+		Medium:      n.MediumMetrics.Snapshot(),
+	}
+	r.Engine = EngineReport{
+		EventsFired:  n.Eng.EventsFired(),
+		PendingAtEnd: n.Eng.Pending(),
+		WallSec:      n.wall.Seconds(),
+	}
+	if n.wall > 0 {
+		r.Engine.EventsPerSec = float64(r.Engine.EventsFired) / n.wall.Seconds()
+	}
+
+	for _, fr := range res.Flows {
+		fl := FlowReport{Src: fr.Flow.Src, Dst: fr.Flow.Dst, GoodputBps: fr.GoodputBps}
+		fl.Slices = n.flowSlices(fr.Flow)
+		r.Flows = append(r.Flows, fl)
+	}
+	sort.Slice(r.Flows, func(i, j int) bool {
+		if r.Flows[i].Src != r.Flows[j].Src {
+			return r.Flows[i].Src < r.Flows[j].Src
+		}
+		return r.Flows[i].Dst < r.Flows[j].Dst
+	})
+
+	ids := make([]frame.NodeID, 0, len(n.Stations))
+	for id := range n.Stations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := n.Stations[id]
+		snap := st.Metrics.Snapshot()
+		sr := StationReport{
+			ID:       id,
+			IsAP:     st.Node.IsAP,
+			Counters: st.MAC.Stats().Snapshot(),
+			Metrics:  snap,
+		}
+		if len(sr.Counters) == 0 {
+			sr.Counters = nil
+		}
+		if lat, ok := snap.Timings["mac.access_latency"]; ok && lat.N > 0 {
+			sr.LatencyMs = &LatencyMs{
+				N: lat.N, Mean: lat.MeanMs, P50: lat.P50Ms, P90: lat.P90Ms, P99: lat.P99Ms, Max: lat.MaxMs,
+			}
+		}
+		sr.AirtimeSec = snap.AirtimeSec["mac"]
+		r.Stations = append(r.Stations, sr)
+	}
+	return r
+}
+
+// flowSlices converts a flow's cumulative byte series into per-slice deltas,
+// closing the final (possibly partial) slice against the end-of-run meter
+// reading.
+func (n *Network) flowSlices(f topology.Flow) []GoodputSlice {
+	s := n.sliceSeries[f]
+	if s == nil {
+		return nil
+	}
+	var out []GoodputSlice
+	prevT := time.Duration(0)
+	prevB := int64(0)
+	emit := func(t time.Duration, b int64) {
+		if t <= prevT {
+			return
+		}
+		out = append(out, GoodputSlice{
+			StartSec:   prevT.Seconds(),
+			EndSec:     t.Seconds(),
+			Bytes:      b - prevB,
+			GoodputBps: float64(b-prevB) * 8 / (t - prevT).Seconds(),
+		})
+		prevT, prevB = t, b
+	}
+	for i := range s.At {
+		emit(s.At[i], int64(s.Values[i]))
+	}
+	// The run may end between ticks; close the partial slice from the final
+	// meter reading.
+	final := n.Stations[f.Dst].deliveredFrom(f.Src).Bytes()
+	emit(n.Opts.Duration, final)
+	return out
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleStep measures raw event throughput: schedule one event,
+// fire it. This is the hot loop of every simulation run.
+func BenchmarkScheduleStep(b *testing.B) {
+	eng := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(eng.Now()+time.Microsecond, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the cancel path (timeouts that never
+// fire: ACK timers, NAV guards) against a populated queue.
+func BenchmarkScheduleCancel(b *testing.B) {
+	eng := New(1)
+	fn := func() {}
+	// A standing queue so cancellation pays realistic heap-fixup costs.
+	for i := 0; i < 256; i++ {
+		eng.Schedule(time.Duration(i)*time.Millisecond+time.Hour, fn)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := eng.Schedule(eng.Now()+time.Second, fn)
+		eng.Cancel(ev)
+	}
+}
+
+// BenchmarkDeepQueueStep measures stepping with many pending events, the
+// regime of large-scale topologies where every station keeps timers armed.
+func BenchmarkDeepQueueStep(b *testing.B) {
+	eng := New(1)
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		eng.Schedule(time.Duration(i)*time.Microsecond+time.Hour, fn)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(eng.Now()+time.Nanosecond, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkRunUntil measures a self-rescheduling event chain driven through
+// RunUntil, the pattern of beacons, credit refills and metric samplers.
+func BenchmarkRunUntil(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := New(1)
+		var tick func()
+		tick = func() { eng.After(time.Millisecond, tick) }
+		eng.After(time.Millisecond, tick)
+		eng.RunUntil(time.Second)
+	}
+}

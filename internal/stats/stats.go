@@ -163,7 +163,9 @@ type Histogram struct {
 	Counts []int
 	Under  int
 	Over   int
-	width  float64
+	// NaN counts rejected not-a-number samples, which belong in no bin.
+	NaN   int
+	width float64
 }
 
 // NewHistogram creates a histogram with the given number of bins over
@@ -179,6 +181,10 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 // Add records one sample.
 func (h *Histogram) Add(x float64) {
 	switch {
+	case math.IsNaN(x):
+		// NaN compares false against both bounds and would index with an
+		// undefined int conversion below.
+		h.NaN++
 	case x < h.Lo:
 		h.Under++
 	case x >= h.Hi:
@@ -194,7 +200,7 @@ func (h *Histogram) Add(x float64) {
 
 // Total returns the number of samples recorded, including out-of-range ones.
 func (h *Histogram) Total() int {
-	t := h.Under + h.Over
+	t := h.Under + h.Over + h.NaN
 	for _, c := range h.Counts {
 		t += c
 	}

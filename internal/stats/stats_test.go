@@ -217,6 +217,30 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramRejectsNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	h.Add(5)
+	if h.NaN != 1 {
+		t.Errorf("NaN = %d, want 1", h.NaN)
+	}
+	for i, c := range h.Counts {
+		want := 0
+		if i == 2 {
+			want = 1
+		}
+		if c != want {
+			t.Errorf("bin %d = %d after NaN, want %d", i, c, want)
+		}
+	}
+	if h.Under != 0 || h.Over != 0 {
+		t.Errorf("NaN leaked into Under/Over: %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 2 {
+		t.Errorf("Total = %d, want 2", h.Total())
+	}
+}
+
 func TestHistogramPanicsOnBadBounds(t *testing.T) {
 	defer func() {
 		if recover() == nil {
