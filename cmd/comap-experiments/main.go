@@ -27,6 +27,7 @@ func main() {
 	topologies := flag.Int("topologies", 0, "override number of Fig. 10 topologies")
 	svg := flag.String("svg", "", "also render each figure as an SVG into this directory")
 	jsonOut := flag.String("json", "results", "write per-figure JSON artifacts into this directory (empty = off)")
+	traceDir := flag.String("trace-dir", "", "write per-run JSONL lifecycle traces into this directory (see comap-trace)")
 	flag.Parse()
 	svgDir = *svg
 	jsonDir = *jsonOut
@@ -44,6 +45,7 @@ func main() {
 	if *topologies > 0 {
 		opts.Topologies = *topologies
 	}
+	opts.TraceDir = *traceDir
 
 	if err := run(strings.ToLower(*fig), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "comap-experiments:", err)

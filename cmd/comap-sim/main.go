@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -31,23 +32,24 @@ func main() {
 
 func run() error {
 	var (
-		topoName   = flag.String("topology", "et", "et | roles | fig7 | large")
-		pos        = flag.Float64("pos", 28, "et: C2 distance from AP1 (m)")
-		roles      = flag.String("roles", "chh", "roles: per-client roles, letters from c/h/i")
-		contenders = flag.Int("contenders", 5, "fig7: number of contenders")
-		hidden     = flag.Int("hidden", 3, "fig7: number of hidden terminals")
-		protocol   = flag.String("protocol", "comap", "dcf | comap")
-		regime     = flag.String("regime", "", "testbed | ns2 (default: testbed for et, ns2 otherwise)")
-		duration   = flag.Duration("duration", 5*time.Second, "simulated duration")
-		seed       = flag.Int64("seed", 1, "random seed")
-		payload    = flag.Int("payload", 0, "payload bytes (0 = regime default)")
-		cbr        = flag.Float64("cbr", 0, "offered load per flow in bits/s (0 = saturated)")
-		posErr     = flag.Float64("poserr", 0, "position error range in meters")
-		cw         = flag.Int("cw", 0, "fixed contention window in slots (0 = regime default)")
-		adapt      = flag.Bool("adapt", true, "comap: enable hidden-terminal packet-size/CW adaptation")
-		tracePath  = flag.String("trace", "", "write a JSONL PHY event trace to this file")
-		reportPath = flag.String("report", "", "write a JSON run report to this file")
-		slice      = flag.Duration("slice", 0, "goodput time-slice interval for the report (0 = no slicing)")
+		topoName    = flag.String("topology", "et", "et | roles | fig7 | large")
+		pos         = flag.Float64("pos", 28, "et: C2 distance from AP1 (m)")
+		roles       = flag.String("roles", "chh", "roles: per-client roles, letters from c/h/i")
+		contenders  = flag.Int("contenders", 5, "fig7: number of contenders")
+		hidden      = flag.Int("hidden", 3, "fig7: number of hidden terminals")
+		protocol    = flag.String("protocol", "comap", "dcf | comap")
+		regime      = flag.String("regime", "", "testbed | ns2 (default: testbed for et, ns2 otherwise)")
+		duration    = flag.Duration("duration", 5*time.Second, "simulated duration")
+		seed        = flag.Int64("seed", 1, "random seed")
+		payload     = flag.Int("payload", 0, "payload bytes (0 = regime default)")
+		cbr         = flag.Float64("cbr", 0, "offered load per flow in bits/s (0 = saturated)")
+		posErr      = flag.Float64("poserr", 0, "position error range in meters")
+		cw          = flag.Int("cw", 0, "fixed contention window in slots (0 = regime default)")
+		adapt       = flag.Bool("adapt", true, "comap: enable hidden-terminal packet-size/CW adaptation")
+		tracePath   = flag.String("trace", "", "write a JSONL frame-lifecycle event trace to this file")
+		traceEnergy = flag.Bool("trace-energy", false, "also trace per-node energy changes (verbose)")
+		reportPath  = flag.String("report", "", "write a JSON run report to this file")
+		slice       = flag.Duration("slice", 0, "goodput time-slice interval for the report (0 = no slicing)")
 	)
 	flag.Parse()
 
@@ -93,12 +95,9 @@ func run() error {
 		opts.FixedCW = *cw
 	}
 
-	n, err := netsim.Build(top, opts)
-	if err != nil {
-		return err
-	}
 	var (
 		traceFile *os.File
+		traceBuf  *bufio.Writer
 		traceW    *trace.Writer
 	)
 	if *tracePath != "" {
@@ -106,17 +105,30 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		traceW = trace.NewWriter(traceFile)
-		trace.Attach(n.Eng, n.Medium, traceW, false)
+		// Traces run to hundreds of thousands of events; buffering turns
+		// per-event writes into large sequential ones.
+		traceBuf = bufio.NewWriterSize(traceFile, 1<<20)
+		traceW = trace.NewWriter(traceBuf)
+		opts.Trace = traceW
+		opts.TraceEnergy = *traceEnergy
+	}
+
+	n, err := netsim.Build(top, opts)
+	if err != nil {
+		return err
 	}
 	n.StartSlicing(*slice)
 	res := n.Run()
 	if traceW != nil {
-		// Surface buffered-write and close failures instead of silently
-		// reporting a truncated trace as success.
+		// Surface buffered-write, flush and close failures instead of
+		// silently reporting a truncated trace as success.
 		if err := traceW.Err(); err != nil {
 			traceFile.Close()
 			return fmt.Errorf("writing trace %s: %w", *tracePath, err)
+		}
+		if err := traceBuf.Flush(); err != nil {
+			traceFile.Close()
+			return fmt.Errorf("flushing trace %s: %w", *tracePath, err)
 		}
 		if err := traceFile.Close(); err != nil {
 			return fmt.Errorf("closing trace %s: %w", *tracePath, err)

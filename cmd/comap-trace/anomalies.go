@@ -1,0 +1,310 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/frame"
+	"repro/internal/trace"
+	"repro/internal/trace/span"
+)
+
+// runAnomalies implements the anomalies subcommand: scan a trace for the
+// protocol pathologies the paper targets — hidden-terminal collisions,
+// retry storms and failed exposed-terminal grants.
+func runAnomalies(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("anomalies", flag.ContinueOnError)
+	fs.SetOutput(w)
+	guard := fs.Int64("guard-us", 20,
+		"slot guard (µs): overlaps starting within it are contender collisions, not HT")
+	storm := fs.Int("storm", 3, "consecutive failed services that count as a retry storm")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := openInput(fs.Args())
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	events, err := loadEvents(in)
+	if err != nil {
+		return err
+	}
+	rep := findAnomalies(events, *guard, *storm)
+	rep.print(w)
+	return nil
+}
+
+// onAir is one reconstructed on-air interval.
+type onAir struct {
+	node           frame.NodeID
+	src, dst       frame.NodeID
+	seq            uint16
+	startUs, endUs int64
+	concurrent     bool // transmitted under an exposed-terminal grant
+}
+
+// htSignature is one hidden-terminal collision: a data frame corrupted at
+// its intended receiver by a transmission that started mid-frame — past the
+// slot guard, so carrier sense at the interferer must have failed (or vice
+// versa: the victim started inside the interferer's frame it could not hear).
+type htSignature struct {
+	atUs       int64
+	victim     linkKey
+	interferer frame.NodeID
+	overlapUs  int64
+	offsetUs   int64 // interferer start − victim start
+}
+
+// stormRecord is one run of consecutive failed services on a link.
+type stormRecord struct {
+	link    linkKey
+	startUs int64
+	length  int
+}
+
+// etFailure is one exposed-terminal-granted service that ended without an
+// ACK: the concurrency validation promised coexistence the channel did not
+// deliver.
+type etFailure struct {
+	link    linkKey
+	atUs    int64
+	reason  string
+	retries int
+}
+
+type anomalyReport struct {
+	guardUs      int64
+	stormLen     int
+	corruptedRx  int
+	slotAligned  int // overlaps within the guard: ordinary contention losses
+	etOverlaps   int // overlaps under an ET grant (reported separately)
+	ht           []htSignature
+	storms       []stormRecord
+	etFails      []etFailure
+	etConcurrent int // spans with at least one ET-concurrent attempt
+}
+
+// findAnomalies runs all detectors over a decoded trace.
+func findAnomalies(events []trace.Event, guardUs int64, stormLen int) *anomalyReport {
+	rep := &anomalyReport{guardUs: guardUs, stormLen: stormLen}
+	intervals := onAirIntervals(events)
+	rep.scanCollisions(events, intervals)
+	rep.scanSpans(span.FromEvents(events))
+	return rep
+}
+
+// onAirIntervals reconstructs every transmission interval from txstart
+// events, tagging intervals transmitted under an exposed-terminal grant via
+// the immediately preceding mac.tx decision.
+func onAirIntervals(events []trace.Event) []onAir {
+	var out []onAir
+	lastConc := make(map[frame.NodeID]bool)
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindTxAttempt:
+			lastConc[e.Node] = e.Concurrent
+		case trace.KindTxStart:
+			out = append(out, onAir{
+				node: e.Node, src: e.Src, dst: e.Dst, seq: e.SeqNo(),
+				startUs:    e.AtMicros,
+				endUs:      e.AtMicros + e.DurUs,
+				concurrent: e.FrameKind == "DATA" && lastConc[e.Node],
+			})
+		}
+	}
+	return out
+}
+
+// scanCollisions classifies every corrupted data reception at its intended
+// destination by the transmissions overlapping the victim frame.
+func (rep *anomalyReport) scanCollisions(events []trace.Event, intervals []onAir) {
+	for _, e := range events {
+		if e.Kind != trace.KindRx || e.FrameKind != "DATA" ||
+			e.Node != e.Dst || e.Decoded() {
+			continue
+		}
+		rep.corruptedRx++
+		victim, ok := victimInterval(intervals, e)
+		if !ok {
+			continue
+		}
+		for _, j := range intervals {
+			if j.node == victim.node || j.node == e.Node {
+				continue
+			}
+			if j.startUs >= victim.endUs || j.endUs <= victim.startUs {
+				continue
+			}
+			offset := j.startUs - victim.startUs
+			if abs64(offset) <= rep.guardUs {
+				// Both transmitters left backoff in the same slot: an
+				// ordinary contention collision, visible to carrier sense.
+				rep.slotAligned++
+				continue
+			}
+			if j.concurrent {
+				// A validated exposed-terminal overlap that still corrupted
+				// the frame: accounted under ET failures, not HT.
+				rep.etOverlaps++
+				continue
+			}
+			overlap := min64(victim.endUs, j.endUs) - max64(victim.startUs, j.startUs)
+			rep.ht = append(rep.ht, htSignature{
+				atUs:       e.AtMicros,
+				victim:     linkKey{src: uint16(e.Src), dst: uint16(e.Dst)},
+				interferer: j.node,
+				overlapUs:  overlap,
+				offsetUs:   offset,
+			})
+		}
+	}
+}
+
+// victimInterval finds the on-air interval of the corrupted reception: the
+// latest transmission of (src, seq) ending by the reception time. A small
+// tolerance absorbs rounding of airtime to whole microseconds.
+func victimInterval(intervals []onAir, rx trace.Event) (onAir, bool) {
+	const tolUs = 5
+	var best onAir
+	found := false
+	for _, iv := range intervals {
+		if iv.node != rx.Src || iv.seq != rx.SeqNo() || iv.dst != rx.Dst {
+			continue
+		}
+		if iv.endUs > rx.AtMicros+tolUs {
+			continue
+		}
+		if !found || iv.endUs > best.endUs {
+			best, found = iv, true
+		}
+	}
+	return best, found
+}
+
+// scanSpans runs the span-level detectors: retry storms and failed
+// exposed-terminal grants.
+func (rep *anomalyReport) scanSpans(spans []*span.Span) {
+	runs := make(map[linkKey]*stormRecord)
+	for _, s := range spans {
+		k := linkKey{src: uint16(s.Src), dst: uint16(s.Dst)}
+
+		conc := false
+		for _, a := range s.Attempts {
+			if a.Concurrent {
+				conc = true
+				break
+			}
+		}
+		if conc {
+			rep.etConcurrent++
+			if s.Outcome == span.OutcomeDropped {
+				rep.etFails = append(rep.etFails, etFailure{
+					link: k, atUs: s.EnqueuedUs, reason: s.Reason, retries: s.Retries,
+				})
+			}
+		}
+
+		switch s.Outcome {
+		case span.OutcomeDropped:
+			if r := runs[k]; r != nil {
+				r.length++
+			} else {
+				runs[k] = &stormRecord{link: k, startUs: s.EnqueuedUs, length: 1}
+			}
+		case span.OutcomeAcked:
+			rep.flushStorm(runs, k)
+		}
+	}
+	for k := range runs {
+		rep.flushStorm(runs, k)
+	}
+	sort.Slice(rep.storms, func(i, j int) bool {
+		return rep.storms[i].startUs < rep.storms[j].startUs
+	})
+}
+
+func (rep *anomalyReport) flushStorm(runs map[linkKey]*stormRecord, k linkKey) {
+	r := runs[k]
+	if r == nil {
+		return
+	}
+	delete(runs, k)
+	if r.length >= rep.stormLen {
+		rep.storms = append(rep.storms, *r)
+	}
+}
+
+func (rep *anomalyReport) print(w io.Writer) {
+	fmt.Fprintf(w, "HT-collision signatures: %d\n", len(rep.ht))
+	fmt.Fprintf(w, "  (%d corrupted data receptions: %d mid-frame overlaps past the %dµs guard,\n",
+		rep.corruptedRx, len(rep.ht), rep.guardUs)
+	fmt.Fprintf(w, "   %d slot-aligned contender collisions, %d overlaps under an ET grant)\n",
+		rep.slotAligned, rep.etOverlaps)
+	if len(rep.ht) > 0 {
+		type agg struct {
+			count              int
+			overlapUs, offsets int64
+		}
+		byPair := make(map[string]*agg)
+		for _, h := range rep.ht {
+			key := fmt.Sprintf("%-12s by %d", h.victim, h.interferer)
+			a := byPair[key]
+			if a == nil {
+				a = &agg{}
+				byPair[key] = a
+			}
+			a.count++
+			a.overlapUs += h.overlapUs
+			a.offsets += abs64(h.offsetUs)
+		}
+		keys := make([]string, 0, len(byPair))
+		for k := range byPair {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "  %-22s %8s %14s %14s\n", "victim / interferer", "count", "mean overlap", "mean offset")
+		for _, k := range keys {
+			a := byPair[k]
+			fmt.Fprintf(w, "  %-22s %8d %11.3f ms %11.3f ms\n",
+				k, a.count, ms(a.overlapUs)/float64(a.count), ms(a.offsets)/float64(a.count))
+		}
+	}
+
+	fmt.Fprintf(w, "\nretry storms (>= %d consecutive failed services on a link): %d\n",
+		rep.stormLen, len(rep.storms))
+	for _, s := range rep.storms {
+		fmt.Fprintf(w, "  t=%9.3fms %-12s %d consecutive drops\n",
+			ms(s.startUs), s.link, s.length)
+	}
+
+	fmt.Fprintf(w, "\nfailed ET grants (concurrent service without an ACK): %d of %d concurrent services\n",
+		len(rep.etFails), rep.etConcurrent)
+	for _, f := range rep.etFails {
+		fmt.Fprintf(w, "  t=%9.3fms %-12s dropped (%s) after %d retries\n",
+			ms(f.atUs), f.link, f.reason, f.retries)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

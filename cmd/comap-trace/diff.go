@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/trace/span"
+)
+
+// runDiff implements the diff subcommand: compare two traces of the same
+// scenario (e.g. DCF vs CO-MAP on one topology and seed) per link and per
+// lifecycle phase.
+func runDiff(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(w)
+	guard := fs.Int64("guard-us", 20, "slot guard (µs) for the anomaly comparison")
+	storm := fs.Int("storm", 3, "retry-storm threshold for the anomaly comparison")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: comap-trace diff a.jsonl b.jsonl")
+	}
+	pathA, pathB := fs.Arg(0), fs.Arg(1)
+	evA, err := loadEventsFile(pathA)
+	if err != nil {
+		return err
+	}
+	evB, err := loadEventsFile(pathB)
+	if err != nil {
+		return err
+	}
+	printDiff(w, pathA, pathB, evA, evB, *guard, *storm)
+	return nil
+}
+
+// linkSide is one trace's per-link measurement.
+type linkSide struct {
+	goodputMbps float64
+	ackedPct    float64
+	p50TotalMs  float64
+	spans       int
+}
+
+// sideReport is everything diff compares for one trace.
+type sideReport struct {
+	spanUs     int64
+	totalMbps  float64
+	links      map[linkKey]*linkSide
+	ht, storms int
+	etFails    int
+}
+
+func buildSide(events []trace.Event, guardUs int64, stormLen int) *sideReport {
+	rep := summarize(events)
+	spans := span.FromEvents(events)
+	anom := findAnomalies(events, guardUs, stormLen)
+
+	side := &sideReport{
+		spanUs:  rep.spanUs(),
+		links:   make(map[linkKey]*linkSide),
+		ht:      len(anom.ht),
+		storms:  len(anom.storms),
+		etFails: len(anom.etFails),
+	}
+
+	perLink := make(map[linkKey][]*span.Span)
+	for _, s := range spans {
+		k := linkKey{src: uint16(s.Src), dst: uint16(s.Dst)}
+		perLink[k] = append(perLink[k], s)
+	}
+	for k, ls := range rep.links {
+		goodput := 0.0
+		if side.spanUs > 0 {
+			goodput = float64(ls.payloadBytes) * 8 / (float64(side.spanUs) / 1e6) / 1e6
+		}
+		side.totalMbps += goodput
+		acked := 0
+		var totals []float64
+		for _, s := range perLink[k] {
+			if s.Outcome == span.OutcomeAcked {
+				acked++
+			}
+			if t := s.TotalUs(); t >= 0 {
+				totals = append(totals, ms(t))
+			}
+		}
+		p50, _ := stats.NewECDF(totals).Quantile(0.5)
+		side.links[k] = &linkSide{
+			goodputMbps: goodput,
+			ackedPct:    pct(acked, len(perLink[k])),
+			p50TotalMs:  p50,
+			spans:       len(perLink[k]),
+		}
+	}
+	return side
+}
+
+func printDiff(w io.Writer, pathA, pathB string, evA, evB []trace.Event, guardUs int64, stormLen int) {
+	a := buildSide(evA, guardUs, stormLen)
+	b := buildSide(evB, guardUs, stormLen)
+
+	fmt.Fprintf(w, "A: %s (%.3f s)\n", pathA, float64(a.spanUs)/1e6)
+	fmt.Fprintf(w, "B: %s (%.3f s)\n\n", pathB, float64(b.spanUs)/1e6)
+
+	fmt.Fprintf(w, "total goodput: %.3f -> %.3f Mbps (%+.1f%%)\n\n",
+		a.totalMbps, b.totalMbps, relDelta(a.totalMbps, b.totalMbps))
+
+	fmt.Fprintln(w, "per-link (A -> B):")
+	fmt.Fprintf(w, "  %-12s %22s %20s %24s\n",
+		"link", "goodput (Mbps)", "acked", "p50 service (ms)")
+	union := make(map[linkKey]bool)
+	for k := range a.links {
+		union[k] = true
+	}
+	for k := range b.links {
+		union[k] = true
+	}
+	for _, k := range sortedLinks(union) {
+		la, lb := a.links[k], b.links[k]
+		if la == nil {
+			la = &linkSide{}
+		}
+		if lb == nil {
+			lb = &linkSide{}
+		}
+		fmt.Fprintf(w, "  %-12s %9.3f -> %-9.3f %8.1f%% -> %-6.1f%% %10.3f -> %-10.3f\n",
+			k, la.goodputMbps, lb.goodputMbps,
+			la.ackedPct, lb.ackedPct,
+			la.p50TotalMs, lb.p50TotalMs)
+	}
+
+	fmt.Fprintln(w, "\nanomalies (A -> B):")
+	fmt.Fprintf(w, "  HT-collision signatures: %d -> %d\n", a.ht, b.ht)
+	fmt.Fprintf(w, "  retry storms:            %d -> %d\n", a.storms, b.storms)
+	fmt.Fprintf(w, "  failed ET grants:        %d -> %d\n", a.etFails, b.etFails)
+}
+
+// relDelta is the percentage change from a to b, guarding a zero baseline.
+func relDelta(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (b - a) / a
+}

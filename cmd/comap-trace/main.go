@@ -1,9 +1,22 @@
-// Command comap-trace analyses a JSONL PHY event trace produced by
-// comap-sim's -trace flag (or package trace): per-link delivery counts,
-// corruption rates and goodput, plus a per-frame-kind breakdown.
+// Command comap-trace analyses JSONL frame-lifecycle traces produced by
+// comap-sim's -trace flag (or package trace directly).
 //
-//	comap-sim -topology et -pos 30 -duration 5s -trace /tmp/et.jsonl
-//	comap-trace /tmp/et.jsonl
+//	comap-sim -topology roles -roles chh -protocol dcf -trace /tmp/ht.jsonl
+//	comap-trace summary /tmp/ht.jsonl
+//	comap-trace spans -n 10 /tmp/ht.jsonl
+//	comap-trace anomalies /tmp/ht.jsonl
+//	comap-trace diff /tmp/ht-dcf.jsonl /tmp/ht-comap.jsonl
+//
+// Subcommands:
+//
+//	summary    event counts, per-link delivery/corruption/goodput (default)
+//	spans      per-frame lifecycle spans: phase percentiles and timelines
+//	anomalies  hidden-terminal collision signatures, retry storms and
+//	           failed exposed-terminal grants
+//	diff       compare two traces per link and per phase
+//
+// Invoking with a bare file path (no subcommand) runs summary, matching the
+// original single-purpose interface.
 package main
 
 import (
@@ -12,66 +25,54 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"repro/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "comap-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	var r io.Reader = os.Stdin
-	if len(args) == 1 && args[0] != "-" {
-		f, err := os.Open(args[0])
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
-	} else if len(args) > 1 {
-		return fmt.Errorf("usage: comap-trace [file.jsonl]")
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return runSummary(nil, w)
 	}
-
-	report, err := analyze(r)
-	if err != nil {
-		return err
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		return runSummary(rest, w)
+	case "spans":
+		return runSpans(rest, w)
+	case "anomalies":
+		return runAnomalies(rest, w)
+	case "diff":
+		return runDiff(rest, w)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprintln(w, "usage: comap-trace [summary|spans|anomalies|diff] [flags] file.jsonl ...")
+		return nil
+	default:
+		// Back-compat: a bare file (or "-" for stdin) means summary.
+		return runSummary(args, w)
 	}
-	report.print(os.Stdout)
-	return nil
 }
 
-// linkKey identifies a directed (src, dst) pair.
-type linkKey struct {
-	src, dst uint16
-}
-
-// linkStats accumulates per-link counters.
-type linkStats struct {
-	deliveredOK  int
-	corrupted    int
-	payloadBytes int64
-}
-
-// report is the analysis result.
-type report struct {
-	firstUs, lastUs int64
-	events          int
-	byKind          map[string]int
-	links           map[linkKey]*linkStats
-}
-
-// analyze consumes a JSONL trace.
-func analyze(r io.Reader) (*report, error) {
-	rep := &report{
-		byKind:  make(map[string]int),
-		links:   make(map[linkKey]*linkStats),
-		firstUs: -1,
+// openInput resolves a trace argument: a path, "-"/nothing for stdin.
+func openInput(args []string) (io.ReadCloser, error) {
+	if len(args) == 0 || args[0] == "-" {
+		return io.NopCloser(os.Stdin), nil
 	}
+	if len(args) > 1 {
+		return nil, fmt.Errorf("expected one trace file, got %d", len(args))
+	}
+	return os.Open(args[0])
+}
+
+// loadEvents decodes a whole JSONL trace into memory.
+func loadEvents(r io.Reader) ([]trace.Event, error) {
+	var events []trace.Event
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -84,79 +85,38 @@ func analyze(r io.Reader) (*report, error) {
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
 			return nil, fmt.Errorf("line %d: %w", line, err)
 		}
-		rep.events++
-		if rep.firstUs < 0 || e.AtMicros < rep.firstUs {
-			rep.firstUs = e.AtMicros
-		}
-		if e.AtMicros > rep.lastUs {
-			rep.lastUs = e.AtMicros
-		}
-		rep.byKind[e.Kind+"/"+e.FrameKind]++
-		// Per-link data accounting: count only receptions at the intended
-		// destination.
-		if e.Kind == "rx" && e.FrameKind == "DATA" && e.Node == e.Dst {
-			k := linkKey{src: uint16(e.Src), dst: uint16(e.Dst)}
-			ls := rep.links[k]
-			if ls == nil {
-				ls = &linkStats{}
-				rep.links[k] = ls
-			}
-			if e.OK {
-				ls.deliveredOK++
-				ls.payloadBytes += int64(e.Payload)
-			} else {
-				ls.corrupted++
-			}
-		}
+		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if rep.events == 0 {
+	if len(events) == 0 {
 		return nil, fmt.Errorf("empty trace")
 	}
-	return rep, nil
+	return events, nil
 }
 
-// print renders the report.
-func (r *report) print(w io.Writer) {
-	spanUs := r.lastUs - r.firstUs
-	fmt.Fprintf(w, "%d events over %.3f s\n\n", r.events, float64(spanUs)/1e6)
+// loadEventsFile opens and decodes one trace file.
+func loadEventsFile(path string) ([]trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := loadEvents(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
 
-	fmt.Fprintln(w, "events by kind:")
-	kinds := make([]string, 0, len(r.byKind))
-	for k := range r.byKind {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	for _, k := range kinds {
-		fmt.Fprintf(w, "  %-18s %d\n", k, r.byKind[k])
-	}
+// ms renders microseconds as milliseconds.
+func ms(us int64) float64 { return float64(us) / 1e3 }
 
-	fmt.Fprintln(w, "\nper-link data receptions (at the intended destination):")
-	fmt.Fprintf(w, "  %-12s %10s %10s %12s %12s\n", "link", "ok", "corrupt", "loss", "goodput")
-	links := make([]linkKey, 0, len(r.links))
-	for k := range r.links {
-		links = append(links, k)
+// pct renders a ratio as a percentage, tolerating a zero denominator.
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
 	}
-	sort.Slice(links, func(i, j int) bool {
-		if links[i].src != links[j].src {
-			return links[i].src < links[j].src
-		}
-		return links[i].dst < links[j].dst
-	})
-	for _, k := range links {
-		ls := r.links[k]
-		total := ls.deliveredOK + ls.corrupted
-		loss := 0.0
-		if total > 0 {
-			loss = float64(ls.corrupted) / float64(total)
-		}
-		goodput := 0.0
-		if spanUs > 0 {
-			goodput = float64(ls.payloadBytes) * 8 / (float64(spanUs) / 1e6) / 1e6
-		}
-		fmt.Fprintf(w, "  %4d->%-6d %10d %10d %11.1f%% %9.3f Mbps\n",
-			k.src, k.dst, ls.deliveredOK, ls.corrupted, loss*100, goodput)
-	}
+	return 100 * float64(num) / float64(den)
 }

@@ -1,9 +1,24 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// -update regenerates the expected outputs in testdata/ from the checked-in
+// trace fixtures. The fixtures themselves are static: they were produced by
+//
+//	comap-sim -topology roles -roles chh -protocol {dcf,comap} \
+//	          -seed 1 -cbr 20000 -duration 2s -trace testdata/ht-{dcf,comap}.jsonl
+//
+// and are not regenerated here, so simulator changes cannot silently shift
+// what the analyzer tests assert.
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from the trace fixtures")
 
 const sampleTrace = `{"at_us":100,"node":2,"kind":"rx","frame":"DATA","src":1,"dst":2,"seq":0,"payload":1000,"ok":true,"rssi_dbm":-70}
 {"at_us":2100,"node":2,"kind":"rx","frame":"DATA","src":1,"dst":2,"seq":1,"payload":1000,"ok":false,"rssi_dbm":-70}
@@ -42,6 +57,115 @@ func TestAnalyzeRejectsGarbage(t *testing.T) {
 	}
 	if _, err := analyze(strings.NewReader("")); err == nil {
 		t.Error("empty trace accepted")
+	}
+}
+
+// runOut invokes the CLI dispatcher and returns its output.
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+// TestGoldenOutputs runs every subcommand against the checked-in hidden-
+// terminal traces (DCF and CO-MAP, same topology and seed) and compares the
+// output byte-for-byte with the recorded expectation.
+func TestGoldenOutputs(t *testing.T) {
+	dcf := filepath.Join("testdata", "ht-dcf.jsonl")
+	comap := filepath.Join("testdata", "ht-comap.jsonl")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"summary-dcf", []string{"summary", dcf}},
+		{"summary-comap", []string{"summary", comap}},
+		{"spans-dcf", []string{"spans", dcf}},
+		{"spans-comap", []string{"spans", comap}},
+		{"anomalies-dcf", []string{"anomalies", dcf}},
+		{"anomalies-comap", []string{"anomalies", comap}},
+		{"diff", []string{"diff", dcf, comap}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOut(t, tc.args...)
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestAnomaliesSeparateProtocols is the paper's acceptance check: on the
+// carrier-sensing hidden-terminal topology the DCF trace must exhibit
+// HT-collision signatures and the CO-MAP trace, same seed, must not.
+func TestAnomaliesSeparateProtocols(t *testing.T) {
+	firstLine := func(out string) string {
+		if i := strings.IndexByte(out, '\n'); i >= 0 {
+			return out[:i]
+		}
+		return out
+	}
+	dcfOut := runOut(t, "anomalies", filepath.Join("testdata", "ht-dcf.jsonl"))
+	var n int
+	if _, err := fmt.Sscanf(firstLine(dcfOut), "HT-collision signatures: %d", &n); err != nil {
+		t.Fatalf("unparseable anomalies header %q: %v", firstLine(dcfOut), err)
+	}
+	if n < 1 {
+		t.Errorf("DCF trace: want >=1 HT-collision signature, got %d", n)
+	}
+	comapOut := runOut(t, "anomalies", filepath.Join("testdata", "ht-comap.jsonl"))
+	if _, err := fmt.Sscanf(firstLine(comapOut), "HT-collision signatures: %d", &n); err != nil {
+		t.Fatalf("unparseable anomalies header %q: %v", firstLine(comapOut), err)
+	}
+	if n != 0 {
+		t.Errorf("CO-MAP trace: want 0 HT-collision signatures, got %d", n)
+	}
+}
+
+// TestDiffReportsGoodputDelta checks that diff surfaces the goodput change
+// between the two protocol runs and that CO-MAP comes out ahead.
+func TestDiffReportsGoodputDelta(t *testing.T) {
+	out := runOut(t, "diff",
+		filepath.Join("testdata", "ht-dcf.jsonl"),
+		filepath.Join("testdata", "ht-comap.jsonl"))
+	var a, b, delta float64
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if _, err := fmt.Sscanf(line, "total goodput: %f -> %f Mbps (%f%%)", &a, &b, &delta); err == nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no total-goodput line in diff output:\n%s", out)
+	}
+	if b <= a {
+		t.Errorf("expected CO-MAP goodput (%.3f) to exceed DCF (%.3f)", b, a)
+	}
+	if delta <= 0 {
+		t.Errorf("expected positive goodput delta, got %+.1f%%", delta)
+	}
+}
+
+// TestBareFileRunsSummary preserves the original single-purpose interface.
+func TestBareFileRunsSummary(t *testing.T) {
+	path := filepath.Join("testdata", "ht-dcf.jsonl")
+	if got, want := runOut(t, path), runOut(t, "summary", path); got != want {
+		t.Error("bare-file invocation differs from explicit summary")
 	}
 }
 

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/trace/span"
+)
+
+// runSpans implements the spans subcommand: fold the trace into per-frame
+// lifecycle spans, report phase-duration percentiles and per-link service
+// quality, and optionally print individual timelines.
+func runSpans(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("spans", flag.ContinueOnError)
+	fs.SetOutput(w)
+	n := fs.Int("n", 0, "print the first n individual span timelines (0 = none)")
+	slowest := fs.Bool("slowest", false, "with -n: print the n slowest spans instead of the first n")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := openInput(fs.Args())
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	events, err := loadEvents(in)
+	if err != nil {
+		return err
+	}
+	spans := span.FromEvents(events)
+	printSpanReport(w, spans, *n, *slowest)
+	return nil
+}
+
+// phaseSamples collects per-phase durations (ms) over completed spans.
+type phaseSamples struct {
+	queued, contend, inflight, total []float64
+}
+
+func collectPhases(spans []*span.Span) phaseSamples {
+	var ps phaseSamples
+	for _, s := range spans {
+		if s.Outcome == span.OutcomePending {
+			continue
+		}
+		if d := s.QueuedUs(); d >= 0 {
+			ps.queued = append(ps.queued, ms(d))
+		}
+		if d := s.ContendUs(); d >= 0 {
+			ps.contend = append(ps.contend, ms(d))
+		}
+		if d := s.InFlightUs(); d >= 0 {
+			ps.inflight = append(ps.inflight, ms(d))
+		}
+		if d := s.TotalUs(); d >= 0 {
+			ps.total = append(ps.total, ms(d))
+		}
+	}
+	return ps
+}
+
+func printSpanReport(w io.Writer, spans []*span.Span, n int, slowest bool) {
+	var acked, dropped, pending, delivered, retries int
+	perLink := make(map[linkKey][]*span.Span)
+	for _, s := range spans {
+		switch s.Outcome {
+		case span.OutcomeAcked:
+			acked++
+		case span.OutcomeDropped:
+			dropped++
+		default:
+			pending++
+		}
+		if s.Delivered() {
+			delivered++
+		}
+		retries += s.Retries
+		k := linkKey{src: uint16(s.Src), dst: uint16(s.Dst)}
+		perLink[k] = append(perLink[k], s)
+	}
+	fmt.Fprintf(w, "%d spans: %d acked (%.1f%%), %d dropped, %d pending\n",
+		len(spans), acked, pct(acked, len(spans)), dropped, pending)
+	fmt.Fprintf(w, "delivered to destination: %d (%.1f%%), %d retransmissions\n\n",
+		delivered, pct(delivered, len(spans)), retries)
+
+	ps := collectPhases(spans)
+	fmt.Fprintln(w, "phase durations over completed spans (ms):")
+	fmt.Fprintf(w, "  %-10s %8s %8s %8s %8s %8s\n", "phase", "n", "p50", "p90", "p99", "mean")
+	printPhaseRow(w, "queued", ps.queued)
+	printPhaseRow(w, "contend", ps.contend)
+	printPhaseRow(w, "inflight", ps.inflight)
+	printPhaseRow(w, "total", ps.total)
+
+	fmt.Fprintln(w, "\nper-link service:")
+	fmt.Fprintf(w, "  %-12s %8s %8s %9s %10s %12s\n",
+		"link", "spans", "acked", "dropped", "rx-ok", "p50 total")
+	for _, k := range sortedLinks(perLink) {
+		ls := perLink[k]
+		var a, d, rx int
+		var totals []float64
+		for _, s := range ls {
+			switch s.Outcome {
+			case span.OutcomeAcked:
+				a++
+			case span.OutcomeDropped:
+				d++
+			}
+			if s.Delivered() {
+				rx++
+			}
+			if t := s.TotalUs(); t >= 0 {
+				totals = append(totals, ms(t))
+			}
+		}
+		p50 := "-"
+		if q, err := stats.NewECDF(totals).Quantile(0.5); err == nil {
+			p50 = fmt.Sprintf("%.3f ms", q)
+		}
+		fmt.Fprintf(w, "  %-12s %8d %7.1f%% %8.1f%% %9.1f%% %12s\n",
+			k, len(ls), pct(a, len(ls)), pct(d, len(ls)), pct(rx, len(ls)), p50)
+	}
+
+	if n > 0 {
+		pick := spans
+		if slowest {
+			pick = slowestSpans(spans, n)
+			fmt.Fprintf(w, "\n%d slowest spans:\n", len(pick))
+		} else {
+			if len(pick) > n {
+				pick = pick[:n]
+			}
+			fmt.Fprintf(w, "\nfirst %d spans:\n", len(pick))
+		}
+		for _, s := range pick {
+			printSpanLine(w, s)
+		}
+	}
+}
+
+func printPhaseRow(w io.Writer, name string, samples []float64) {
+	e := stats.NewECDF(samples)
+	if e.N() == 0 {
+		fmt.Fprintf(w, "  %-10s %8d %8s %8s %8s %8s\n", name, 0, "-", "-", "-", "-")
+		return
+	}
+	p50, _ := e.Quantile(0.50)
+	p90, _ := e.Quantile(0.90)
+	p99, _ := e.Quantile(0.99)
+	fmt.Fprintf(w, "  %-10s %8d %8.3f %8.3f %8.3f %8.3f\n",
+		name, e.N(), p50, p90, p99, e.Mean())
+}
+
+// slowestSpans returns the n completed spans with the largest total service
+// time, slowest first.
+func slowestSpans(spans []*span.Span, n int) []*span.Span {
+	var done []*span.Span
+	for _, s := range spans {
+		if s.TotalUs() >= 0 {
+			done = append(done, s)
+		}
+	}
+	// Selection by repeated max keeps the common n≪len case simple; traces
+	// are analysed offline, so an O(n·len) pass is fine.
+	var out []*span.Span
+	used := make(map[*span.Span]bool)
+	for len(out) < n && len(out) < len(done) {
+		var best *span.Span
+		for _, s := range done {
+			if used[s] {
+				continue
+			}
+			if best == nil || s.TotalUs() > best.TotalUs() {
+				best = s
+			}
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// printSpanLine renders one span as a single timeline row.
+func printSpanLine(w io.Writer, s *span.Span) {
+	phases := func(us int64) string {
+		if us < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3fms", ms(us))
+	}
+	line := fmt.Sprintf("  t=%9.3fms %4d->%-4d seq=%d/%d queued=%s contend=%s inflight=%s attempts=%d",
+		ms(s.EnqueuedUs), s.Src, s.Dst, s.Seq, s.Chain,
+		phases(s.QueuedUs()), phases(s.ContendUs()), phases(s.InFlightUs()),
+		len(s.Attempts))
+	if s.Retries > 0 {
+		line += fmt.Sprintf(" retries=%d", s.Retries)
+	}
+	line += " " + s.Outcome
+	if s.Reason != "" && s.Reason != "ack" {
+		line += "(" + s.Reason + ")"
+	}
+	if s.RxCorrupt > 0 {
+		line += fmt.Sprintf(" rx-corrupt=%d", s.RxCorrupt)
+	}
+	fmt.Fprintln(w, line)
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// runSummary implements the summary subcommand (and the bare-file default).
+func runSummary(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := openInput(fs.Args())
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	rep, err := analyze(in)
+	if err != nil {
+		return err
+	}
+	rep.print(w)
+	return nil
+}
+
+// linkKey identifies a directed (src, dst) pair.
+type linkKey struct {
+	src, dst uint16
+}
+
+func (k linkKey) String() string { return fmt.Sprintf("%d->%d", k.src, k.dst) }
+
+// linkStats accumulates per-link counters.
+type linkStats struct {
+	deliveredOK  int
+	corrupted    int
+	payloadBytes int64
+}
+
+// report is the analysis result.
+type report struct {
+	firstUs, lastUs int64
+	runEndUs        int64 // from a run.end marker; 0 in older traces
+	events          int
+	byKind          map[string]int
+	links           map[linkKey]*linkStats
+}
+
+// spanUs is the trace's time base for rates: the recorded run duration when
+// the trace carries a run.end marker, else the observed event span.
+func (r *report) spanUs() int64 {
+	if r.runEndUs > 0 {
+		return r.runEndUs
+	}
+	return r.lastUs - r.firstUs
+}
+
+// analyze consumes a JSONL trace.
+func analyze(r io.Reader) (*report, error) {
+	events, err := loadEvents(r)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(events), nil
+}
+
+// summarize folds decoded events into a report.
+func summarize(events []trace.Event) *report {
+	rep := &report{
+		byKind:  make(map[string]int),
+		links:   make(map[linkKey]*linkStats),
+		firstUs: -1,
+	}
+	for _, e := range events {
+		rep.events++
+		if rep.firstUs < 0 || e.AtMicros < rep.firstUs {
+			rep.firstUs = e.AtMicros
+		}
+		if e.AtMicros > rep.lastUs {
+			rep.lastUs = e.AtMicros
+		}
+		if e.Kind == trace.KindRunEnd && e.AtMicros > rep.runEndUs {
+			rep.runEndUs = e.AtMicros
+		}
+		kind := e.Kind
+		if e.FrameKind != "" {
+			kind += "/" + e.FrameKind
+		}
+		rep.byKind[kind]++
+		// Per-link data accounting: count only receptions at the intended
+		// destination.
+		if e.Kind == trace.KindRx && e.FrameKind == "DATA" && e.Node == e.Dst {
+			k := linkKey{src: uint16(e.Src), dst: uint16(e.Dst)}
+			ls := rep.links[k]
+			if ls == nil {
+				ls = &linkStats{}
+				rep.links[k] = ls
+			}
+			if e.Decoded() {
+				ls.deliveredOK++
+				ls.payloadBytes += int64(e.Payload)
+			} else {
+				ls.corrupted++
+			}
+		}
+	}
+	return rep
+}
+
+// sortedLinks returns the report's link keys in (src, dst) order.
+func sortedLinks[V any](m map[linkKey]V) []linkKey {
+	links := make([]linkKey, 0, len(m))
+	for k := range m {
+		links = append(links, k)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].src != links[j].src {
+			return links[i].src < links[j].src
+		}
+		return links[i].dst < links[j].dst
+	})
+	return links
+}
+
+// print renders the report.
+func (r *report) print(w io.Writer) {
+	spanUs := r.spanUs()
+	fmt.Fprintf(w, "%d events over %.3f s\n\n", r.events, float64(spanUs)/1e6)
+
+	fmt.Fprintln(w, "events by kind:")
+	kinds := make([]string, 0, len(r.byKind))
+	for k := range r.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-18s %d\n", k, r.byKind[k])
+	}
+
+	fmt.Fprintln(w, "\nper-link data receptions (at the intended destination):")
+	fmt.Fprintf(w, "  %-12s %10s %10s %12s %12s\n", "link", "ok", "corrupt", "loss", "goodput")
+	for _, k := range sortedLinks(r.links) {
+		ls := r.links[k]
+		total := ls.deliveredOK + ls.corrupted
+		loss := 0.0
+		if total > 0 {
+			loss = float64(ls.corrupted) / float64(total)
+		}
+		goodput := 0.0
+		if spanUs > 0 {
+			goodput = float64(ls.payloadBytes) * 8 / (float64(spanUs) / 1e6) / 1e6
+		}
+		fmt.Fprintf(w, "  %4d->%-6d %10d %10d %11.1f%% %9.3f Mbps\n",
+			k.src, k.dst, ls.deliveredOK, ls.corrupted, loss*100, goodput)
+	}
+}

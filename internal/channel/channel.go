@@ -70,6 +70,12 @@ type Medium struct {
 	StaticShadowFraction float64
 	staticShadow         map[pairKey]float64
 
+	// OnTransmitStart, when set, observes every transmission at the instant
+	// it is put on the air (transmitter, frame, rate, airtime). Tracing uses
+	// it to reconstruct on-air intervals; implementations must be pure
+	// observers — mutating protocol state from here breaks determinism.
+	OnTransmitStart func(from frame.NodeID, f frame.Frame, rate phy.Rate, airtime time.Duration)
+
 	// HeaderIndicationAt, when set, enables the paper's embedded discovery
 	// header (§V method one): every data frame's source and destination
 	// addresses become decodable this long into the frame (PLCP preamble +
@@ -263,6 +269,9 @@ func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Durati
 	m.active = append(m.active, tx)
 	m.txStarts.Inc()
 	m.touchAir()
+	if m.OnTransmitStart != nil {
+		m.OnTransmitStart(t.id, f, rate, airtime)
+	}
 
 	for _, n := range m.nodes {
 		if n == t {

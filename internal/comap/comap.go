@@ -9,6 +9,7 @@ import (
 	"repro/internal/loc"
 	"repro/internal/metrics"
 	"repro/internal/phy"
+	"repro/internal/trace"
 )
 
 // Link identifies a directed transmission pair.
@@ -99,6 +100,8 @@ type Agent struct {
 	mMapSize    *metrics.Gauge
 	mEnvHidden  *metrics.Gauge
 	mEnvCont    *metrics.Gauge
+
+	tr *trace.Emitter
 }
 
 // NewAgent builds an agent for node id over the given analysis model and
@@ -130,6 +133,40 @@ func (a *Agent) SetMetrics(reg *metrics.Registry) {
 	a.mMapSize = reg.Gauge("comap.map.links")
 	a.mEnvHidden = reg.Gauge("comap.env.hidden")
 	a.mEnvCont = reg.Gauge("comap.env.contenders")
+}
+
+// SetTrace attaches a decision-event emitter: concurrency grant/deny
+// verdicts ("co.grant"/"co.deny") and hidden-terminal adaptation changes
+// ("co.adapt") flow into it. A nil emitter (tracing off) costs nothing.
+func (a *Agent) SetTrace(em *trace.Emitter) { a.tr = em }
+
+// emitVerdict records one concurrency-validation outcome.
+func (a *Agent) emitVerdict(ongoing Link, myDst frame.NodeID, allowed bool, provenance string) {
+	if !a.tr.Enabled() {
+		return
+	}
+	kind := trace.KindCoGrant
+	if !allowed {
+		kind = trace.KindCoDeny
+	}
+	a.tr.Emit(trace.Event{
+		Kind: kind, Src: ongoing.Src, Dst: ongoing.Dst,
+		OurDst: myDst, Reason: provenance,
+	})
+}
+
+// TraceAdaptation records a hidden-terminal packet-size/CW adaptation
+// decision ("co.adapt") for the link a.id→dst; the caller invokes it when
+// the chosen setting changes.
+func (a *Agent) TraceAdaptation(dst frame.NodeID, hidden, contenders, cw, payloadBytes int) {
+	if !a.tr.Enabled() {
+		return
+	}
+	a.tr.Emit(trace.Event{
+		Kind: trace.KindCoAdapt, OurDst: dst,
+		Hidden: hidden, Contenders: contenders,
+		CW: cw, Payload: payloadBytes,
+	})
 }
 
 // ObserveLink records that the link src→dst was seen transmitting at the
@@ -202,6 +239,7 @@ func (a *Agent) Allowed(ongoingSrc, ongoingDst, myDst frame.NodeID) bool {
 	ongoing := Link{Src: ongoingSrc, Dst: ongoingDst}
 	if allowed, found := a.cmap.Lookup(ongoing, myDst); found {
 		a.mHit.Inc()
+		a.emitVerdict(ongoing, myDst, allowed, "cached")
 		return allowed
 	}
 	a.mMiss.Inc()
@@ -215,6 +253,7 @@ func (a *Agent) Allowed(ongoingSrc, ongoingDst, myDst frame.NodeID) bool {
 		a.mDeny.Inc()
 	}
 	a.mMapSize.Set(float64(a.cmap.Len()))
+	a.emitVerdict(ongoing, myDst, allowed, "validated")
 	return allowed
 }
 

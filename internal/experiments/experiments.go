@@ -11,13 +11,18 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Opts scales an experiment run.
@@ -28,6 +33,13 @@ type Opts struct {
 	Duration time.Duration
 	// Topologies is the number of random layouts for Fig. 10.
 	Topologies int
+	// TraceDir, when non-empty, writes one JSONL frame-lifecycle trace per
+	// run into this directory (created if needed), named
+	// <topology>-<protocol>-seed<N>.jsonl, ready for comap-trace. It covers
+	// every run driven through the shared per-seed goodput loops (Figs. 1,
+	// 2, 7, 9 and the RTS comparison). Tracing never alters results: runs
+	// stay bit-identical to untraced ones.
+	TraceDir string
 }
 
 // Quick returns a fast configuration for tests and benchmarks.
@@ -94,14 +106,59 @@ func PrintCDFs(w io.Writer, unit string, cdfs ...CDF) {
 	}
 }
 
+// runSeed executes one seeded scenario run, attaching a buffered JSONL
+// lifecycle trace when o.TraceDir is set.
+func runSeed(top topology.Topology, base netsim.Options, o Opts, seed int) (*netsim.Results, error) {
+	base.Seed = int64(1000*seed + 7)
+	base.Duration = o.Duration
+	if o.TraceDir == "" {
+		return netsim.RunScenario(top, base)
+	}
+	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(o.TraceDir,
+		fmt.Sprintf("%s-%s-seed%d.jsonl", slug(top.Name), slug(base.Protocol.String()), seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := bufio.NewWriterSize(f, 1<<20)
+	tw := trace.NewWriter(buf)
+	base.Trace = tw
+	res, runErr := netsim.RunScenario(top, base)
+	if err := tw.Err(); runErr == nil && err != nil {
+		runErr = fmt.Errorf("trace %s: %w", path, err)
+	}
+	if err := buf.Flush(); runErr == nil && err != nil {
+		runErr = fmt.Errorf("trace %s: %w", path, err)
+	}
+	if err := f.Close(); runErr == nil && err != nil {
+		runErr = fmt.Errorf("trace %s: %w", path, err)
+	}
+	return res, runErr
+}
+
+// slug reduces a free-form name to a safe filename fragment.
+func slug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, s)
+}
+
 // meanGoodput runs the scenario over opts.Seeds seeds and returns the mean
 // goodput (bps) of the given flow.
 func meanGoodput(top topology.Topology, base netsim.Options, o Opts, flow topology.Flow) (float64, error) {
 	sum := 0.0
 	for s := 0; s < o.Seeds; s++ {
-		base.Seed = int64(1000*s + 7)
-		base.Duration = o.Duration
-		res, err := netsim.RunScenario(top, base)
+		res, err := runSeed(top, base, o, s)
 		if err != nil {
 			return 0, err
 		}
@@ -116,9 +173,7 @@ func meanGoodput(top topology.Topology, base netsim.Options, o Opts, flow topolo
 func medianGoodput(top topology.Topology, base netsim.Options, o Opts, flow topology.Flow) (float64, error) {
 	samples := make([]float64, 0, o.Seeds)
 	for s := 0; s < o.Seeds; s++ {
-		base.Seed = int64(1000*s + 7)
-		base.Duration = o.Duration
-		res, err := netsim.RunScenario(top, base)
+		res, err := runSeed(top, base, o, s)
 		if err != nil {
 			return 0, err
 		}

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/netsim"
 	"repro/internal/stats"
+	"repro/internal/topology"
 )
 
 // tinyOpts keeps unit-test runtime low; shape assertions use Quick() where
@@ -191,6 +195,46 @@ func valueAt(s Series, x float64) float64 {
 		}
 	}
 	return 0
+}
+
+func TestTraceDirWritesTracesWithoutPerturbingResults(t *testing.T) {
+	top := topology.ETSweep(30)
+	base := netsim.TestbedOptions()
+	base.Protocol = netsim.ProtocolComap
+	o := tinyOpts()
+
+	plain, err := meanGoodput(top, base, o, top.Flows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.TraceDir = filepath.Join(t.TempDir(), "traces")
+	traced, err := meanGoodput(top, base, o, top.Flows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced != plain {
+		t.Errorf("tracing perturbed the run: %.3f vs %.3f bps", traced, plain)
+	}
+
+	names, err := filepath.Glob(filepath.Join(o.TraceDir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != o.Seeds {
+		t.Fatalf("trace files = %v, want %d", names, o.Seeds)
+	}
+	want := filepath.Join(o.TraceDir, "et-sweep-30m-co-map-seed0.jsonl")
+	if names[0] != want {
+		t.Errorf("trace name = %s, want %s", names[0], want)
+	}
+	st, err := os.Stat(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Error("empty trace file")
+	}
 }
 
 func TestOptsPresets(t *testing.T) {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // RateSelector chooses transmit rates and learns from per-frame feedback.
@@ -122,6 +123,11 @@ type Config struct {
 	// enqueue→ACK timing and the "mac" airtime state clock whose states
 	// (tx/wait/busy/nav/defer/backoff/idle) partition the run duration.
 	Metrics *metrics.Registry
+	// Trace, when set, receives the MAC's protocol-decision events
+	// (mac.enqueue / mac.bo_start / mac.bo_freeze / mac.tx / mac.ack /
+	// mac.timeout / mac.drop and the et.join / et.abandon exposed-terminal
+	// decisions). Purely observational; nil costs nothing.
+	Trace trace.Sink
 }
 
 func (c *Config) applyDefaults() {
@@ -173,10 +179,10 @@ type MAC struct {
 	// access-latency timing.
 	queuedAt []time.Duration
 	retries  int
-	cw      int
-	counter int
-	st      phase
-	curRate phy.Rate
+	cw       int
+	counter  int
+	st       phase
+	curRate  phy.Rate
 
 	busy     bool
 	energyMW float64
@@ -211,6 +217,8 @@ type MAC struct {
 	accessLatency *metrics.Timing
 	dropLatency   *metrics.Timing
 	air           *metrics.StateClock
+
+	trace *trace.Emitter
 }
 
 var _ channel.Listener = (*MAC)(nil)
@@ -235,6 +243,7 @@ func New(eng *sim.Engine, tr *channel.Transceiver, cfg Config) *MAC {
 	m.accessLatency = cfg.Metrics.Timing("mac.access_latency")
 	m.dropLatency = cfg.Metrics.Timing("mac.drop_latency")
 	m.air = cfg.Metrics.StateClock("mac", eng.Now, "idle")
+	m.trace = trace.NewEmitter(eng, tr.ID(), cfg.Trace)
 	return m
 }
 
@@ -329,13 +338,23 @@ func (m *MAC) SetFixedCW(w int) {
 // Enqueue queues a data frame (or location beacon) for transmission. The
 // frame's Src is overwritten with this station's ID.
 func (m *MAC) Enqueue(f frame.Frame) error {
+	f.Src = m.ID()
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.stat.Inc("drop.queue_full")
+		if m.trace.Enabled() {
+			e := trace.FrameEvent(trace.KindDrop, f)
+			e.Reason = "queue_full"
+			m.trace.Emit(e)
+		}
 		return ErrQueueFull
 	}
-	f.Src = m.ID()
 	m.queue = append(m.queue, f)
 	m.queuedAt = append(m.queuedAt, m.eng.Now())
+	if m.trace.Enabled() {
+		e := trace.FrameEvent(trace.KindEnqueue, f)
+		e.Queue = len(m.queue)
+		m.trace.Emit(e)
+	}
 	if m.st == phaseIdle && !m.ackPending {
 		m.startAccess()
 	}
@@ -349,6 +368,13 @@ func (m *MAC) startAccess() {
 	m.st = phaseAccess
 	if m.counter < 0 {
 		m.counter = m.rng.Intn(m.cw)
+		if m.trace.Enabled() && len(m.queue) > 0 {
+			e := trace.FrameEvent(trace.KindBackoffStart, m.queue[0])
+			e.CW = m.cw
+			e.Slots = m.counter
+			e.Retries = m.retries
+			m.trace.Emit(e)
+		}
 	}
 	if m.concurrent {
 		// Refresh the RSSI baseline: energy seen now (the ongoing data) is
@@ -485,14 +511,21 @@ func (m *MAC) sendData() {
 	cur := m.queue[0]
 	m.st = phaseTxData
 	r := m.cfg.PHY.BasicRate
+	overlapping := m.concurrent || (m.persistent && m.busy)
 	if cur.Kind == frame.Data {
 		r = m.cfg.Rates.RateFor(cur.Dst)
-		overlapping := m.concurrent || (m.persistent && m.busy)
 		if overlapping && m.cfg.RateCap != nil && m.concSrc != 0 {
 			r = m.cfg.RateCap.CapRate(m.concSrc, m.concDst, cur.Dst, r)
 		}
 	}
 	m.curRate = r
+	if m.trace.Enabled() {
+		e := trace.FrameEvent(trace.KindTxAttempt, cur)
+		e.Rate = r.Name
+		e.Retries = m.retries
+		e.Concurrent = overlapping
+		m.trace.Emit(e)
+	}
 	m.stat.Inc("tx.data")
 	m.stat.Inc("tx.rate." + r.Name)
 	if cur.Retry {
@@ -525,7 +558,7 @@ func (m *MAC) TransmitDone(f frame.Frame) {
 		m.sendData()
 	case m.st == phaseTxData && (f.Kind == frame.Data || f.Kind == frame.LocationBeacon):
 		if f.Kind != frame.Data || f.Dst == frame.Broadcast {
-			m.completeCurrent(true)
+			m.completeCurrent(true, "broadcast")
 			return
 		}
 		m.st = phaseWaitAck
@@ -553,10 +586,16 @@ func (m *MAC) onCTSTimeout() {
 	defer m.touchAir()
 	m.ctsTimeoutEv = nil
 	m.stat.Inc("cts.timeout")
+	if m.trace.Enabled() && len(m.queue) > 0 {
+		e := trace.FrameEvent(trace.KindTimeout, m.queue[0])
+		e.Reason = "cts"
+		e.Retries = m.retries
+		m.trace.Emit(e)
+	}
 	m.retries++
 	if m.retries > m.cfg.RetryLimit {
 		m.stat.Inc("drop.retry_limit")
-		m.completeCurrent(false)
+		m.completeCurrent(false, "retry_limit")
 		return
 	}
 	if m.cfg.FixedCW <= 0 {
@@ -598,15 +637,21 @@ func (m *MAC) onAckTimeout() {
 	m.ackTimeoutEv = nil
 	m.stat.Inc("ack.timeout")
 	cur := m.queue[0]
+	if m.trace.Enabled() {
+		e := trace.FrameEvent(trace.KindTimeout, cur)
+		e.Reason = "ack"
+		e.Retries = m.retries
+		m.trace.Emit(e)
+	}
 	m.cfg.Rates.Feedback(cur.Dst, m.curRate, false)
 	if m.cfg.NoRetransmit {
-		m.completeCurrent(false)
+		m.completeCurrent(false, "no_retransmit")
 		return
 	}
 	m.retries++
 	if m.retries > m.cfg.RetryLimit {
 		m.stat.Inc("drop.retry_limit")
-		m.completeCurrent(false)
+		m.completeCurrent(false, "retry_limit")
 		return
 	}
 	if m.cfg.FixedCW <= 0 {
@@ -619,7 +664,9 @@ func (m *MAC) onAckTimeout() {
 }
 
 // completeCurrent finishes service of the head-of-line frame and moves on.
-func (m *MAC) completeCurrent(acked bool) {
+// reason qualifies the trace event: the drop cause, or "broadcast" for
+// frames that complete successfully without an acknowledgement.
+func (m *MAC) completeCurrent(acked bool, reason string) {
 	cur := m.queue[0]
 	m.queue = m.queue[1:]
 	elapsed := m.eng.Now() - m.queuedAt[0]
@@ -628,6 +675,17 @@ func (m *MAC) completeCurrent(acked bool) {
 		m.accessLatency.Observe(elapsed)
 	} else {
 		m.dropLatency.Observe(elapsed)
+	}
+	if m.trace.Enabled() {
+		kind := trace.KindAck
+		if !acked {
+			kind = trace.KindDrop
+		}
+		e := trace.FrameEvent(kind, cur)
+		e.Reason = reason
+		e.Retries = m.retries
+		e.DurUs = int64(elapsed / time.Microsecond)
+		m.trace.Emit(e)
 	}
 	m.retries = 0
 	m.cw = m.initialCW()
@@ -682,7 +740,7 @@ func (m *MAC) FrameReceived(f frame.Frame, ok bool, rssi float64) {
 				m.ackTimeoutEv = nil
 			}
 			m.cfg.Rates.Feedback(m.queue[0].Dst, m.curRate, true)
-			m.completeCurrent(true)
+			m.completeCurrent(true, "")
 		}
 	case frame.ComapHeader:
 		m.onHeaderDecoded(f, rssi)
@@ -815,6 +873,12 @@ func (m *MAC) onHeaderDecoded(f frame.Frame, _ float64) {
 		// and the backoff can resume right away.
 		m.concurrent = true
 		m.rssi1MW = m.energyMW
+		if m.trace.Enabled() {
+			m.trace.Emit(trace.Event{
+				Kind: trace.KindETJoin, Src: f.Src, Dst: f.Dst,
+				OurDst: m.queue[0].Dst, Reason: "embedded",
+			})
+		}
 		if m.st == phaseAccess {
 			m.scheduleDefer()
 		}
@@ -883,6 +947,13 @@ func (m *MAC) EnergyChanged(aggDBm float64) {
 		}
 		m.concurrent = true
 		m.rssi1MW = newMW
+		if m.trace.Enabled() {
+			e := trace.Event{Kind: trace.KindETJoin, Src: m.concSrc, Dst: m.concDst, Reason: "energy_rise"}
+			if len(m.queue) > 0 {
+				e.OurDst = m.queue[0].Dst
+			}
+			m.trace.Emit(e)
+		}
 		if m.st == phaseAccess {
 			m.scheduleDefer()
 		}
@@ -894,6 +965,13 @@ func (m *MAC) EnergyChanged(aggDBm float64) {
 		// energy step is our own ACK exchange, not a competing exposed
 		// terminal.
 		m.stat.Inc("et.abandon")
+		if m.trace.Enabled() {
+			e := trace.Event{Kind: trace.KindETAbandon, Src: m.concSrc, Dst: m.concDst, Reason: "rssi_step"}
+			if len(m.queue) > 0 {
+				e.OurDst = m.queue[0].Dst
+			}
+			m.trace.Emit(e)
+		}
 		m.concurrent = false
 	}
 
@@ -925,6 +1003,11 @@ func (m *MAC) reevaluateAccess() {
 			m.scheduleDefer()
 		}
 		return
+	}
+	if (m.difsEv != nil || m.slotEv != nil) && m.trace.Enabled() && len(m.queue) > 0 {
+		e := trace.FrameEvent(trace.KindBackoffFreeze, m.queue[0])
+		e.Slots = m.counter
+		m.trace.Emit(e)
 	}
 	m.cancelAccessTimers()
 }

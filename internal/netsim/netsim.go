@@ -25,6 +25,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -115,6 +116,17 @@ type Options struct {
 	// learned, possibly stale neighbor tables, and the exchange's frames
 	// cost real airtime.
 	InBandLocation bool
+
+	// Trace, when set, receives the full frame-lifecycle event stream of the
+	// run: PHY rx/txdone per node, channel txstart, MAC decision events
+	// (enqueue/backoff/tx/ack/timeout/drop, exposed-terminal joins) and
+	// CO-MAP decision events (concurrency grant/deny, HT adaptation).
+	// Tracing is purely observational — traced runs are bit-identical to
+	// untraced ones.
+	Trace trace.Sink
+	// TraceEnergy additionally records every aggregate-energy change per
+	// node (very verbose). Ignored unless Trace is set.
+	TraceEnergy bool
 
 	// Duration of the measured run.
 	Duration time.Duration
@@ -298,12 +310,14 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		}
 		st := &Station{Node: node, Metrics: metrics.NewRegistry()}
 		cfg.Metrics = st.Metrics
+		cfg.Trace = opts.Trace
 		if opts.Protocol == ProtocolComap {
 			provider := &providerRef{p: n.Locs}
 			n.providers[node.ID] = provider
 			agent := comap.NewAgent(node.ID, opts.ComapModel, provider)
 			agent.SetRates(opts.PHY.Rates)
 			agent.SetMetrics(st.Metrics)
+			agent.SetTrace(trace.NewEmitter(eng, node.ID, opts.Trace))
 			cfg.SendDiscoveryHeader = opts.Header == HeaderFrame
 			cfg.NoRetransmit = true
 			cfg.Concurrency = agent
@@ -388,6 +402,14 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		}
 	}
 
+	// Frame-lifecycle tracing: wrap every transceiver's listener chain with a
+	// Tracer and observe channel transmit starts. Attached after all other
+	// listeners so protocol handlers run unchanged (the tracer records, then
+	// forwards), keeping traced runs bit-identical to untraced ones.
+	if opts.Trace != nil {
+		trace.InstrumentMedium(eng, medium, opts.Trace, opts.TraceEnergy)
+	}
+
 	// Wire traffic flows.
 	for _, f := range top.Flows {
 		f := f
@@ -447,18 +469,25 @@ func (n *Network) payloadFunc(src *Station, dst frame.NodeID, senders []frame.No
 			candidates = append(candidates, s)
 		}
 	}
+	// Adaptation decisions are traced only when the chosen setting changes,
+	// so saturated flows don't flood the event stream with identical rows.
+	lastH, lastC, lastW, lastPayload := -1, -1, -1, -1
 	return func() int {
 		// The paper's mechanism is a hidden-terminal response ("dynamic
 		// adaptation of packet size according to the number of potential
 		// HTs"): with none detected, the standard settings stay in place.
 		h, c := src.Agent.CountEnvironment(dst, candidates)
-		if h == 0 {
-			src.MAC.SetFixedCW(opts.FixedCW)
-			return opts.PayloadBytes
+		w, payload := opts.FixedCW, opts.PayloadBytes
+		if h > 0 {
+			setting := opts.AdaptTable.Lookup(h, c)
+			w, payload = setting.W, setting.PayloadBytes
 		}
-		setting := opts.AdaptTable.Lookup(h, c)
-		src.MAC.SetFixedCW(setting.W)
-		return setting.PayloadBytes
+		src.MAC.SetFixedCW(w)
+		if h != lastH || c != lastC || w != lastW || payload != lastPayload {
+			lastH, lastC, lastW, lastPayload = h, c, w, payload
+			src.Agent.TraceAdaptation(dst, h, c, w, payload)
+		}
+		return payload
 	}
 }
 
@@ -536,6 +565,12 @@ func (n *Network) Run() *Results {
 	start := time.Now()
 	n.Eng.RunUntil(n.Opts.Duration)
 	n.wall = time.Since(start)
+	if n.Opts.Trace != nil {
+		n.Opts.Trace.Record(trace.Event{
+			AtMicros: int64(n.Opts.Duration / time.Microsecond),
+			Kind:     trace.KindRunEnd,
+		})
+	}
 	res := &Results{Duration: n.Opts.Duration}
 	for _, f := range n.Top.Flows {
 		sink := n.Stations[f.Dst]

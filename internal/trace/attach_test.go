@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"errors"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // spyListener records every indication so tests can verify the tracer chains
@@ -33,8 +34,8 @@ var _ channel.Listener = (*spyListener)(nil)
 func TestTracerChainsInnerListener(t *testing.T) {
 	eng := sim.New(1)
 	inner := &spyListener{}
-	var buf Buffer
-	tr := New(eng, 7, inner, &buf, true)
+	var buf trace.Buffer
+	tr := trace.New(eng, 7, inner, &buf, true)
 
 	data := frame.Frame{Kind: frame.Data, Src: 2, Dst: 7, Seq: 5, PayloadBytes: 100}
 	ack := frame.Frame{Kind: frame.Ack, Src: 7, Dst: 2}
@@ -57,24 +58,24 @@ func TestTracerChainsInnerListener(t *testing.T) {
 	if len(buf.Events) != 4 {
 		t.Fatalf("sink saw %d events, want 4", len(buf.Events))
 	}
-	if e := buf.Events[0]; e.Kind != "rx" || e.Node != 7 || e.Src != 2 || e.Seq != 5 || !e.OK {
+	if e := buf.Events[0]; e.Kind != "rx" || e.Node != 7 || e.Src != 2 || e.SeqNo() != 5 || !e.Decoded() {
 		t.Errorf("mirrored rx event wrong: %+v", e)
 	}
-	if e := buf.Events[1]; e.OK {
+	if e := buf.Events[1]; e.Decoded() {
 		t.Errorf("corrupted rx mirrored as ok: %+v", e)
 	}
 	if e := buf.Events[2]; e.Kind != "txdone" || e.FrameKind != frame.Ack.String() {
 		t.Errorf("mirrored txdone event wrong: %+v", e)
 	}
-	if e := buf.Events[3]; e.Kind != "energy" || e.RSSIDBm != -75 {
+	if e := buf.Events[3]; e.Kind != "energy" || e.RSSIDBm == nil || *e.RSSIDBm != -75 {
 		t.Errorf("mirrored energy event wrong: %+v", e)
 	}
 }
 
 func TestTracerToleratesNilInner(t *testing.T) {
 	eng := sim.New(1)
-	var buf Buffer
-	tr := New(eng, 1, nil, &buf, true)
+	var buf trace.Buffer
+	tr := trace.New(eng, 1, nil, &buf, true)
 	tr.FrameReceived(frame.Frame{Kind: frame.Data}, true, -60)
 	tr.TransmitDone(frame.Frame{Kind: frame.Ack})
 	tr.EnergyChanged(-80)
@@ -95,8 +96,8 @@ func TestAttachKeepsProtocolRunning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf Buffer
-	Attach(n.Eng, n.Medium, &buf, false)
+	var buf trace.Buffer
+	trace.Attach(n.Eng, n.Medium, &buf, false)
 	res := n.Run()
 	if res.Total() <= 0 {
 		t.Error("goodput zero: tracer did not chain to the MAC listeners")
@@ -107,6 +108,47 @@ func TestAttachKeepsProtocolRunning(t *testing.T) {
 	}
 	if len(nodes) < 2 {
 		t.Errorf("events from %d nodes, want at least sender and receiver", len(nodes))
+	}
+}
+
+func TestInstrumentMediumRecordsTxStarts(t *testing.T) {
+	top := topology.ETSweep(30)
+	opts := netsim.TestbedOptions()
+	opts.Protocol = netsim.ProtocolDCF
+	opts.Seed = 4
+	opts.Duration = 300 * time.Millisecond
+	n, err := netsim.Build(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf trace.Buffer
+	if got := trace.InstrumentMedium(n.Eng, n.Medium, &buf, false); got != len(top.Nodes) {
+		t.Fatalf("InstrumentMedium wrapped %d nodes", got)
+	}
+	n.Run()
+	starts, dones := 0, 0
+	for _, e := range buf.Events {
+		switch e.Kind {
+		case trace.KindTxStart:
+			starts++
+			if e.DurUs <= 0 {
+				t.Fatalf("txstart without airtime: %+v", e)
+			}
+			if e.Rate == "" {
+				t.Fatalf("txstart without rate: %+v", e)
+			}
+		case trace.KindTxDone:
+			dones++
+		}
+	}
+	if starts == 0 {
+		t.Fatal("no txstart events recorded")
+	}
+	// Every completed transmission pairs a start with a done; at most one
+	// frame per node can still be on the air when the run ends.
+	if dones > starts || starts-dones > len(top.Nodes) {
+		t.Errorf("txstart=%d txdone=%d, want matched pairs modulo in-flight frames",
+			starts, dones)
 	}
 }
 
@@ -127,8 +169,8 @@ func (f *failAfter) Write(p []byte) (int, error) {
 }
 
 func TestWriterSurfacesWriteErrors(t *testing.T) {
-	w := NewWriter(&failAfter{n: 100})
-	e := Event{Kind: "rx", Node: 1, FrameKind: "DATA"}
+	w := trace.NewWriter(&failAfter{n: 100})
+	e := trace.Event{Kind: "rx", Node: 1, FrameKind: "DATA"}
 	for i := 0; i < 50; i++ {
 		w.Record(e)
 	}
