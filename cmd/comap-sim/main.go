@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/bianchi"
+	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/netsim"
 	"repro/internal/topology"
@@ -50,8 +51,14 @@ func run() error {
 		traceEnergy = flag.Bool("trace-energy", false, "also trace per-node energy changes (verbose)")
 		reportPath  = flag.String("report", "", "write a JSON run report to this file")
 		slice       = flag.Duration("slice", 0, "goodput time-slice interval for the report (0 = no slicing)")
+		faultSpec   = flag.String("faults", "", `fault-injection spec, e.g. "locloss:p=0.3;outage:node=2,at=1s,dur=500ms"`)
 	)
 	flag.Parse()
+
+	spec, err := validateFlags(*duration, *slice, *posErr, *cbr, *payload, *cw, *faultSpec)
+	if err != nil {
+		return err
+	}
 
 	top, defaultRegime, err := buildTopology(*topoName, *pos, *roles, *contenders, *hidden, *seed)
 	if err != nil {
@@ -86,6 +93,7 @@ func run() error {
 
 	opts.Seed = *seed
 	opts.Duration = *duration
+	opts.Faults = spec
 	opts.CBRBitsPerSec = *cbr
 	opts.PositionErrorMeters = *posErr
 	if *payload > 0 {
@@ -178,6 +186,36 @@ func run() error {
 		fmt.Printf("wrote run report to %s\n", *reportPath)
 	}
 	return nil
+}
+
+// validateFlags checks the value ranges that flag parsing alone cannot and
+// parses the fault specification (nil when empty). It runs before any
+// simulator state is built so a bad invocation fails fast with a message
+// naming the offending flag.
+func validateFlags(duration, slice time.Duration, posErr, cbr float64, payload, cw int, faultSpec string) (*faults.Spec, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("-duration must be positive, got %v", duration)
+	}
+	if slice < 0 {
+		return nil, fmt.Errorf("-slice must be >= 0, got %v", slice)
+	}
+	if posErr < 0 {
+		return nil, fmt.Errorf("-poserr must be >= 0, got %g", posErr)
+	}
+	if cbr < 0 {
+		return nil, fmt.Errorf("-cbr must be >= 0, got %g", cbr)
+	}
+	if payload < 0 {
+		return nil, fmt.Errorf("-payload must be >= 0, got %d", payload)
+	}
+	if cw < 0 {
+		return nil, fmt.Errorf("-cw must be >= 0, got %d", cw)
+	}
+	spec, err := faults.Parse(faultSpec)
+	if err != nil {
+		return nil, fmt.Errorf("bad -faults spec: %w", err)
+	}
+	return spec, nil
 }
 
 func buildTopology(name string, pos float64, roleStr string, contenders, hidden int, seed int64) (topology.Topology, string, error) {

@@ -13,7 +13,9 @@ import (
 
 // runAnomalies implements the anomalies subcommand: scan a trace for the
 // protocol pathologies the paper targets — hidden-terminal collisions,
-// retry storms and failed exposed-terminal grants.
+// retry storms and failed exposed-terminal grants — and, on fault-injected
+// traces, attribute goodput dips and health fallbacks to the injected
+// fault windows.
 func runAnomalies(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("anomalies", flag.ContinueOnError)
 	fs.SetOutput(w)
@@ -75,6 +77,20 @@ type etFailure struct {
 	retries int
 }
 
+// faultWindow is one injected fault activation, with the degraded-mode
+// behavior attributed to it: health fallbacks inside the window (plus the
+// staleness lag, since a fix's age keeps tripping the gate after the window
+// closes, until the next report lands) and the delivered goodput inside the
+// window versus the run mean.
+type faultWindow struct {
+	kind           string
+	node           frame.NodeID // Broadcast = network-wide
+	startUs, endUs int64
+	wholeRun       bool // armed for the run (no window length recorded)
+	fallbacks      int
+	bps            float64
+}
+
 type anomalyReport struct {
 	guardUs      int64
 	stormLen     int
@@ -85,14 +101,22 @@ type anomalyReport struct {
 	storms       []stormRecord
 	etFails      []etFailure
 	etConcurrent int // spans with at least one ET-concurrent attempt
+
+	// Fault attribution (fault-injected traces only).
+	faults    []faultWindow
+	fallbacks int
+	byReason  map[string]int
+	meanBps   float64 // whole-run delivered goodput, the dip baseline
 }
 
 // findAnomalies runs all detectors over a decoded trace.
 func findAnomalies(events []trace.Event, guardUs int64, stormLen int) *anomalyReport {
 	rep := &anomalyReport{guardUs: guardUs, stormLen: stormLen}
 	intervals := onAirIntervals(events)
+	spans := span.FromEvents(events)
 	rep.scanCollisions(events, intervals)
-	rep.scanSpans(span.FromEvents(events))
+	rep.scanSpans(spans)
+	rep.scanFaults(events, spans)
 	return rep
 }
 
@@ -226,6 +250,98 @@ func (rep *anomalyReport) scanSpans(spans []*span.Span) {
 	})
 }
 
+// fallbackLagUs extends a fault window for fallback attribution: a stale
+// fix keeps tripping the health gate after its fault window closes, until
+// the next report lands — at most one location-service heartbeat later.
+const fallbackLagUs = 1_000_000
+
+// scanFaults collects injected fault windows and "co.fallback" decisions,
+// then attributes fallbacks and goodput dips to the windows. Traces without
+// fault events leave the report's fault section empty.
+func (rep *anomalyReport) scanFaults(events []trace.Event, spans []*span.Span) {
+	var endUs int64
+	for _, e := range events {
+		if e.AtMicros > endUs {
+			endUs = e.AtMicros
+		}
+		switch e.Kind {
+		case trace.KindFault:
+			w := faultWindow{
+				kind:    e.Reason,
+				node:    e.Src,
+				startUs: e.AtMicros,
+				endUs:   e.AtMicros + e.DurUs,
+			}
+			if e.DurUs == 0 {
+				w.wholeRun = true // end patched to the run end below
+			}
+			rep.faults = append(rep.faults, w)
+		case trace.KindCoFallback:
+			rep.fallbacks++
+			if rep.byReason == nil {
+				rep.byReason = make(map[string]int)
+			}
+			rep.byReason[e.Reason]++
+		}
+	}
+	if len(rep.faults) == 0 && rep.fallbacks == 0 {
+		return
+	}
+	for i := range rep.faults {
+		if rep.faults[i].wholeRun {
+			rep.faults[i].endUs = endUs
+		}
+	}
+
+	// Delivered-goodput timeline from acked spans, for the dip baseline and
+	// the per-window rates.
+	type delivery struct {
+		atUs  int64
+		bytes int
+	}
+	var deliveries []delivery
+	var totalBytes int64
+	for _, s := range spans {
+		if s.Outcome != span.OutcomeAcked {
+			continue
+		}
+		at := s.DeliveredUs
+		if at < 0 {
+			at = s.EndUs
+		}
+		deliveries = append(deliveries, delivery{atUs: at, bytes: s.Payload})
+		totalBytes += int64(s.Payload)
+	}
+	if endUs > 0 {
+		rep.meanBps = 8e6 * float64(totalBytes) / float64(endUs)
+	}
+
+	for _, e := range events {
+		if e.Kind != trace.KindCoFallback {
+			continue
+		}
+		for i := range rep.faults {
+			w := &rep.faults[i]
+			if e.AtMicros >= w.startUs && e.AtMicros <= w.endUs+fallbackLagUs {
+				w.fallbacks++
+			}
+		}
+	}
+	for i := range rep.faults {
+		w := &rep.faults[i]
+		if w.endUs <= w.startUs {
+			continue
+		}
+		var inWindow int64
+		for _, d := range deliveries {
+			if d.atUs >= w.startUs && d.atUs < w.endUs {
+				inWindow += int64(d.bytes)
+			}
+		}
+		w.bps = 8e6 * float64(inWindow) / float64(w.endUs-w.startUs)
+	}
+}
+
 func (rep *anomalyReport) flushStorm(runs map[linkKey]*stormRecord, k linkKey) {
 	r := runs[k]
 	if r == nil {
@@ -285,6 +401,48 @@ func (rep *anomalyReport) print(w io.Writer) {
 	for _, f := range rep.etFails {
 		fmt.Fprintf(w, "  t=%9.3fms %-12s dropped (%s) after %d retries\n",
 			ms(f.atUs), f.link, f.reason, f.retries)
+	}
+
+	if len(rep.faults) == 0 && rep.fallbacks == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ninjected faults: %d windows, %d location-health fallbacks",
+		len(rep.faults), rep.fallbacks)
+	if len(rep.byReason) > 0 {
+		reasons := make([]string, 0, len(rep.byReason))
+		for r := range rep.byReason {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Fprint(w, " (")
+		for i, r := range reasons {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s=%d", r, rep.byReason[r])
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+	if rep.meanBps > 0 {
+		fmt.Fprintf(w, "  run-mean delivered goodput: %.3f Mbps; fallbacks attributed within %.0fms of each window\n",
+			rep.meanBps/1e6, float64(fallbackLagUs)/1e3)
+	}
+	for _, f := range rep.faults {
+		target := "all nodes"
+		if f.node != frame.Broadcast {
+			target = fmt.Sprintf("node %d", f.node)
+		}
+		window := fmt.Sprintf("+%.3fms", ms(f.endUs-f.startUs))
+		if f.wholeRun {
+			window = "whole-run"
+		}
+		fmt.Fprintf(w, "  t=%9.3fms %-10s %-8s %-9s %4d fallbacks",
+			ms(f.startUs), window, f.kind, target, f.fallbacks)
+		if rep.meanBps > 0 && f.endUs > f.startUs {
+			fmt.Fprintf(w, "   goodput %7.3f Mbps (%.2fx run mean)", f.bps/1e6, f.bps/rep.meanBps)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -161,6 +161,52 @@ func TestDiffReportsGoodputDelta(t *testing.T) {
 	}
 }
 
+// faultedTrace is a synthetic fault-injected trace: one acked frame before
+// an outage window on node 1, one acked inside it, two health fallbacks
+// within the window's attribution interval (the window plus the staleness
+// lag) and one far past it.
+const faultedTrace = `{"at_us":100,"node":1,"kind":"mac.enqueue","frame":"DATA","src":1,"dst":2,"seq":0,"payload":1000}
+{"at_us":200000,"node":1,"kind":"mac.ack","frame":"DATA","src":1,"dst":2,"seq":0}
+{"at_us":500000,"node":1,"kind":"fault","src":1,"reason":"outage","dur_us":300000}
+{"at_us":550000,"node":1,"kind":"mac.enqueue","frame":"DATA","src":1,"dst":2,"seq":1,"payload":1000}
+{"at_us":600000,"node":1,"kind":"mac.ack","frame":"DATA","src":1,"dst":2,"seq":1}
+{"at_us":600000,"node":2,"kind":"co.fallback","src":1,"dst":2,"reason":"unhealthy_fix"}
+{"at_us":1200000,"node":2,"kind":"co.fallback","src":1,"dst":2,"reason":"unhealthy_fix"}
+{"at_us":3000000,"node":2,"kind":"co.fallback","src":1,"dst":2,"reason":"unhealthy_fix"}
+`
+
+// TestAnomaliesAttributesFaults checks the fault section of the anomalies
+// report: window inventory, fallback attribution with the staleness lag, and
+// the per-window goodput relative to the run mean.
+func TestAnomaliesAttributesFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faulted.jsonl")
+	if err := os.WriteFile(path, []byte(faultedTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOut(t, "anomalies", path)
+	for _, want := range []string{
+		"injected faults: 1 windows, 3 location-health fallbacks (unhealthy_fix=3)",
+		"run-mean delivered goodput",
+		"outage",
+		"node 1",
+		"2 fallbacks", // 600ms and 1200ms fall inside [500ms, 800ms+lag]; 3000ms does not
+		"goodput",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("anomalies output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnomaliesNoFaultSectionOnCleanTrace keeps fault-free traces free of
+// the fault section (and the golden outputs stable).
+func TestAnomaliesNoFaultSectionOnCleanTrace(t *testing.T) {
+	out := runOut(t, "anomalies", filepath.Join("testdata", "ht-dcf.jsonl"))
+	if strings.Contains(out, "injected faults") {
+		t.Errorf("fault section present on a fault-free trace:\n%s", out)
+	}
+}
+
 // TestBareFileRunsSummary preserves the original single-purpose interface.
 func TestBareFileRunsSummary(t *testing.T) {
 	path := filepath.Join("testdata", "ht-dcf.jsonl")

@@ -84,6 +84,12 @@ type Medium struct {
 	// announced data is already on the air").
 	HeaderIndicationAt func(r phy.Rate) time.Duration
 
+	// extraPathLossDB is additional attenuation applied to every received-
+	// power sample (burst fading injected by the faults layer). It affects
+	// frames put on the air after the change; in-flight frames keep their
+	// start-of-transmission samples.
+	extraPathLossDB float64
+
 	metrics    *metrics.Registry
 	air        *metrics.StateClock
 	collisions *metrics.Counter
@@ -150,6 +156,29 @@ func (m *Medium) Model() radio.LogNormal { return m.model }
 
 // NoiseFloorDBm returns the receiver noise floor.
 func (m *Medium) NoiseFloorDBm() float64 { return m.noise }
+
+// SetNoiseFloorDBm changes the receiver noise floor mid-run (an injected
+// interference event, e.g. a microwave oven or a co-channel BSS powering
+// up). Every locked reception is immediately re-evaluated against the new
+// floor, so a jump can corrupt frames already in flight.
+func (m *Medium) SetNoiseFloorDBm(dbm float64) {
+	if dbm == m.noise {
+		return
+	}
+	m.noise = dbm
+	for _, n := range m.nodes {
+		m.updateSINR(n)
+	}
+}
+
+// ExtraPathLossDB returns the current injected burst-fading attenuation.
+func (m *Medium) ExtraPathLossDB() float64 { return m.extraPathLossDB }
+
+// SetExtraPathLossDB sets a uniform extra attenuation on all links (a burst-
+// fading window injected by the faults layer). It applies to frames
+// transmitted after the call; in-flight frames keep the powers sampled at
+// their start. Zero restores the nominal channel.
+func (m *Medium) SetExtraPathLossDB(db float64) { m.extraPathLossDB = db }
 
 // AddNode registers a transceiver on the medium. Adding a duplicate ID
 // panics: node identity is fixed at topology-construction time and a
@@ -262,7 +291,7 @@ func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Durati
 			continue
 		}
 		d := t.pos.DistanceTo(n.pos)
-		tx.rxDBm[n.id] = m.model.MeanReceivedDBm(t.txPower, d) + m.shadowDB(t.id, n.id)
+		tx.rxDBm[n.id] = m.model.MeanReceivedDBm(t.txPower, d) + m.shadowDB(t.id, n.id) - m.extraPathLossDB
 	}
 	t.sending = tx
 	t.lock = nil // half-duplex: abort any reception
@@ -400,7 +429,7 @@ func (m *Medium) endTransmission(tx *transmission) {
 // diagnostic tools; protocol logic uses the per-frame samples.
 func (m *Medium) ReceivedPowerSampleDBm(src, dst *Transceiver) float64 {
 	d := src.pos.DistanceTo(dst.pos)
-	return m.model.MeanReceivedDBm(src.txPower, d) + m.shadowDB(src.id, dst.id)
+	return m.model.MeanReceivedDBm(src.txPower, d) + m.shadowDB(src.id, dst.id) - m.extraPathLossDB
 }
 
 // shadowDB returns the shadowing term (dB) for a frame from a to b: the

@@ -75,6 +75,23 @@ func (c *CoOccurrenceMap) Invalidate() {
 	c.entries = make(map[Link]map[frame.NodeID]bool)
 }
 
+// InvalidateNode clears only the verdicts involving id — rows whose ongoing
+// link has id as an endpoint, and id's column in every remaining row. Station
+// churn calls it so one node leaving or re-joining does not throw away the
+// whole map. Hit/miss counters survive, like with Invalidate.
+func (c *CoOccurrenceMap) InvalidateNode(id frame.NodeID) {
+	for l, row := range c.entries {
+		if l.Src == id || l.Dst == id {
+			delete(c.entries, l)
+			continue
+		}
+		delete(row, id)
+		if len(row) == 0 {
+			delete(c.entries, l)
+		}
+	}
+}
+
 // Agent is one node's CO-MAP instance. It implements mac.ConcurrencyPolicy
 // via the co-occurrence map, mac.RateCapper via position-predicted SIR, and
 // provides the hidden-terminal-aware transmission settings.
@@ -88,18 +105,24 @@ type Agent struct {
 	// (from its discovery header); it drives persistent concurrency.
 	seen map[Link]time.Duration
 
+	// Location-health model (zero = trust the provider unconditionally).
+	health HealthPolicy
+	now    func() time.Duration
+
 	// Telemetry (nil-safe; see SetMetrics).
-	mHeaders    *metrics.Counter
-	mHit        *metrics.Counter
-	mMiss       *metrics.Counter
-	mAllow      *metrics.Counter
-	mDeny       *metrics.Counter
-	mPersistOK  *metrics.Counter
-	mPersistNo  *metrics.Counter
-	mInvalidate *metrics.Counter
-	mMapSize    *metrics.Gauge
-	mEnvHidden  *metrics.Gauge
-	mEnvCont    *metrics.Gauge
+	mHeaders       *metrics.Counter
+	mHit           *metrics.Counter
+	mMiss          *metrics.Counter
+	mAllow         *metrics.Counter
+	mDeny          *metrics.Counter
+	mPersistOK     *metrics.Counter
+	mPersistNo     *metrics.Counter
+	mInvalidate    *metrics.Counter
+	mFallback      *metrics.Counter
+	mFallbackAdapt *metrics.Counter
+	mMapSize       *metrics.Gauge
+	mEnvHidden     *metrics.Gauge
+	mEnvCont       *metrics.Gauge
 
 	tr *trace.Emitter
 }
@@ -130,6 +153,8 @@ func (a *Agent) SetMetrics(reg *metrics.Registry) {
 	a.mPersistOK = reg.Counter("comap.persistent.ok")
 	a.mPersistNo = reg.Counter("comap.persistent.blocked")
 	a.mInvalidate = reg.Counter("comap.map.invalidate")
+	a.mFallback = reg.Counter("comap.fallback.dcf")
+	a.mFallbackAdapt = reg.Counter("comap.fallback.adapt")
 	a.mMapSize = reg.Gauge("comap.map.links")
 	a.mEnvHidden = reg.Gauge("comap.env.hidden")
 	a.mEnvCont = reg.Gauge("comap.env.contenders")
@@ -153,6 +178,15 @@ func (a *Agent) emitVerdict(ongoing Link, myDst frame.NodeID, allowed bool, prov
 		Kind: kind, Src: ongoing.Src, Dst: ongoing.Dst,
 		OurDst: myDst, Reason: provenance,
 	})
+}
+
+// traceFallbackEvent builds the "co.fallback" record for a health-gated
+// decision on the given ongoing link while we wanted to reach myDst.
+func traceFallbackEvent(ongoing Link, myDst frame.NodeID, reason string) trace.Event {
+	return trace.Event{
+		Kind: trace.KindCoFallback, Src: ongoing.Src, Dst: ongoing.Dst,
+		OurDst: myDst, Reason: reason,
+	}
 }
 
 // TraceAdaptation records a hidden-terminal packet-size/CW adaptation
@@ -237,6 +271,16 @@ const concurrencyFloorFactor = 0.5
 // check when a rate set is installed) and insert the verdict.
 func (a *Agent) Allowed(ongoingSrc, ongoingDst, myDst frame.NodeID) bool {
 	ongoing := Link{Src: ongoingSrc, Dst: ongoingDst}
+	if a.healthEnabled() {
+		// Health gate: when any involved fix is missing or past the
+		// confidence bound, behave like plain DCF (no concurrent TX). The
+		// verdict is NOT cached — transient ill-health must not poison the
+		// persistent co-occurrence map.
+		if _, _, healthy := a.fixHealth(a.id, myDst, ongoingSrc, ongoingDst); !healthy {
+			a.fallbackToDCF(ongoing, myDst, "unhealthy_fix")
+			return false
+		}
+	}
 	if allowed, found := a.cmap.Lookup(ongoing, myDst); found {
 		a.mHit.Inc()
 		a.emitVerdict(ongoing, myDst, allowed, "cached")
@@ -264,22 +308,40 @@ func (a *Agent) rateEconomical(src, dst, interferer frame.NodeID) bool {
 	if len(a.rates) == 0 {
 		return true
 	}
-	ps, ok1 := a.locs.Position(src)
-	pd, ok2 := a.locs.Position(dst)
-	pi, ok3 := a.locs.Position(interferer)
+	fs, ok1 := a.fixOf(src)
+	fd, ok2 := a.fixOf(dst)
+	fi, ok3 := a.fixOf(interferer)
 	if !ok1 || !ok2 || !ok3 {
 		return false
 	}
-	d := ps.DistanceTo(pd)
-	r := pi.DistanceTo(pd)
+	d := fs.Pos.DistanceTo(fd.Pos)
+	r := fi.Pos.DistanceTo(fd.Pos)
+	if a.useWorstCaseGeometry() {
+		// Worst case within the reported error radii: own link longer,
+		// interferer closer to the receiver.
+		d += fs.ErrorRadiusMeters + fd.ErrorRadiusMeters
+		r -= fi.ErrorRadiusMeters + fd.ErrorRadiusMeters
+		if r < minWorstCaseMeters {
+			r = minWorstCaseMeters
+		}
+	}
+	age, _, healthy := a.fixHealth(src, dst, interferer)
+	if !healthy {
+		return false
+	}
 	sir := a.model.Prop.PathLossDB(r) - a.model.Prop.PathLossDB(d)
-	capped, ok := a.fastestForSIR(sir - math.Sqrt2*a.model.Prop.SigmaDB)
+	margin := math.Sqrt2*a.model.Prop.SigmaDB + a.stalenessMarginDB(age)
+	capped, ok := a.fastestForSIR(sir - margin)
 	if !ok {
 		return false
 	}
 	alone := a.fastestAlone(d)
 	return capped.BitsPerSec >= concurrencyFloorFactor*alone.BitsPerSec
 }
+
+// minWorstCaseMeters floors worst-case interferer distance so error radii
+// larger than the separation cannot produce a non-positive distance.
+const minWorstCaseMeters = 1.0
 
 // fastestForSIR returns the fastest rate decodable at the given SIR margin.
 func (a *Agent) fastestForSIR(sirDB float64) (phy.Rate, bool) {
@@ -312,6 +374,22 @@ func (a *Agent) OnPositionsChanged() {
 	a.mMapSize.Set(0)
 }
 
+// OnStationChanged invalidates only the verdicts involving id — used for
+// station churn, where one node leaving or re-joining must not discard the
+// whole co-occurrence map. Observed-link state involving id is dropped too,
+// so persistent concurrency cannot keep bypassing carrier sense based on a
+// link that no longer exists.
+func (a *Agent) OnStationChanged(id frame.NodeID) {
+	a.cmap.InvalidateNode(id)
+	for l := range a.seen {
+		if l.Src == id || l.Dst == id {
+			delete(a.seen, l)
+		}
+	}
+	a.mInvalidate.Inc()
+	a.mMapSize.Set(float64(a.cmap.Len()))
+}
+
 // SetRates installs the PHY rate set used by CapRate. The slice is copied.
 func (a *Agent) SetRates(rates []phy.Rate) {
 	a.rates = make([]phy.Rate, len(rates))
@@ -329,17 +407,33 @@ func (a *Agent) CapRate(ongoingSrc, _ /*ongoingDst*/, myDst frame.NodeID, chosen
 	if len(a.rates) == 0 {
 		return chosen
 	}
-	me, ok1 := a.locs.Position(a.id)
-	rx, ok2 := a.locs.Position(myDst)
-	it, ok3 := a.locs.Position(ongoingSrc)
+	fme, ok1 := a.fixOf(a.id)
+	frx, ok2 := a.fixOf(myDst)
+	fit, ok3 := a.fixOf(ongoingSrc)
 	if !ok1 || !ok2 || !ok3 {
+		if a.healthEnabled() {
+			// Degraded mode: a missing fix means the SIR prediction is
+			// meaningless; the validated-at-lowest-rate fallback is safe.
+			return a.slowestRate()
+		}
 		return chosen
 	}
-	d := me.DistanceTo(rx)
-	r := it.DistanceTo(rx)
+	age, _, healthy := a.fixHealth(a.id, myDst, ongoingSrc)
+	if !healthy {
+		return a.slowestRate()
+	}
+	d := fme.Pos.DistanceTo(frx.Pos)
+	r := fit.Pos.DistanceTo(frx.Pos)
+	if a.useWorstCaseGeometry() {
+		d += fme.ErrorRadiusMeters + frx.ErrorRadiusMeters
+		r -= fit.ErrorRadiusMeters + frx.ErrorRadiusMeters
+		if r < minWorstCaseMeters {
+			r = minWorstCaseMeters
+		}
+	}
 	// Equal transmit powers: mean SIR is the path-loss difference.
 	sir := a.model.Prop.PathLossDB(r) - a.model.Prop.PathLossDB(d)
-	margin := math.Sqrt2 * a.model.Prop.SigmaDB
+	margin := math.Sqrt2*a.model.Prop.SigmaDB + a.stalenessMarginDB(age)
 
 	best := a.slowestRate()
 	for _, rt := range a.rates {
@@ -363,13 +457,37 @@ func (a *Agent) slowestRate() phy.Rate {
 }
 
 // CountEnvironment returns the number of potential hidden terminals and
-// contending nodes of the link a.id→dst among the candidate senders.
+// contending nodes of the link a.id→dst among the candidate senders. Under
+// the health model, an unhealthy fix on either endpoint falls the link back
+// to default transmission settings (no HT-aware adaptation: the paper's
+// h=0 defaults), and candidates with unhealthy fixes are excluded rather
+// than counted from garbage coordinates.
 func (a *Agent) CountEnvironment(dst frame.NodeID, candidates []frame.NodeID) (hidden, contenders int) {
+	if a.healthEnabled() {
+		if _, _, healthy := a.fixHealth(a.id, dst); !healthy {
+			a.mFallbackAdapt.Inc()
+			a.mEnvHidden.Set(0)
+			a.mEnvCont.Set(0)
+			return 0, 0
+		}
+		candidates = a.healthyOnly(candidates)
+	}
 	hidden = len(a.model.HiddenTerminals(a.locs, a.id, dst, candidates))
 	contenders = len(a.model.Contenders(a.locs, a.id, candidates))
 	a.mEnvHidden.Set(float64(hidden))
 	a.mEnvCont.Set(float64(contenders))
 	return hidden, contenders
+}
+
+// healthyOnly filters candidates down to those with healthy fixes.
+func (a *Agent) healthyOnly(ids []frame.NodeID) []frame.NodeID {
+	out := make([]frame.NodeID, 0, len(ids))
+	for _, id := range ids {
+		if _, _, healthy := a.fixHealth(id); healthy {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Adaptation returns the goodput-optimal (contention window, packet size)

@@ -183,11 +183,64 @@ func (e *Endpoint) scheduleCredit(s *stream) {
 // StopStream halts all outgoing streams (pending frames drain normally).
 func (e *Endpoint) StopStream() {
 	for _, s := range e.streams {
-		s.active = false
-		if s.creditEv != nil {
-			e.eng.Cancel(s.creditEv)
-			s.creditEv = nil
+		e.pauseStream(s)
+	}
+}
+
+func (e *Endpoint) pauseStream(s *stream) {
+	s.active = false
+	if s.creditEv != nil {
+		e.eng.Cancel(s.creditEv)
+		s.creditEv = nil
+	}
+}
+
+func (e *Endpoint) resumeStream(s *stream) (resumed bool) {
+	if s.active {
+		return false
+	}
+	s.active = true
+	if s.credit != nil && s.creditEv == nil {
+		e.scheduleCredit(s)
+	}
+	return true
+}
+
+// PauseStreams suspends all outgoing streams, keeping their ARQ state so
+// ResumeStreams can continue them — the station-churn "leave" transition.
+func (e *Endpoint) PauseStreams() { e.StopStream() }
+
+// ResumeStreams reactivates every paused stream (the churn "re-join").
+func (e *Endpoint) ResumeStreams() {
+	resumed := false
+	for _, s := range e.streams {
+		resumed = e.resumeStream(s) || resumed
+	}
+	if resumed {
+		e.pump()
+	}
+}
+
+// PauseStreamsTo suspends only the streams towards dst — the sender-side
+// half of dst's churn: a serving station stops feeding a departed peer.
+func (e *Endpoint) PauseStreamsTo(dst frame.NodeID) {
+	for _, s := range e.streams {
+		if s.dst == dst {
+			e.pauseStream(s)
 		}
+	}
+}
+
+// ResumeStreamsTo reactivates the streams towards dst after it re-joined.
+func (e *Endpoint) ResumeStreamsTo(dst frame.NodeID) {
+	resumed := false
+	for _, s := range e.streams {
+		if s.dst == dst {
+			resumed = e.resumeStream(s) || resumed
+		}
+	}
+	if resumed {
+		e.pump()
 	}
 }
 

@@ -1,0 +1,128 @@
+package comap
+
+import (
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/loc"
+)
+
+// HealthPolicy is CO-MAP's location-health model: instead of trusting every
+// coordinate unconditionally, the agent tracks the age and reported error
+// radius of each peer fix and degrades gracefully when the location substrate
+// misbehaves. Decisions involving a fix past the confidence bound fall back
+// to plain DCF (deny concurrent transmission, default packet size and
+// contention window); younger-but-stale fixes inflate the SIR safety margin
+// so marginal concurrent pairings are vetoed before they corrupt frames.
+type HealthPolicy struct {
+	// MaxFixAge is the confidence bound: a decision involving a fix older
+	// than this (or a peer with no fix at all) falls back to plain DCF.
+	MaxFixAge time.Duration
+	// StalenessMarginDBPerSec inflates the SIR safety margin by this many dB
+	// per second of the oldest involved fix's age, so staler positions need a
+	// larger predicted advantage before concurrency is granted.
+	StalenessMarginDBPerSec float64
+	// UseErrorRadius, when set, evaluates link geometry at worst-case
+	// distances (own link longer, interferer closer, each by the reported
+	// error radius) instead of the nominal reported points.
+	UseErrorRadius bool
+}
+
+// DefaultHealthPolicy returns the policy netsim enables when fault injection
+// is active: fall back to DCF once a fix is older than three in-band refresh
+// intervals, and demand 1 dB of extra margin per second of staleness.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{
+		MaxFixAge:               3 * time.Second,
+		StalenessMarginDBPerSec: 1.0,
+		UseErrorRadius:          true,
+	}
+}
+
+// Enabled reports whether the policy gates anything.
+func (h HealthPolicy) Enabled() bool { return h.MaxFixAge > 0 }
+
+// SetHealth enables the location-health model. now supplies virtual time for
+// fix-age computation; a zero policy (or nil clock) disables gating and
+// restores the oracle-trusting behavior.
+func (a *Agent) SetHealth(p HealthPolicy, now func() time.Duration) {
+	a.health = p
+	a.now = now
+}
+
+// Health returns the active policy (zero when disabled).
+func (a *Agent) Health() HealthPolicy { return a.health }
+
+// healthEnabled reports whether health gating is live.
+func (a *Agent) healthEnabled() bool { return a.health.Enabled() && a.now != nil }
+
+// fixOf resolves a peer's fix through the provider. Providers without fix
+// metadata (plain loc.Provider) are treated as always-fresh oracles with no
+// reported error: their fixes carry a negative ReportedAt, which fixHealth
+// reads as age zero rather than an age growing with the sim clock.
+func (a *Agent) fixOf(id frame.NodeID) (loc.Fix, bool) {
+	if fp, ok := a.locs.(loc.FixProvider); ok {
+		return fp.Fix(id)
+	}
+	p, ok := a.locs.Position(id)
+	return loc.Fix{Pos: p, ReportedAt: -1}, ok
+}
+
+// fixHealth summarises the health of the fixes of the given peers: the
+// oldest age and largest error radius among them. healthy is false when any
+// peer has no fix or a fix older than the confidence bound. With health
+// gating disabled it always reports healthy with zero age.
+func (a *Agent) fixHealth(ids ...frame.NodeID) (maxAge time.Duration, maxErr float64, healthy bool) {
+	if !a.healthEnabled() {
+		return 0, 0, true
+	}
+	now := a.now()
+	healthy = true
+	for _, id := range ids {
+		fix, ok := a.fixOf(id)
+		if !ok {
+			return maxAge, maxErr, false
+		}
+		var age time.Duration
+		if fix.ReportedAt >= 0 {
+			age = now - fix.ReportedAt
+			if age < 0 {
+				age = 0
+			}
+		}
+		if age > maxAge {
+			maxAge = age
+		}
+		if fix.ErrorRadiusMeters > maxErr {
+			maxErr = fix.ErrorRadiusMeters
+		}
+		if age > a.health.MaxFixAge {
+			healthy = false
+		}
+	}
+	return maxAge, maxErr, healthy
+}
+
+// stalenessMarginDB converts a fix age into extra SIR margin.
+func (a *Agent) stalenessMarginDB(age time.Duration) float64 {
+	if !a.healthEnabled() {
+		return 0
+	}
+	return a.health.StalenessMarginDBPerSec * age.Seconds()
+}
+
+// useWorstCaseGeometry reports whether link geometry should be evaluated at
+// worst-case distances derived from the fixes' reported error radii.
+func (a *Agent) useWorstCaseGeometry() bool {
+	return a.healthEnabled() && a.health.UseErrorRadius
+}
+
+// fallbackToDCF records one health-gated fallback decision: the agent
+// refused to act on degraded location input and behaved like plain DCF
+// instead. reason distinguishes a missing fix from a stale one.
+func (a *Agent) fallbackToDCF(ongoing Link, myDst frame.NodeID, reason string) {
+	a.mFallback.Inc()
+	if a.tr.Enabled() {
+		a.tr.Emit(traceFallbackEvent(ongoing, myDst, reason))
+	}
+}

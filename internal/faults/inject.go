@@ -1,0 +1,327 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/loc"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ChurnController performs station leave/re-join transitions. netsim.Network
+// implements it; the injector only decides when.
+type ChurnController interface {
+	// StationLeave takes the station off the network: traffic pauses, its
+	// location fix disappears and peers invalidate cached verdicts about it.
+	StationLeave(id frame.NodeID)
+	// StationRejoin brings the station back: it re-registers its position,
+	// traffic resumes and peers invalidate again (it may have moved).
+	StationRejoin(id frame.NodeID)
+}
+
+// BeaconLossSink accepts an in-band beacon-loss process (locx.Node).
+type BeaconLossSink interface {
+	SetLossFn(func() bool)
+}
+
+// Targets are the subsystems the injector drives. Any field may be nil/empty;
+// processes without a target are simply inert.
+type Targets struct {
+	// Loc is the out-of-band location registry (report loss/delay, outages,
+	// bias bursts, and the fix removal side of churn happen here).
+	Loc *loc.Registry
+	// Medium receives burst-fading and noise-floor events.
+	Medium *channel.Medium
+	// Churn performs station leave/re-join.
+	Churn ChurnController
+	// Beacons are the in-band location-exchange endpoints; locloss installs
+	// its loss process on each of them.
+	Beacons []BeaconLossSink
+	// Nodes are all station IDs, in ID order, for processes that apply to
+	// every station (bias with no node=).
+	Nodes []frame.NodeID
+}
+
+// Injector schedules a Spec's fault processes on a simulation engine. All
+// randomness comes from named engine streams ("faults.<idx>.<kind>"), so two
+// runs with the same seed and spec inject identical faults.
+type Injector struct {
+	eng  *sim.Engine
+	spec *Spec
+	t    Targets
+
+	// active[i] reports whether process i's window is currently open.
+	active []bool
+	rngs   []*rand.Rand
+
+	baseNoiseDBm float64
+
+	tr       *trace.Emitter
+	counters map[Kind]*metrics.Counter
+	injected int
+}
+
+// NewInjector builds an injector for the given spec and targets. A nil spec
+// yields a nil injector; every method on a nil injector is a no-op, so
+// callers need no fault-enabled branches.
+func NewInjector(eng *sim.Engine, spec *Spec, t Targets) *Injector {
+	if spec == nil || len(spec.Procs) == 0 {
+		return nil
+	}
+	in := &Injector{
+		eng:    eng,
+		spec:   spec,
+		t:      t,
+		active: make([]bool, len(spec.Procs)),
+		rngs:   make([]*rand.Rand, len(spec.Procs)),
+	}
+	for i, p := range spec.Procs {
+		in.rngs[i] = eng.RNG(fmt.Sprintf("faults.%d.%s", i, p.Kind))
+	}
+	return in
+}
+
+// SetTrace attaches a trace emitter: every window opening emits a "fault"
+// event (Reason = kind, Src = targeted node or broadcast, DurUs = window
+// length) so analyzers can attribute goodput dips to injected faults.
+func (in *Injector) SetTrace(em *trace.Emitter) {
+	if in == nil {
+		return
+	}
+	in.tr = em
+}
+
+// SetMetrics attaches a registry recording "faults.injected.<kind>" counters.
+func (in *Injector) SetMetrics(reg *metrics.Registry) {
+	if in == nil || reg == nil {
+		return
+	}
+	in.counters = make(map[Kind]*metrics.Counter)
+	for _, p := range in.spec.Procs {
+		if _, ok := in.counters[p.Kind]; !ok {
+			in.counters[p.Kind] = reg.Counter("faults.injected." + string(p.Kind))
+		}
+	}
+}
+
+// Injected returns how many fault activations fired (window openings, plus
+// one per whole-run loss/delay process armed at start).
+func (in *Injector) Injected() int {
+	if in == nil {
+		return 0
+	}
+	return in.injected
+}
+
+// Start schedules every process. Call once, before the run.
+func (in *Injector) Start() {
+	if in == nil {
+		return
+	}
+	if in.t.Medium != nil {
+		in.baseNoiseDBm = in.t.Medium.NoiseFloorDBm()
+	}
+	needPipeline := false
+	for i, p := range in.spec.Procs {
+		switch p.Kind {
+		case LocLoss, LocDelay:
+			needPipeline = true
+			if p.windowed() {
+				in.scheduleWindows(i, p, nil, nil)
+			} else {
+				in.active[i] = true
+				in.record(p) // armed for the whole run
+			}
+		case Outage:
+			in.scheduleWindows(i, p,
+				func() { in.setFrozen(p.Node, true) },
+				func() { in.setFrozen(p.Node, false) })
+		case Bias:
+			idx := i
+			in.scheduleWindows(i, p,
+				func() { in.applyBias(idx, p) },
+				func() { in.clearBias(p) })
+		case Churn:
+			in.scheduleWindows(i, p,
+				func() { in.churn(p.Node, true) },
+				func() { in.churn(p.Node, false) })
+		case Fade:
+			in.scheduleWindows(i, p,
+				func() { in.setFade(p.DB) },
+				func() { in.setFade(0) })
+		case Noise:
+			in.scheduleWindows(i, p,
+				func() { in.setNoise(in.baseNoiseDBm + p.DB) },
+				func() { in.setNoise(in.baseNoiseDBm) })
+		}
+	}
+	if needPipeline {
+		if in.t.Loc != nil {
+			in.t.Loc.SetPipelineFault(in.pipelineFault)
+		}
+		for _, b := range in.t.Beacons {
+			b.SetLossFn(in.beaconLost)
+		}
+	}
+}
+
+// scheduleWindows opens process i's window at p.At (recurring every p.Every)
+// and closes it p.Dur later. open/close may be nil for processes whose
+// effect is purely the active flag (pipeline loss/delay windows).
+func (in *Injector) scheduleWindows(i int, p Process, open, close func()) {
+	var start func()
+	start = func() {
+		in.active[i] = true
+		in.record(p)
+		if open != nil {
+			open()
+		}
+		if p.Dur > 0 {
+			in.eng.After(p.Dur, func() {
+				in.active[i] = false
+				if close != nil {
+					close()
+				}
+			})
+		}
+		if p.Every > 0 {
+			in.eng.After(p.Every, start)
+		}
+	}
+	in.eng.After(p.At, start)
+}
+
+// record counts one activation in metrics and trace.
+func (in *Injector) record(p Process) {
+	in.injected++
+	if c := in.counters[p.Kind]; c != nil {
+		c.Inc()
+	}
+	if in.tr.Enabled() {
+		src := frame.Broadcast
+		if p.HasNode {
+			src = frame.NodeID(p.Node)
+		}
+		in.tr.Emit(trace.Event{
+			Kind:   trace.KindFault,
+			Src:    src,
+			Reason: string(p.Kind),
+			DurUs:  p.Dur.Microseconds(),
+		})
+	}
+}
+
+// pipelineFault is the composed report loss/delay process installed on the
+// location registry: any active locloss process may drop the report, and the
+// largest active locdelay latency applies otherwise.
+func (in *Injector) pipelineFault(id frame.NodeID) (time.Duration, bool) {
+	var delay time.Duration
+	for i, p := range in.spec.Procs {
+		if !in.active[i] || !p.applies(id) {
+			continue
+		}
+		switch p.Kind {
+		case LocLoss:
+			if in.rngs[i].Float64() < p.P {
+				return 0, true
+			}
+		case LocDelay:
+			if p.D > delay {
+				delay = p.D
+			}
+		}
+	}
+	return delay, false
+}
+
+// beaconLost is the in-band twin of pipelineFault: active locloss processes
+// consume outgoing location beacons with the same probability.
+func (in *Injector) beaconLost() bool {
+	for i, p := range in.spec.Procs {
+		if p.Kind == LocLoss && in.active[i] {
+			if in.rngs[i].Float64() < p.P {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applies reports whether the process targets the given node.
+func (p Process) applies(id frame.NodeID) bool {
+	return !p.HasNode || frame.NodeID(p.Node) == id
+}
+
+func (in *Injector) setFrozen(node uint16, frozen bool) {
+	if in.t.Loc == nil {
+		return
+	}
+	id := frame.NodeID(node)
+	in.t.Loc.SetFrozen(id, frozen)
+	if !frozen {
+		// Outage over: the stale fix refreshes with the next report; force
+		// one so recovery does not wait for movement or a heartbeat.
+		in.t.Loc.ForceReport(id)
+	}
+}
+
+// applyBias shifts every targeted node's reports by p.M meters in a
+// direction drawn from the process's own stream, then forces a report so the
+// corrupted fix is what peers see during the window.
+func (in *Injector) applyBias(i int, p Process) {
+	if in.t.Loc == nil {
+		return
+	}
+	for _, id := range in.biasTargets(p) {
+		theta := 2 * math.Pi * in.rngs[i].Float64()
+		in.t.Loc.SetBias(id, geom.Vec(p.M*math.Cos(theta), p.M*math.Sin(theta)))
+		in.t.Loc.ForceReport(id)
+	}
+}
+
+func (in *Injector) clearBias(p Process) {
+	if in.t.Loc == nil {
+		return
+	}
+	for _, id := range in.biasTargets(p) {
+		in.t.Loc.SetBias(id, geom.Vec(0, 0))
+		in.t.Loc.ForceReport(id)
+	}
+}
+
+func (in *Injector) biasTargets(p Process) []frame.NodeID {
+	if p.HasNode {
+		return []frame.NodeID{frame.NodeID(p.Node)}
+	}
+	return in.t.Nodes
+}
+
+func (in *Injector) churn(node uint16, leave bool) {
+	if in.t.Churn == nil {
+		return
+	}
+	if leave {
+		in.t.Churn.StationLeave(frame.NodeID(node))
+	} else {
+		in.t.Churn.StationRejoin(frame.NodeID(node))
+	}
+}
+
+func (in *Injector) setFade(db float64) {
+	if in.t.Medium != nil {
+		in.t.Medium.SetExtraPathLossDB(db)
+	}
+}
+
+func (in *Injector) setNoise(dbm float64) {
+	if in.t.Medium != nil {
+		in.t.Medium.SetNoiseFloorDBm(dbm)
+	}
+}

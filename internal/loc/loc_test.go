@@ -96,13 +96,36 @@ func TestForceReport(t *testing.T) {
 	r := NewRegistry(rand.New(rand.NewSource(5)), 0, 100)
 	r.Register(1, geom.Pt(0, 0))
 	r.Move(1, geom.Pt(10, 0)) // below threshold, stale report
-	r.ForceReport(1)
+	if !r.ForceReport(1) {
+		t.Error("ForceReport on a registered node should report ok")
+	}
 	if p, _ := r.Position(1); p != geom.Pt(10, 0) {
 		t.Errorf("forced report = %v", p)
 	}
-	r.ForceReport(99) // unknown: no panic, no update
+	if r.ForceReport(99) { // unknown: no panic, no update, not ok
+		t.Error("ForceReport on an unregistered node must return !ok")
+	}
 	if r.Updates() != 2 {
 		t.Errorf("Updates = %d", r.Updates())
+	}
+}
+
+func TestMovementExactlyAtThresholdDoesNotReport(t *testing.T) {
+	// The paper's rule is strictly "more than" the threshold: a move of
+	// exactly the threshold distance must NOT re-report.
+	r := NewRegistry(rand.New(rand.NewSource(8)), 0, 5)
+	r.Register(1, geom.Pt(0, 0))
+	r.Move(1, geom.Pt(5, 0)) // exactly at threshold
+	if r.Updates() != 1 {
+		t.Errorf("move of exactly the threshold re-reported (updates=%d)", r.Updates())
+	}
+	if p, _ := r.Position(1); p != geom.Pt(0, 0) {
+		t.Errorf("reported position should be stale, got %v", p)
+	}
+	// The tiniest excess past the threshold reports.
+	r.Move(1, geom.Pt(5.000001, 0))
+	if r.Updates() != 2 {
+		t.Errorf("move past the threshold did not report (updates=%d)", r.Updates())
 	}
 }
 

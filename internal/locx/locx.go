@@ -39,6 +39,10 @@ type Config struct {
 	// lost beacon (e.g. the association-time burst colliding) cannot leave
 	// neighbors blind forever. Default 1 s.
 	RefreshInterval time.Duration
+	// ErrorRadiusMeters is the localization error bound attached to every
+	// fix this node learns or reports (typically the registry's error
+	// range). Zero means the source reports no error bound.
+	ErrorRadiusMeters float64
 }
 
 func (c *Config) applyDefaults() {
@@ -69,19 +73,25 @@ type Node struct {
 	isAP    bool
 	apID    frame.NodeID
 
-	table          map[frame.NodeID]geom.Point
+	table          map[frame.NodeID]loc.Fix
 	lastReported   geom.Point
 	lastReportTime time.Duration
 	hasReported    bool
 	rrOrder        []frame.NodeID
 	rr             int
 
+	// lossFn, when set, decides per outgoing beacon whether the in-band
+	// report is lost (the airtime is spent but no receiver learns from it).
+	// The faults layer installs it.
+	lossFn func() bool
+
 	beaconsSent int
+	beaconsLost int
 	bytesSent   int64
 	tickEv      *sim.Event
 }
 
-var _ loc.Provider = (*Node)(nil)
+var _ loc.FixProvider = (*Node)(nil)
 
 // NewClient creates the exchange endpoint of a client associated with apID.
 // measure supplies the client's own (noisy) position fix.
@@ -93,7 +103,7 @@ func NewClient(eng *sim.Engine, m *mac.MAC, apID frame.NodeID, measure func() (g
 		cfg:     cfg,
 		measure: measure,
 		apID:    apID,
-		table:   make(map[frame.NodeID]geom.Point),
+		table:   make(map[frame.NodeID]loc.Fix),
 	}
 }
 
@@ -106,7 +116,7 @@ func NewAP(eng *sim.Engine, m *mac.MAC, measure func() (geom.Point, bool), cfg C
 		cfg:     cfg,
 		measure: measure,
 		isAP:    true,
-		table:   make(map[frame.NodeID]geom.Point),
+		table:   make(map[frame.NodeID]loc.Fix),
 	}
 }
 
@@ -115,13 +125,31 @@ func NewAP(eng *sim.Engine, m *mac.MAC, measure func() (geom.Point, bool), cfg C
 // staggered by the node ID (a few milliseconds) so association-time beacons
 // do not all collide.
 func (n *Node) Start() {
-	if pos, ok := n.measure(); ok {
-		n.table[n.m.ID()] = pos
-	}
+	n.learnSelf()
 	n.eng.After(time.Duration(n.m.ID()%32)*2*time.Millisecond, func() {
 		n.tick()
 		n.scheduleTick()
 	})
+}
+
+// SetLossFn installs the in-band report-loss process: when it returns true
+// for an outgoing beacon, the beacon is lost (its overhead is still counted
+// — the node transmitted it — but no neighbor table learns from it). nil
+// restores lossless beacons. The faults layer drives this off a dedicated
+// seeded stream so runs stay reproducible.
+func (n *Node) SetLossFn(f func() bool) { n.lossFn = f }
+
+// learnSelf refreshes this node's own fix in its table.
+func (n *Node) learnSelf() (geom.Point, bool) {
+	pos, ok := n.measure()
+	if ok {
+		n.table[n.m.ID()] = loc.Fix{
+			Pos:               pos,
+			ReportedAt:        n.eng.Now(),
+			ErrorRadiusMeters: n.cfg.ErrorRadiusMeters,
+		}
+	}
+	return pos, ok
 }
 
 // Stop cancels the periodic work.
@@ -154,11 +182,10 @@ func (n *Node) tick() {
 // maybeReport sends the client's own position to its AP if it moved beyond
 // the update threshold (or was never reported).
 func (n *Node) maybeReport() {
-	pos, ok := n.measure()
+	pos, ok := n.learnSelf()
 	if !ok {
 		return
 	}
-	n.table[n.m.ID()] = pos
 	moved := !n.hasReported || n.lastReported.DistanceTo(pos) > n.cfg.UpdateThresholdMeters
 	stale := n.eng.Now()-n.lastReportTime >= n.cfg.RefreshInterval
 	if n.hasReported && !moved && !stale {
@@ -171,21 +198,35 @@ func (n *Node) maybeReport() {
 		X:    pos.X,
 		Y:    pos.Y,
 	}
-	if err := n.m.Enqueue(f); err != nil {
+	if !n.send(f) {
 		return // queue full: try again next interval
 	}
 	n.lastReported = pos
 	n.lastReportTime = n.eng.Now()
 	n.hasReported = true
+}
+
+// send enqueues one beacon, honoring the injected loss process. It reports
+// whether the beacon counts as sent (lost beacons do: the airtime was spent,
+// the information just never arrived).
+func (n *Node) send(f frame.Frame) bool {
+	if n.lossFn != nil && n.lossFn() {
+		n.beaconsLost++
+		n.beaconsSent++
+		n.bytesSent += int64(f.AirBytes())
+		return true
+	}
+	if err := n.m.Enqueue(f); err != nil {
+		return false
+	}
 	n.beaconsSent++
 	n.bytesSent += int64(f.AirBytes())
+	return true
 }
 
 // broadcastNext re-broadcasts one known position, round-robin.
 func (n *Node) broadcastNext() {
-	if pos, ok := n.measure(); ok {
-		n.table[n.m.ID()] = pos
-	}
+	n.learnSelf()
 	if len(n.rrOrder) != len(n.table) {
 		n.rrOrder = n.rrOrder[:0]
 		for id := range n.table {
@@ -197,22 +238,28 @@ func (n *Node) broadcastNext() {
 	}
 	id := n.rrOrder[n.rr%len(n.rrOrder)]
 	n.rr++
-	pos, ok := n.table[id]
+	fix, ok := n.table[id]
 	if !ok {
 		return
 	}
-	f := frame.Frame{
+	n.send(frame.Frame{
 		Kind: frame.LocationBeacon,
 		Dst:  frame.Broadcast,
 		Seq:  uint16(id),
-		X:    pos.X,
-		Y:    pos.Y,
+		X:    fix.Pos.X,
+		Y:    fix.Pos.Y,
+	})
+}
+
+// Forget drops a node from the neighbor table (station churn: the departed
+// node's position must not linger as a live fix). It reports whether the
+// node was known.
+func (n *Node) Forget(id frame.NodeID) bool {
+	_, ok := n.table[id]
+	if ok {
+		delete(n.table, id)
 	}
-	if err := n.m.Enqueue(f); err != nil {
-		return
-	}
-	n.beaconsSent++
-	n.bytesSent += int64(f.AirBytes())
+	return ok
 }
 
 // positionChangeEpsilon is the movement below which a re-learned position
@@ -230,19 +277,33 @@ func (n *Node) OnBeacon(f frame.Frame) (changed bool) {
 	owner := frame.NodeID(f.Seq)
 	pos := geom.Pt(f.X, f.Y)
 	old, known := n.table[owner]
-	n.table[owner] = pos
-	return !known || old.DistanceTo(pos) > positionChangeEpsilon
+	n.table[owner] = loc.Fix{
+		Pos:               pos,
+		ReportedAt:        n.eng.Now(),
+		ErrorRadiusMeters: n.cfg.ErrorRadiusMeters,
+	}
+	return !known || old.Pos.DistanceTo(pos) > positionChangeEpsilon
 }
 
 // Position implements loc.Provider from the learned neighbor table.
 func (n *Node) Position(id frame.NodeID) (geom.Point, bool) {
-	p, ok := n.table[id]
-	return p, ok
+	fix, ok := n.table[id]
+	return fix.Pos, ok
+}
+
+// Fix implements loc.FixProvider: a learned position's ReportedAt is the
+// time this node last heard a beacon carrying it, so in-band staleness —
+// lost beacons, a silent peer — surfaces directly as fix age.
+func (n *Node) Fix(id frame.NodeID) (loc.Fix, bool) {
+	fix, ok := n.table[id]
+	return fix, ok
 }
 
 // TableSize returns the number of known positions (including self).
 func (n *Node) TableSize() int { return len(n.table) }
 
-// BeaconsSent and BytesSent expose the exchange's airtime overhead.
+// BeaconsSent and BytesSent expose the exchange's airtime overhead;
+// BeaconsLost counts beacons consumed by the injected in-band loss process.
 func (n *Node) BeaconsSent() int { return n.beaconsSent }
+func (n *Node) BeaconsLost() int { return n.beaconsLost }
 func (n *Node) BytesSent() int64 { return n.bytesSent }

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"repro/internal/frame"
+)
+
+// Network implements faults.ChurnController: station leave/re-join
+// transitions driven by injected churn processes.
+//
+// The churn model is application-level: a departed station stops offering
+// traffic (its own flows and the flows other stations run towards it pause),
+// disappears from the location substrate, and every peer drops the cached
+// co-occurrence verdicts and observed-link state involving it — per-node
+// invalidation, not a full map rebuild. The radio front-end stays
+// registered on the medium (a transceiver cannot be unplugged mid-run
+// without perturbing unrelated shadowing streams), which is equivalent to a
+// station that powered down its traffic and localization but not its NIC.
+
+// StationLeave takes the station off the network. Unknown or already
+// departed stations are a no-op.
+func (n *Network) StationLeave(id frame.NodeID) {
+	st, ok := n.Stations[id]
+	if !ok || n.departed == nil || n.departed[id] {
+		return
+	}
+	n.departed[id] = true
+
+	if st.Endpoint != nil {
+		st.Endpoint.PauseStreams()
+	}
+	if st.Peer != nil {
+		st.Peer.Pause()
+	}
+	if st.Locx != nil {
+		st.Locx.Stop()
+	}
+	n.Locs.Deregister(id)
+
+	// Visit peers in topology order so churn transitions are deterministic.
+	for _, node := range n.Top.Nodes {
+		if node.ID == id {
+			continue
+		}
+		other := n.Stations[node.ID]
+		if other.Endpoint != nil {
+			other.Endpoint.PauseStreamsTo(id)
+		}
+		if other.Peer != nil {
+			other.Peer.PauseTo(id)
+		}
+		if other.Locx != nil {
+			other.Locx.Forget(id)
+		}
+		if other.Agent != nil {
+			other.Agent.OnStationChanged(id)
+		}
+	}
+}
+
+// StationRejoin brings a departed station back: it re-registers its position
+// (forcing a fresh report), resumes traffic in both directions and has every
+// peer invalidate its verdicts about the station again — it may have moved
+// while away.
+func (n *Network) StationRejoin(id frame.NodeID) {
+	st, ok := n.Stations[id]
+	if !ok || n.departed == nil || !n.departed[id] {
+		return
+	}
+	delete(n.departed, id)
+
+	if !n.Locs.ForceReport(id) {
+		// Deregistered while away: re-register at the radio's current true
+		// position (Register issues the fresh report).
+		n.Locs.Register(id, n.Medium.Node(id).Position())
+	}
+	if st.Locx != nil {
+		st.Locx.Start()
+	}
+	if st.Endpoint != nil {
+		st.Endpoint.ResumeStreams()
+	}
+	if st.Peer != nil {
+		st.Peer.Resume()
+	}
+
+	for _, node := range n.Top.Nodes {
+		if node.ID == id {
+			continue
+		}
+		other := n.Stations[node.ID]
+		if other.Endpoint != nil {
+			other.Endpoint.ResumeStreamsTo(id)
+		}
+		if other.Peer != nil {
+			other.Peer.ResumeTo(id)
+		}
+		if other.Agent != nil {
+			other.Agent.OnStationChanged(id)
+		}
+	}
+}
+
+// Departed reports whether the station is currently off the network.
+func (n *Network) Departed(id frame.NodeID) bool { return n.departed[id] }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/bianchi"
 	"repro/internal/channel"
 	"repro/internal/comap"
+	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/geom"
 	"repro/internal/loc"
@@ -117,6 +118,17 @@ type Options struct {
 	// cost real airtime.
 	InBandLocation bool
 
+	// Faults activates the fault-injection layer: the spec's processes drive
+	// location-report loss/delay, localization outages, bias bursts, station
+	// churn and channel events, all off the sim clock and seeded streams so
+	// faulted runs stay bit-reproducible.
+	Faults *faults.Spec
+	// LocationHealth overrides CO-MAP's location-health policy. nil selects
+	// comap.DefaultHealthPolicy() when Faults is set (so degraded input gets
+	// degraded-mode consumption by default) and disables health gating
+	// otherwise; a zero-valued policy explicitly disables it.
+	LocationHealth *comap.HealthPolicy
+
 	// Trace, when set, receives the full frame-lifecycle event stream of the
 	// run: PHY rx/txdone per node, channel txstart, MAC decision events
 	// (enqueue/backoff/tx/ack/timeout/drop, exposed-terminal joins) and
@@ -215,6 +227,17 @@ func (r *providerRef) Position(id frame.NodeID) (geom.Point, bool) {
 	return r.p.Position(id)
 }
 
+// Fix forwards fix metadata (report age, error radius) so the agent's
+// location-health model sees the real pipeline state through the
+// indirection; a provider without metadata reads as an always-fresh oracle.
+func (r *providerRef) Fix(id frame.NodeID) (loc.Fix, bool) {
+	if fp, ok := r.p.(loc.FixProvider); ok {
+		return fp.Fix(id)
+	}
+	p, ok := r.Position(id)
+	return loc.Fix{Pos: p, ReportedAt: -1}, ok
+}
+
 // deliveredFrom returns the per-source goodput meter of this station's sink.
 func (s *Station) deliveredFrom(src frame.NodeID) *stats.GoodputMeter {
 	if s.Endpoint != nil {
@@ -237,6 +260,10 @@ type Network struct {
 
 	providers map[frame.NodeID]*providerRef
 
+	// Fault-injection state (nil/empty without Options.Faults).
+	injector *faults.Injector
+	departed map[frame.NodeID]bool
+
 	// Goodput slicing (see StartSlicing) and engine self-profiling.
 	sampler     *metrics.Sampler
 	sliceSeries map[topology.Flow]*metrics.Series
@@ -254,9 +281,29 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 	if opts.Duration <= 0 {
 		return nil, fmt.Errorf("netsim: non-positive duration")
 	}
+	if opts.Faults != nil {
+		byID := make(map[frame.NodeID]bool, len(top.Nodes))
+		for _, node := range top.Nodes {
+			byID[node.ID] = true
+		}
+		for _, p := range opts.Faults.Procs {
+			if p.HasNode && !byID[frame.NodeID(p.Node)] {
+				return nil, fmt.Errorf("netsim: fault %s targets unknown node %d", p.Kind, p.Node)
+			}
+		}
+	}
 
 	if opts.Header == 0 {
 		opts.Header = HeaderEmbedded
+	}
+
+	// Location-health policy: explicit override, or the default whenever
+	// faults are injected (degraded input gets degraded-mode consumption).
+	health := comap.HealthPolicy{}
+	if opts.LocationHealth != nil {
+		health = *opts.LocationHealth
+	} else if opts.Faults != nil {
+		health = comap.DefaultHealthPolicy()
 	}
 
 	eng := sim.New(opts.Seed)
@@ -287,8 +334,16 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		threshold = 1
 	}
 	n.Locs = loc.NewRegistry(eng.RNG("loc"), opts.PositionErrorMeters, threshold)
+	n.Locs.SetClock(eng.Now)
+	n.Locs.SetScheduler(func(d time.Duration, fn func()) { eng.After(d, fn) })
 	for _, node := range top.Nodes {
 		n.Locs.Register(node.ID, node.Pos)
+	}
+	if health.Enabled() {
+		// Keepalive re-reports bound every fix's age while the pipeline is
+		// healthy, so the health gate only trips during genuine loss, delay
+		// or outage windows.
+		n.Locs.StartHeartbeat(locHeartbeatInterval)
 	}
 
 	senders := top.Senders()
@@ -316,6 +371,9 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 			n.providers[node.ID] = provider
 			agent := comap.NewAgent(node.ID, opts.ComapModel, provider)
 			agent.SetRates(opts.PHY.Rates)
+			if health.Enabled() {
+				agent.SetHealth(health, eng.Now)
+			}
 			agent.SetMetrics(st.Metrics)
 			agent.SetTrace(trace.NewEmitter(eng, node.ID, opts.Trace))
 			cfg.SendDiscoveryHeader = opts.Header == HeaderFrame
@@ -383,7 +441,7 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 				apOf[f.Src] = f.Dst
 			}
 		}
-		cfg := locx.Config{}
+		cfg := locx.Config{ErrorRadiusMeters: opts.PositionErrorMeters}
 		for _, node := range top.Nodes {
 			id := node.ID
 			st := n.Stations[id]
@@ -426,8 +484,37 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 			src.Peer.StartSaturated(f.Dst, payloadFn)
 		}
 	}
+
+	// Fault injection: schedule the spec's processes against the assembled
+	// subsystems. The injector draws only from its own named streams, so a
+	// fault-free spec never perturbs the run.
+	if opts.Faults != nil {
+		n.departed = make(map[frame.NodeID]bool)
+		var beacons []faults.BeaconLossSink
+		ids := make([]frame.NodeID, 0, len(top.Nodes))
+		for _, node := range top.Nodes {
+			ids = append(ids, node.ID)
+			if st := n.Stations[node.ID]; st.Locx != nil {
+				beacons = append(beacons, st.Locx)
+			}
+		}
+		n.injector = faults.NewInjector(eng, opts.Faults, faults.Targets{
+			Loc:     n.Locs,
+			Medium:  medium,
+			Churn:   n,
+			Beacons: beacons,
+			Nodes:   ids,
+		})
+		n.injector.SetMetrics(n.MediumMetrics)
+		n.injector.SetTrace(trace.NewEmitter(eng, frame.Broadcast, opts.Trace))
+		n.injector.Start()
+	}
 	return n, nil
 }
+
+// locHeartbeatInterval is the location service's keepalive period when the
+// health model is active (see loc.Registry.StartHeartbeat).
+const locHeartbeatInterval = time.Second
 
 // frameTimeEstimator returns the per-rate full frame-exchange time used by
 // Minstrel's throughput metric: contention overhead + (optional discovery

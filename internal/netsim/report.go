@@ -28,6 +28,29 @@ type Report struct {
 	Flows    []FlowReport     `json:"flows"`
 	Stations []StationReport  `json:"stations"`
 	Medium   metrics.Snapshot `json:"medium"`
+	// Faults is the degraded-mode block, present only on fault-injected runs.
+	Faults *FaultsReport `json:"faults,omitempty"`
+}
+
+// FaultsReport records what the fault-injection layer did to the run and how
+// the protocol degraded: every value is derived from the sim clock and
+// seeded streams, so identical (seed, spec) pairs produce identical blocks.
+type FaultsReport struct {
+	// Spec is the fault specification text, for reproduction.
+	Spec string `json:"spec"`
+	// Injected counts fault activations (window openings and armed
+	// whole-run processes).
+	Injected int `json:"injected"`
+	// DroppedReports and DelayedReports count location reports consumed or
+	// deferred by the pipeline faults.
+	DroppedReports int `json:"dropped_reports"`
+	DelayedReports int `json:"delayed_reports"`
+	// BeaconsLost counts in-band location beacons consumed by report loss.
+	BeaconsLost int `json:"beacons_lost,omitempty"`
+	// FallbackDCF / FallbackAdapt are the degraded-mode decision counters
+	// (see Summary).
+	FallbackDCF   int64 `json:"fallback_dcf"`
+	FallbackAdapt int64 `json:"fallback_adapt"`
 }
 
 // EngineReport is the simulator's self-profiling block.
@@ -142,6 +165,22 @@ func (n *Network) Report(res *Results) *Report {
 		}
 		sr.AirtimeSec = snap.AirtimeSec["mac"]
 		r.Stations = append(r.Stations, sr)
+	}
+	if n.injector != nil {
+		fr := &FaultsReport{
+			Spec:           n.Opts.Faults.String(),
+			Injected:       n.injector.Injected(),
+			DroppedReports: n.Locs.DroppedReports(),
+			DelayedReports: n.Locs.DelayedReports(),
+			FallbackDCF:    r.Summary.FallbackDCF,
+			FallbackAdapt:  r.Summary.FallbackAdapt,
+		}
+		for _, id := range ids {
+			if lx := n.Stations[id].Locx; lx != nil {
+				fr.BeaconsLost += lx.BeaconsLost()
+			}
+		}
+		r.Faults = fr
 	}
 	return r
 }

@@ -28,6 +28,11 @@ type Summary struct {
 	LocationBytes   int64
 	// PositionReports counts registry updates (oracle or in-band).
 	PositionReports int
+	// FallbackDCF counts CO-MAP concurrency decisions that fell back to
+	// plain DCF because a peer's position health crossed the confidence
+	// bound; FallbackAdapt counts links whose packet-size/CW adaptation
+	// reverted to defaults for the same reason.
+	FallbackDCF, FallbackAdapt int64
 }
 
 // Summarize collects the counters of every station.
@@ -47,6 +52,8 @@ func (n *Network) Summarize() Summary {
 			s.LocationBeacons += st.Locx.BeaconsSent()
 			s.LocationBytes += st.Locx.BytesSent()
 		}
+		s.FallbackDCF += st.Metrics.Counter("comap.fallback.dcf").Value()
+		s.FallbackAdapt += st.Metrics.Counter("comap.fallback.adapt").Value()
 	}
 	s.PositionReports = n.Locs.Updates()
 	return s
@@ -73,6 +80,10 @@ func (s Summary) Print(w io.Writer) {
 	}
 	if s.LocationBeacons > 0 {
 		fmt.Fprintf(w, "location exchange: %d beacons, %d bytes\n", s.LocationBeacons, s.LocationBytes)
+	}
+	if s.FallbackDCF > 0 || s.FallbackAdapt > 0 {
+		fmt.Fprintf(w, "location-health fallbacks: %d to DCF, %d to default adaptation\n",
+			s.FallbackDCF, s.FallbackAdapt)
 	}
 	fmt.Fprintf(w, "position reports: %d\n", s.PositionReports)
 }

@@ -68,6 +68,13 @@ const (
 	KindCoGrant = "co.grant"
 	KindCoDeny  = "co.deny"
 	KindCoAdapt = "co.adapt"
+	// KindCoFallback marks a health-gated decision: the agent refused to act
+	// on degraded location input and fell back to plain DCF behavior.
+	KindCoFallback = "co.fallback"
+
+	// KindFault marks an injected fault window opening (Reason names the
+	// fault process; DurUs carries the window length).
+	KindFault = "fault"
 
 	// KindRunEnd marks the scheduled end of the run, so analyzers can
 	// normalise rates over the true duration instead of the last event.

@@ -138,11 +138,64 @@ func (p *Peer) StartPoisson(dst frame.NodeID, payloadFn func() int, framesPerSec
 // Stop halts all sources; queued frames drain normally.
 func (p *Peer) Stop() {
 	for _, s := range p.sources {
-		s.active = false
-		if s.creditEv != nil {
-			p.eng.Cancel(s.creditEv)
-			s.creditEv = nil
+		p.pauseSource(s)
+	}
+}
+
+func (p *Peer) pauseSource(s *source) {
+	s.active = false
+	if s.creditEv != nil {
+		p.eng.Cancel(s.creditEv)
+		s.creditEv = nil
+	}
+}
+
+func (p *Peer) resumeSource(s *source) (resumed bool) {
+	if s.active {
+		return false
+	}
+	s.active = true
+	if s.credit != nil && s.creditEv == nil {
+		p.scheduleCredit(s)
+	}
+	return true
+}
+
+// Pause suspends all sources so Resume can continue them — the station-churn
+// "leave" transition (Stop with a way back).
+func (p *Peer) Pause() { p.Stop() }
+
+// Resume reactivates every paused source (the churn "re-join").
+func (p *Peer) Resume() {
+	resumed := false
+	for _, s := range p.sources {
+		resumed = p.resumeSource(s) || resumed
+	}
+	if resumed {
+		p.pump()
+	}
+}
+
+// PauseTo suspends only the sources towards dst (a serving station stops
+// feeding a departed peer).
+func (p *Peer) PauseTo(dst frame.NodeID) {
+	for _, s := range p.sources {
+		if s.dst == dst {
+			p.pauseSource(s)
 		}
+	}
+}
+
+// ResumeTo reactivates the sources towards dst after it re-joined.
+func (p *Peer) ResumeTo(dst frame.NodeID) {
+	resumed := false
+	for _, s := range p.sources {
+		if s.dst == dst {
+			resumed = p.resumeSource(s) || resumed
+		}
+	}
+	if resumed {
+		p.pump()
 	}
 }
 
