@@ -1,186 +1,101 @@
 // Benchmarks: one target per table/figure of the paper's evaluation, plus
 // ablations of CO-MAP's design choices and micro-benchmarks of the hot
-// paths. Each figure bench runs a scaled-down version of the corresponding
-// experiment (cmd/comap-experiments regenerates the full data) and reports
-// domain metrics (goodput, gain) alongside ns/op.
+// paths. The per-iteration bodies live in internal/benchscn so that
+// cmd/comap-bench measures exactly the same scenarios; each figure bench
+// runs a scaled-down version of the corresponding experiment
+// (cmd/comap-experiments regenerates the full data) and reports domain
+// metrics (goodput, gain) alongside ns/op.
 package main
 
 import (
+	"sort"
 	"testing"
-	"time"
 
-	"repro/internal/bianchi"
-	"repro/internal/experiments"
-	"repro/internal/netsim"
-	"repro/internal/phy"
-	"repro/internal/topology"
+	"repro/internal/benchscn"
 )
 
-// benchOpts is the per-iteration experiment scale used by the figure
-// benchmarks.
-func benchOpts() experiments.Opts {
-	return experiments.Opts{Seeds: 1, Duration: 500 * time.Millisecond, Topologies: 2}
+// benchScenario runs the named benchscn scenario at the default scale and
+// reports its domain metrics from the first iteration.
+func benchScenario(b *testing.B, name string) {
+	b.Helper()
+	scn, ok := benchscn.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown bench scenario %q", name)
+	}
+	run, err := scn.Prepare(benchscn.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var first benchscn.Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first = m
+		}
+	}
+	b.StopTimer()
+	keys := make([]string, 0, len(first))
+	for k := range first {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.ReportMetric(first[k], k)
+	}
 }
 
 func BenchmarkFig1ExposedTerminalSweep(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig1(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(res.C1Goodput.Points[len(res.C1Goodput.Points)-1].Y, "far_Mbps")
-		}
-	}
+	benchScenario(b, "fig1-exposed-terminal-sweep")
 }
 
 func BenchmarkFig2HiddenTerminalPayload(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig2(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			last := len(res.NoHT.Points) - 1
-			b.ReportMetric(res.NoHT.Points[last].Y, "noHT_Mbps")
-			b.ReportMetric(res.OneHT.Points[last].Y, "oneHT_Mbps")
-		}
-	}
+	benchScenario(b, "fig2-hidden-terminal-payload")
 }
 
 func BenchmarkFig7ModelValidation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		panels, err := experiments.Fig7(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			// Report the h=0, W=63, max-payload model/sim pair.
-			m := panels[0].Model[0].Points
-			s := panels[0].Sim[0].Points
-			b.ReportMetric(m[len(m)-1].Y, "model_Mbps")
-			b.ReportMetric(s[len(s)-1].Y, "sim_Mbps")
-		}
-	}
+	benchScenario(b, "fig7-model-validation")
 }
 
 func BenchmarkFig8ComapExposedTerminal(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(res.ETRegionGainPct, "gain_pct")
-		}
-	}
+	benchScenario(b, "fig8-comap-exposed-terminal")
 }
 
 func BenchmarkFig9ComapHiddenTerminal(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(res.MeanGainPct, "gain_pct")
-		}
-	}
+	benchScenario(b, "fig9-comap-hidden-terminal")
 }
 
 func BenchmarkFig10LargeScale(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig10(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(res.GainPerfectPct, "gain_pct")
-			b.ReportMetric(res.GainErrorPct, "gain_err_pct")
-		}
-	}
+	benchScenario(b, "fig10-large-scale")
 }
 
 func BenchmarkTableIAdaptationTable(b *testing.B) {
-	base := bianchi.FromPHY(phy.NS2Table1(), phy.RateOFDM6)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tbl := bianchi.NewAdaptationTable(base, 5, 8, nil, nil)
-		if tbl.Lookup(3, 5).GoodputBps <= 0 {
-			b.Fatal("empty table entry")
-		}
-	}
+	benchScenario(b, "table1-adaptation-table")
 }
 
 // --- ablations of CO-MAP design choices (see DESIGN.md) -------------------
 
-// runET runs the ET scenario at 30 m with the given option mutator and
-// returns aggregate goodput in Mbps.
-func runET(b *testing.B, mutate func(*netsim.Options)) float64 {
-	b.Helper()
-	top := topology.ETSweep(30)
-	opts := netsim.TestbedOptions()
-	opts.Protocol = netsim.ProtocolComap
-	opts.Seed = 7
-	opts.Duration = time.Second
-	if mutate != nil {
-		mutate(&opts)
-	}
-	res, err := netsim.RunScenario(top, opts)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return res.Total() / 1e6
-}
-
 func BenchmarkAblationHeaderEmbedded(b *testing.B) {
-	var g float64
-	for i := 0; i < b.N; i++ {
-		g = runET(b, nil) // embedded headers are the default
-	}
-	b.ReportMetric(g, "Mbps")
+	benchScenario(b, "ablation-header-embedded")
 }
 
 func BenchmarkAblationHeaderFrame(b *testing.B) {
-	var g float64
-	for i := 0; i < b.N; i++ {
-		g = runET(b, func(o *netsim.Options) { o.Header = netsim.HeaderFrame })
-	}
-	b.ReportMetric(g, "Mbps")
+	benchScenario(b, "ablation-header-frame")
 }
 
 func BenchmarkAblationDCFBaseline(b *testing.B) {
-	var g float64
-	for i := 0; i < b.N; i++ {
-		g = runET(b, func(o *netsim.Options) { o.Protocol = netsim.ProtocolDCF })
-	}
-	b.ReportMetric(g, "Mbps")
+	benchScenario(b, "ablation-dcf-baseline")
 }
 
 // --- micro-benchmarks of the hot paths ------------------------------------
 
 func BenchmarkBianchiGoodput(b *testing.B) {
-	p := bianchi.FromPHY(phy.NS2Table1(), phy.RateOFDM6)
-	p.W = 255
-	p.Contenders = 5
-	p.Hidden = 3
-	for i := 0; i < b.N; i++ {
-		if p.Goodput(1000) <= 0 {
-			b.Fatal("zero goodput")
-		}
-	}
+	benchScenario(b, "bianchi-goodput")
 }
 
 func BenchmarkSimulatorSecond(b *testing.B) {
-	// Cost of simulating one second of the saturated two-link testbed.
-	top := topology.ETSweep(30)
-	for i := 0; i < b.N; i++ {
-		opts := netsim.TestbedOptions()
-		opts.Protocol = netsim.ProtocolComap
-		opts.Seed = int64(i)
-		opts.Duration = time.Second
-		if _, err := netsim.RunScenario(top, opts); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchScenario(b, "simulator-second")
 }

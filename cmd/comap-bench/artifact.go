@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// artifactSchema versions the BENCH_*.json layout; diff refuses artifacts
+// with a different schema rather than comparing incompatible numbers.
+const artifactSchema = "comap-bench/1"
+
+// artifact is one machine-readable benchmark run. encoding/json sorts the
+// metric maps and results are appended in scenario order, so re-serializing
+// the same measurements is byte-stable.
+type artifact struct {
+	Schema     string        `json:"schema"`
+	CreatedUTC string        `json:"created_utc"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Quick      bool          `json:"quick"`
+	MinTimeMs  float64       `json:"min_time_ms"`
+	Results    []benchResult `json:"results"`
+}
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iters       int                `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func newArtifact(quick bool, minTime time.Duration) *artifact {
+	return &artifact{
+		Schema:     artifactSchema,
+		CreatedUTC: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Quick:      quick,
+		MinTimeMs:  float64(minTime) / float64(time.Millisecond),
+	}
+}
+
+func (a *artifact) add(name string, m measurement) {
+	a.Results = append(a.Results, benchResult{
+		Name:        name,
+		Iters:       m.Iters,
+		NsPerOp:     m.NsPerOp,
+		AllocsPerOp: m.AllocsPerOp,
+		BytesPerOp:  m.BytesPerOp,
+		Metrics:     m.Metrics,
+	})
+}
+
+func (a *artifact) write(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	sort.Slice(a.Results, func(i, j int) bool { return a.Results[i].Name < a.Results[j].Name })
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readArtifact(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema != artifactSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, a.Schema, artifactSchema)
+	}
+	return &a, nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// runDiff compares two artifacts' ns/op by scenario name and fails (exit 1)
+// when any scenario slowed down by more than the threshold, unless
+// -warn-only downgrades regressions to warnings.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("comap-bench diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", 10, "fail when ns/op grows by more than this percentage")
+		warnOnly  = fs.Bool("warn-only", false, "report regressions but always exit 0")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: comap-bench diff [-threshold pct] [-warn-only] OLD.json NEW.json")
+		return 2
+	}
+	if *threshold <= 0 {
+		fmt.Fprintf(stderr, "comap-bench diff: -threshold must be > 0, got %g\n", *threshold)
+		return 2
+	}
+	oldArt, err := readArtifact(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "comap-bench diff: %v\n", err)
+		return 2
+	}
+	newArt, err := readArtifact(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "comap-bench diff: %v\n", err)
+		return 2
+	}
+
+	oldByName := make(map[string]benchResult, len(oldArt.Results))
+	for _, r := range oldArt.Results {
+		oldByName[r.Name] = r
+	}
+
+	regressions := 0
+	fmt.Fprintf(stdout, "%-30s %14s %14s %9s\n", "scenario", "old ns/op", "new ns/op", "delta")
+	for _, nr := range newArt.Results {
+		or, ok := oldByName[nr.Name]
+		delete(oldByName, nr.Name)
+		if !ok {
+			fmt.Fprintf(stdout, "%-30s %14s %14.0f %9s  (new scenario)\n", nr.Name, "-", nr.NsPerOp, "-")
+			continue
+		}
+		if or.NsPerOp <= 0 {
+			fmt.Fprintf(stdout, "%-30s %14.0f %14.0f %9s  (old ns/op not positive, skipped)\n",
+				nr.Name, or.NsPerOp, nr.NsPerOp, "-")
+			continue
+		}
+		deltaPct := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		note := ""
+		if deltaPct > *threshold {
+			regressions++
+			note = fmt.Sprintf("  REGRESSION (> %g%%)", *threshold)
+		}
+		fmt.Fprintf(stdout, "%-30s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, deltaPct, note)
+	}
+	missing := make([]string, 0, len(oldByName))
+	for name := range oldByName {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(stdout, "%-30s  (missing from new artifact)\n", name)
+	}
+
+	if regressions > 0 {
+		verdict := "FAIL"
+		if *warnOnly {
+			verdict = "WARN (exit 0 forced by -warn-only)"
+		}
+		fmt.Fprintf(stdout, "%d regression(s) past %g%%: %s\n", regressions, *threshold, verdict)
+		if !*warnOnly {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "no regressions past %g%%\n", *threshold)
+	return 0
+}

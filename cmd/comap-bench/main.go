@@ -1,0 +1,136 @@
+// Command comap-bench is the repository's perf-regression observatory. It
+// runs the canonical benchmark scenarios (internal/benchscn — the same
+// bodies behind `go test -bench`) outside the testing framework, so CI and
+// developers get machine-readable artifacts with stable names:
+//
+//	comap-bench -quick -out results/bench/BENCH_ci.json
+//	comap-bench -run 'fig(8|9)' -mintime 2s
+//	comap-bench list
+//	comap-bench diff -threshold 25 results/bench/BENCH_seed.json BENCH_ci.json
+//
+// A run writes one BENCH_<timestamp>.json artifact recording ns/op,
+// allocs/op, bytes/op and the domain metrics (goodput in Mbps, CO-MAP gain
+// in percent, simulator events/s) per scenario. `comap-bench diff` compares
+// two artifacts and exits non-zero when any scenario slowed down past the
+// threshold, so a perf regression fails the pipeline instead of hiding in
+// log noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"repro/internal/benchscn"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "diff":
+			return runDiff(args[1:], stdout, stderr)
+		case "list":
+			return runList(stdout)
+		}
+	}
+	return runBench(args, stdout, stderr)
+}
+
+func runList(stdout io.Writer) int {
+	for _, s := range benchscn.Scenarios() {
+		quick := " "
+		if s.Quick {
+			quick = "q"
+		}
+		fmt.Fprintf(stdout, "%s %-30s %s\n", quick, s.Name, s.Desc)
+	}
+	return 0
+}
+
+func runBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("comap-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out     = fs.String("out", "", "artifact path (default results/bench/BENCH_<timestamp>.json)")
+		quick   = fs.Bool("quick", false, "CI smoke: quick scenario subset at reduced scale")
+		minTime = fs.Duration("mintime", 0, "minimum measured time per scenario (default 1s, 200ms with -quick)")
+		runPat  = fs.String("run", "", "only scenarios matching this regexp")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "comap-bench: unexpected argument %q (subcommands are `list` and `diff`)\n", fs.Arg(0))
+		return 2
+	}
+	if *minTime < 0 {
+		fmt.Fprintf(stderr, "comap-bench: -mintime must be >= 0, got %v\n", *minTime)
+		return 2
+	}
+	if *minTime == 0 {
+		*minTime = time.Second
+		if *quick {
+			*minTime = 200 * time.Millisecond
+		}
+	}
+	var filter *regexp.Regexp
+	if *runPat != "" {
+		var err error
+		if filter, err = regexp.Compile(*runPat); err != nil {
+			fmt.Fprintf(stderr, "comap-bench: bad -run pattern: %v\n", err)
+			return 2
+		}
+	}
+
+	scale := benchscn.Default()
+	if *quick {
+		scale = benchscn.QuickScale()
+	}
+	art := newArtifact(*quick, *minTime)
+	for _, scn := range benchscn.Scenarios() {
+		if *quick && !scn.Quick {
+			continue
+		}
+		if filter != nil && !filter.MatchString(scn.Name) {
+			continue
+		}
+		fmt.Fprintf(stderr, "bench %-30s ", scn.Name)
+		body, err := scn.Prepare(scale)
+		if err != nil {
+			fmt.Fprintf(stderr, "prepare: %v\n", err)
+			return 1
+		}
+		m, err := measure(body, *minTime)
+		if err != nil {
+			fmt.Fprintf(stderr, "run: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "%8d iters  %12.0f ns/op  %8.0f allocs/op\n",
+			m.Iters, m.NsPerOp, m.AllocsPerOp)
+		art.add(scn.Name, m)
+	}
+	if len(art.Results) == 0 {
+		fmt.Fprintln(stderr, "comap-bench: no scenarios matched")
+		return 1
+	}
+
+	path := *out
+	if path == "" {
+		ts := time.Now().UTC().Format("20060102T150405Z")
+		path = filepath.Join("results", "bench", "BENCH_"+ts+".json")
+	}
+	if err := art.write(path); err != nil {
+		fmt.Fprintf(stderr, "comap-bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %d results to %s\n", len(art.Results), path)
+	return 0
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchscn"
+)
+
+// writeFixture writes a minimal valid artifact with the given per-scenario
+// ns/op values.
+func writeFixture(t *testing.T, path string, nsPerOp map[string]float64) {
+	t.Helper()
+	a := newArtifact(true, 200*time.Millisecond)
+	for name, ns := range nsPerOp {
+		a.add(name, measurement{Iters: 10, NsPerOp: ns, AllocsPerOp: 1, BytesPerOp: 64})
+	}
+	if err := a.write(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffExitCodes is the regression-gate contract: an injected slowdown
+// past the threshold exits non-zero, one within the threshold (or behind
+// -warn-only) exits zero.
+func TestDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	writeFixture(t, oldPath, map[string]float64{
+		"bianchi-goodput":  100,
+		"simulator-second": 1e6,
+		"gone-scenario":    50,
+	})
+
+	cases := []struct {
+		name string
+		new  map[string]float64
+		args []string
+		want int
+	}{
+		{"regression fails", map[string]float64{"bianchi-goodput": 160, "simulator-second": 1e6}, nil, 1},
+		{"within threshold passes", map[string]float64{"bianchi-goodput": 105, "simulator-second": 1.05e6}, nil, 0},
+		{"improvement passes", map[string]float64{"bianchi-goodput": 60, "simulator-second": 0.5e6}, nil, 0},
+		{"tight threshold fails", map[string]float64{"bianchi-goodput": 115, "simulator-second": 1e6}, []string{"-threshold", "5"}, 1},
+		{"warn-only forces zero", map[string]float64{"bianchi-goodput": 300, "simulator-second": 1e6}, []string{"-warn-only"}, 0},
+		{"new scenario ignored", map[string]float64{"bianchi-goodput": 100, "simulator-second": 1e6, "brand-new": 42}, nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newPath := filepath.Join(t.TempDir(), "new.json")
+			writeFixture(t, newPath, tc.new)
+			var out, errBuf bytes.Buffer
+			code := realMain(append([]string{"diff"}, append(tc.args, oldPath, newPath)...), &out, &errBuf)
+			if code != tc.want {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.want, out.String(), errBuf.String())
+			}
+			if !strings.Contains(out.String(), "gone-scenario") {
+				t.Fatalf("missing-scenario note absent:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestDiffRejectsBadInput covers usage and schema errors (exit 2, never a
+// silent pass).
+func TestDiffRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	writeFixture(t, good, map[string]float64{"x": 1})
+	badSchema := filepath.Join(dir, "bad.json")
+	if err := writeFile(badSchema, `{"schema":"other/9","results":[]}`); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, args := range [][]string{
+		{"diff", good}, // missing NEW
+		{"diff", good, filepath.Join(dir, "absent")}, // unreadable
+		{"diff", badSchema, good},                    // wrong schema
+		{"diff", "-threshold", "-3", good, good},     // bad threshold
+	} {
+		var out, errBuf bytes.Buffer
+		if code := realMain(args, &out, &errBuf); code != 2 {
+			t.Fatalf("%v: exit = %d, want 2\nstderr:\n%s", args, code, errBuf.String())
+		}
+	}
+}
+
+// TestBenchEmitsValidArtifact runs the real harness on the cheapest
+// scenario and validates the artifact schema end to end.
+func TestBenchEmitsValidArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-quick", "-mintime", "5ms", "-run", "^bianchi-goodput$", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr:\n%s", code, stderr.String())
+	}
+	a, err := readArtifact(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != artifactSchema || !a.Quick || a.GoVersion == "" {
+		t.Fatalf("artifact header = %+v", a)
+	}
+	if len(a.Results) != 1 || a.Results[0].Name != "bianchi-goodput" {
+		t.Fatalf("results = %+v", a.Results)
+	}
+	r := a.Results[0]
+	if r.Iters <= 0 || r.NsPerOp <= 0 {
+		t.Fatalf("empty measurement: %+v", r)
+	}
+	// The artifact must diff cleanly against itself.
+	var diffOut bytes.Buffer
+	if code := realMain([]string{"diff", out, out}, &diffOut, &stderr); code != 0 {
+		t.Fatalf("self-diff exit = %d:\n%s", code, diffOut.String())
+	}
+	if !strings.Contains(diffOut.String(), "no regressions") {
+		t.Fatalf("self-diff output:\n%s", diffOut.String())
+	}
+}
+
+// TestBenchRejectsBadFlags mirrors comap-sim's fail-fast validation.
+func TestBenchRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-run", "("},          // bad regexp
+		{"-mintime", "-1s"},    // negative mintime
+		{"stray-positional"},   // not a subcommand
+		{"-run", "no-such-x*"}, // matches nothing -> exit 1
+	} {
+		var out, errBuf bytes.Buffer
+		if code := realMain(args, &out, &errBuf); code == 0 {
+			t.Fatalf("%v: exit 0, want non-zero\nstderr:\n%s", args, errBuf.String())
+		}
+	}
+}
+
+// TestMeasureCountsAllocations sanity-checks the harness itself.
+func TestMeasureCountsAllocations(t *testing.T) {
+	var sink []byte
+	m, err := measure(func() (benchscn.Metrics, error) {
+		sink = make([]byte, 1024)
+		return benchscn.Metrics{"x": float64(len(sink))}, nil
+	}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Iters <= 0 || m.NsPerOp <= 0 {
+		t.Fatalf("measurement = %+v", m)
+	}
+	if m.BytesPerOp < 1024 {
+		t.Fatalf("bytes/op = %g, want >= 1024", m.BytesPerOp)
+	}
+	if m.Metrics["x"] != 1024 {
+		t.Fatalf("metrics not propagated: %+v", m.Metrics)
+	}
+}
+
+// TestListPrintsScenarios keeps `comap-bench list` wired to the registry.
+func TestListPrintsScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if code := realMain([]string{"list"}, &out, &out); code != 0 {
+		t.Fatalf("list exit = %d", code)
+	}
+	for _, want := range []string{"fig1-exposed-terminal-sweep", "simulator-second", "ablation-dcf-baseline"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/benchscn"
+)
+
+// measurement is the outcome of timing one scenario.
+type measurement struct {
+	Iters       int
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+	Metrics     benchscn.Metrics
+}
+
+// measure runs the scenario body once to warm up, then iterates it until at
+// least minTime of measured wall time has accumulated. Allocation counts
+// come from the monotonic runtime counters (Mallocs, TotalAlloc), so GC
+// activity during the run cannot make them go negative.
+func measure(body func() (benchscn.Metrics, error), minTime time.Duration) (measurement, error) {
+	metrics, err := body()
+	if err != nil {
+		return measurement{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	var elapsed time.Duration
+	for elapsed < minTime {
+		m, err := body()
+		if err != nil {
+			return measurement{}, err
+		}
+		if m != nil {
+			metrics = m
+		}
+		iters++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&after)
+
+	n := float64(iters)
+	return measurement{
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		Metrics:     metrics,
+	}, nil
+}

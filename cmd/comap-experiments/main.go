@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	svg := flag.String("svg", "", "also render each figure as an SVG into this directory")
 	jsonOut := flag.String("json", "results", "write per-figure JSON artifacts into this directory (empty = off)")
 	traceDir := flag.String("trace-dir", "", "write per-run JSONL lifecycle traces into this directory (see comap-trace)")
+	httpAddr := flag.String("http", "", `serve per-figure progress and pprof on this address, e.g. ":8080"`)
 	flag.Parse()
 	svgDir = *svg
 	jsonDir = *jsonOut
@@ -47,79 +49,80 @@ func main() {
 	}
 	opts.TraceDir = *traceDir
 
-	if err := run(strings.ToLower(*fig), opts); err != nil {
+	var admin *obs.Server
+	if *httpAddr != "" {
+		admin = obs.NewServer(obs.Options{})
+	}
+
+	if err := run(strings.ToLower(*fig), opts, admin, *httpAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "comap-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, opts experiments.Opts) error {
-	want := func(name string) bool { return fig == "all" || fig == name }
-	ran := false
+// steps lists the figure runners in paper order; run dispatches over it so
+// the -http progress tracker sees every selected figure up front.
+var steps = []struct {
+	name string
+	fn   func(experiments.Opts) error
+}{
+	{"table1", runTable1},
+	{"1", runFig1},
+	{"2", runFig2},
+	{"7", runFig7},
+	{"8", runFig8},
+	{"9", runFig9},
+	{"10", runFig10},
+	{"ablation", runAblation},
+	{"rts", runRTS},
+	{"overhead", runOverhead},
+}
 
-	if want("table1") {
-		ran = true
-		experiments.PrintTableI(os.Stdout)
-		writeArtifact("table1", opts, 0, experiments.TableI())
-		fmt.Println()
-	}
-	if want("1") {
-		ran = true
-		if err := runFig1(opts); err != nil {
-			return err
+func run(fig string, opts experiments.Opts, admin *obs.Server, httpAddr string) error {
+	want := func(name string) bool { return fig == "all" || fig == name }
+
+	var selected []string
+	for _, st := range steps {
+		if want(st.name) {
+			selected = append(selected, st.name)
 		}
 	}
-	if want("2") {
-		ran = true
-		if err := runFig2(opts); err != nil {
-			return err
-		}
-	}
-	if want("7") {
-		ran = true
-		if err := runFig7(opts); err != nil {
-			return err
-		}
-	}
-	if want("8") {
-		ran = true
-		if err := runFig8(opts); err != nil {
-			return err
-		}
-	}
-	if want("9") {
-		ran = true
-		if err := runFig9(opts); err != nil {
-			return err
-		}
-	}
-	if want("10") {
-		ran = true
-		if err := runFig10(opts); err != nil {
-			return err
-		}
-	}
-	if want("ablation") {
-		ran = true
-		if err := runAblation(opts); err != nil {
-			return err
-		}
-	}
-	if want("rts") {
-		ran = true
-		if err := runRTS(opts); err != nil {
-			return err
-		}
-	}
-	if want("overhead") {
-		ran = true
-		if err := runOverhead(opts); err != nil {
-			return err
-		}
-	}
-	if !ran {
+	if len(selected) == 0 {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
+
+	var tracker *figureTracker
+	if admin != nil {
+		tracker = newFigureTracker()
+		for _, name := range selected {
+			tracker.register(admin, name)
+		}
+		addr, err := admin.Start(httpAddr)
+		if err != nil {
+			return fmt.Errorf("starting -http server: %w", err)
+		}
+		defer admin.Close()
+		fmt.Printf("per-figure progress on http://%s/runs (pprof on /debug/pprof/)\n\n", addr)
+	}
+
+	for _, st := range steps {
+		if !want(st.name) {
+			continue
+		}
+		tracker.start(st.name)
+		err := st.fn(opts)
+		tracker.finish(st.name, err)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runTable1(opts experiments.Opts) error {
+	experiments.PrintTableI(os.Stdout)
+	writeArtifact("table1", opts, 0, experiments.TableI())
+	fmt.Println()
 	return nil
 }
 

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// figureStatus is the per-figure progress payload served on /runs when
+// -http is set.
+type figureStatus struct {
+	Figure     string  `json:"figure"`
+	State      string  `json:"state"` // pending | running | done | failed
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// figureTracker tracks which figure the experiment sweep is on. It is
+// written by the (single) experiment goroutine and read by admin-plane
+// scrape goroutines.
+type figureTracker struct {
+	mu      sync.Mutex
+	states  map[string]*figureStatus
+	started map[string]time.Time
+}
+
+func newFigureTracker() *figureTracker {
+	return &figureTracker{
+		states:  make(map[string]*figureStatus),
+		started: make(map[string]time.Time),
+	}
+}
+
+// register announces one upcoming figure on the server and returns
+// immediately when either side is nil (the -http-off path).
+func (t *figureTracker) register(s *obs.Server, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.states[name] = &figureStatus{Figure: name, State: "pending"}
+	t.mu.Unlock()
+	s.AddRun(name, func() any { return t.status(name) })
+}
+
+func (t *figureTracker) status(name string) figureStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.states[name]
+	if st == nil {
+		return figureStatus{Figure: name, State: "pending"}
+	}
+	out := *st
+	if out.State == "running" {
+		out.ElapsedSec = time.Since(t.started[name]).Seconds()
+	}
+	return out
+}
+
+func (t *figureTracker) start(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.states[name].State = "running"
+	t.started[name] = time.Now()
+}
+
+func (t *figureTracker) finish(name string, err error) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.states[name]
+	st.ElapsedSec = time.Since(t.started[name]).Seconds()
+	if err != nil {
+		st.State = "failed"
+		st.Error = err.Error()
+	} else {
+		st.State = "done"
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"sort"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -52,10 +54,11 @@ func run() error {
 		reportPath  = flag.String("report", "", "write a JSON run report to this file")
 		slice       = flag.Duration("slice", 0, "goodput time-slice interval for the report (0 = no slicing)")
 		faultSpec   = flag.String("faults", "", `fault-injection spec, e.g. "locloss:p=0.3;outage:node=2,at=1s,dur=500ms"`)
+		httpAddr    = flag.String("http", "", `serve the live observability plane on this address, e.g. ":8080" (metrics, health, runs, pprof)`)
 	)
 	flag.Parse()
 
-	spec, err := validateFlags(*duration, *slice, *posErr, *cbr, *payload, *cw, *faultSpec)
+	spec, err := validateFlags(*duration, *slice, *posErr, *cbr, *payload, *cw, *faultSpec, *httpAddr)
 	if err != nil {
 		return err
 	}
@@ -126,6 +129,19 @@ func run() error {
 		return err
 	}
 	n.StartSlicing(*slice)
+
+	var admin *obs.Server
+	if *httpAddr != "" {
+		admin = obs.NewServer(obs.Options{})
+		obs.AttachNetwork(admin, top.Name, n)
+		addr, err := admin.Start(*httpAddr)
+		if err != nil {
+			return fmt.Errorf("starting -http server: %w", err)
+		}
+		defer admin.Close()
+		fmt.Printf("observability plane on http://%s (endpoints: /metrics /healthz /runs /debug/pprof/)\n", addr)
+	}
+
 	res := n.Run()
 	if traceW != nil {
 		// Surface buffered-write, flush and close failures instead of
@@ -192,7 +208,12 @@ func run() error {
 // parses the fault specification (nil when empty). It runs before any
 // simulator state is built so a bad invocation fails fast with a message
 // naming the offending flag.
-func validateFlags(duration, slice time.Duration, posErr, cbr float64, payload, cw int, faultSpec string) (*faults.Spec, error) {
+func validateFlags(duration, slice time.Duration, posErr, cbr float64, payload, cw int, faultSpec, httpAddr string) (*faults.Spec, error) {
+	if httpAddr != "" {
+		if _, _, err := net.SplitHostPort(httpAddr); err != nil {
+			return nil, fmt.Errorf(`bad -http address %q (want host:port, e.g. ":8080"): %w`, httpAddr, err)
+		}
+	}
 	if duration <= 0 {
 		return nil, fmt.Errorf("-duration must be positive, got %v", duration)
 	}

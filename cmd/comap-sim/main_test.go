@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFlagsHTTPAddr locks in fail-fast -http validation: the flag
+// must be a listen address net.Listen would accept, checked before any
+// simulator state is built, consistent with the other flag checks.
+func TestValidateFlagsHTTPAddr(t *testing.T) {
+	ok := []string{"", ":8080", ":0", "127.0.0.1:0", "localhost:9000", "[::1]:8080"}
+	for _, addr := range ok {
+		if _, err := validateFlags(time.Second, 0, 0, 0, 0, 0, "", addr); err != nil {
+			t.Errorf("validateFlags(http=%q) = %v, want ok", addr, err)
+		}
+	}
+	bad := []string{"nonsense", "127.0.0.1", "8080", "host:port:extra"}
+	for _, addr := range bad {
+		_, err := validateFlags(time.Second, 0, 0, 0, 0, 0, "", addr)
+		if err == nil {
+			t.Errorf("validateFlags(http=%q) accepted, want error", addr)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-http") {
+			t.Errorf("validateFlags(http=%q) error %q does not name the flag", addr, err)
+		}
+	}
+}
+
+// TestValidateFlagsExisting keeps the pre-existing range checks intact with
+// the widened signature.
+func TestValidateFlagsExisting(t *testing.T) {
+	if _, err := validateFlags(0, 0, 0, 0, 0, 0, "", ""); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := validateFlags(time.Second, -time.Millisecond, 0, 0, 0, 0, "", ""); err == nil {
+		t.Error("negative slice accepted")
+	}
+	if _, err := validateFlags(time.Second, 0, 0, 0, 0, 0, "bogus-kind:", ""); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+	spec, err := validateFlags(time.Second, 0, 0, 0, 0, 0, "locloss:p=0.5", "")
+	if err != nil || spec == nil {
+		t.Errorf("valid fault spec rejected: %v", err)
+	}
+}

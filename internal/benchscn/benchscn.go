@@ -1,0 +1,271 @@
+// Package benchscn defines the canonical benchmark scenarios shared by the
+// repository's `go test -bench` targets (bench_test.go) and the
+// comap-bench perf observatory. Each scenario prepares once and then
+// exposes a per-iteration body returning domain metrics (goodput in Mbps,
+// CO-MAP gain in percent, simulator events/s) under the same unit-suffixed
+// names the bench targets report with b.ReportMetric, so `go test -bench`
+// output and BENCH_*.json artifacts stay comparable.
+package benchscn
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bianchi"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/phy"
+	"repro/internal/topology"
+)
+
+// Metrics carries the domain metrics one iteration reports, keyed by
+// unit-suffixed name (e.g. "far_Mbps", "gain_pct", "events_per_sec"). A nil
+// map is allowed for pure hot-path scenarios.
+type Metrics map[string]float64
+
+// Scale sets the per-iteration cost of every scenario.
+type Scale struct {
+	// Fig scales the figure-regeneration scenarios (seeds per point,
+	// simulated duration, Fig. 10 topology count).
+	Fig experiments.Opts
+	// ETDuration is the simulated time of the single-run exposed-terminal
+	// scenarios (ablations, simulator-second).
+	ETDuration time.Duration
+}
+
+// Default is the scale the `go test -bench` targets run at.
+func Default() Scale {
+	return Scale{
+		Fig:        experiments.Opts{Seeds: 1, Duration: 500 * time.Millisecond, Topologies: 2},
+		ETDuration: time.Second,
+	}
+}
+
+// QuickScale is the reduced scale behind `comap-bench -quick` (CI smoke).
+func QuickScale() Scale {
+	return Scale{
+		Fig:        experiments.Opts{Seeds: 1, Duration: 150 * time.Millisecond, Topologies: 1},
+		ETDuration: 250 * time.Millisecond,
+	}
+}
+
+// Scenario is one named benchmark target.
+type Scenario struct {
+	// Name identifies the scenario in artifacts and -run filters.
+	Name string
+	// Desc is a one-line description for `comap-bench -list`.
+	Desc string
+	// Quick marks the scenario as part of the -quick CI smoke subset.
+	Quick bool
+	// Prepare builds per-scenario state once and returns the measured
+	// per-iteration body.
+	Prepare func(sc Scale) (func() (Metrics, error), error)
+}
+
+// etRun runs the 30 m exposed-terminal testbed once and returns aggregate
+// goodput in Mbps.
+func etRun(dur time.Duration, seed int64, mutate func(*netsim.Options)) (float64, error) {
+	opts := netsim.TestbedOptions()
+	opts.Protocol = netsim.ProtocolComap
+	opts.Seed = seed
+	opts.Duration = dur
+	if mutate != nil {
+		mutate(&opts)
+	}
+	res, err := netsim.RunScenario(topology.ETSweep(30), opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Total() / 1e6, nil
+}
+
+func ablation(quick bool, mutate func(*netsim.Options)) func(sc Scale) (func() (Metrics, error), error) {
+	return func(sc Scale) (func() (Metrics, error), error) {
+		return func() (Metrics, error) {
+			g, err := etRun(sc.ETDuration, 7, mutate)
+			if err != nil {
+				return nil, err
+			}
+			return Metrics{"Mbps": g}, nil
+		}, nil
+	}
+}
+
+// Scenarios returns the canonical list, figures first, in stable order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:  "fig1-exposed-terminal-sweep",
+			Desc:  "802.11 exposed-terminal distance sweep (Fig. 1)",
+			Quick: true,
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				return func() (Metrics, error) {
+					res, err := experiments.Fig1(sc.Fig)
+					if err != nil {
+						return nil, err
+					}
+					return Metrics{"far_Mbps": res.C1Goodput.Points[len(res.C1Goodput.Points)-1].Y}, nil
+				}, nil
+			},
+		},
+		{
+			Name: "fig2-hidden-terminal-payload",
+			Desc: "hidden-terminal payload study (Fig. 2)",
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				return func() (Metrics, error) {
+					res, err := experiments.Fig2(sc.Fig)
+					if err != nil {
+						return nil, err
+					}
+					last := len(res.NoHT.Points) - 1
+					return Metrics{
+						"noHT_Mbps":  res.NoHT.Points[last].Y,
+						"oneHT_Mbps": res.OneHT.Points[last].Y,
+					}, nil
+				}, nil
+			},
+		},
+		{
+			Name: "fig7-model-validation",
+			Desc: "analytical-model vs simulation validation (Fig. 7)",
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				return func() (Metrics, error) {
+					panels, err := experiments.Fig7(sc.Fig)
+					if err != nil {
+						return nil, err
+					}
+					m := panels[0].Model[0].Points
+					s := panels[0].Sim[0].Points
+					return Metrics{
+						"model_Mbps": m[len(m)-1].Y,
+						"sim_Mbps":   s[len(s)-1].Y,
+					}, nil
+				}, nil
+			},
+		},
+		{
+			Name:  "fig8-comap-exposed-terminal",
+			Desc:  "CO-MAP vs 802.11 exposed-terminal gain (Fig. 8)",
+			Quick: true,
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				return func() (Metrics, error) {
+					res, err := experiments.Fig8(sc.Fig)
+					if err != nil {
+						return nil, err
+					}
+					return Metrics{"gain_pct": res.ETRegionGainPct}, nil
+				}, nil
+			},
+		},
+		{
+			Name: "fig9-comap-hidden-terminal",
+			Desc: "CO-MAP hidden-terminal topologies (Fig. 9)",
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				return func() (Metrics, error) {
+					res, err := experiments.Fig9(sc.Fig)
+					if err != nil {
+						return nil, err
+					}
+					return Metrics{"gain_pct": res.MeanGainPct}, nil
+				}, nil
+			},
+		},
+		{
+			Name: "fig10-large-scale",
+			Desc: "large-scale office floor with location error (Fig. 10)",
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				return func() (Metrics, error) {
+					res, err := experiments.Fig10(sc.Fig)
+					if err != nil {
+						return nil, err
+					}
+					return Metrics{
+						"gain_pct":     res.GainPerfectPct,
+						"gain_err_pct": res.GainErrorPct,
+					}, nil
+				}, nil
+			},
+		},
+		{
+			Name:  "table1-adaptation-table",
+			Desc:  "CO-MAP adaptation-table construction (Table I)",
+			Quick: true,
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				base := bianchi.FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+				return func() (Metrics, error) {
+					tbl := bianchi.NewAdaptationTable(base, 5, 8, nil, nil)
+					if tbl.Lookup(3, 5).GoodputBps <= 0 {
+						return nil, fmt.Errorf("empty adaptation-table entry")
+					}
+					return nil, nil
+				}, nil
+			},
+		},
+		{
+			Name:    "ablation-header-embedded",
+			Desc:    "CO-MAP with embedded location headers (default)",
+			Quick:   true,
+			Prepare: ablation(true, nil),
+		},
+		{
+			Name:    "ablation-header-frame",
+			Desc:    "CO-MAP with dedicated location frames",
+			Prepare: ablation(false, func(o *netsim.Options) { o.Header = netsim.HeaderFrame }),
+		},
+		{
+			Name:    "ablation-dcf-baseline",
+			Desc:    "802.11 DCF baseline on the ET testbed",
+			Quick:   true,
+			Prepare: ablation(true, func(o *netsim.Options) { o.Protocol = netsim.ProtocolDCF }),
+		},
+		{
+			Name:  "bianchi-goodput",
+			Desc:  "hot path: one Bianchi goodput evaluation",
+			Quick: true,
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				p := bianchi.FromPHY(phy.NS2Table1(), phy.RateOFDM6)
+				p.W = 255
+				p.Contenders = 5
+				p.Hidden = 3
+				return func() (Metrics, error) {
+					if p.Goodput(1000) <= 0 {
+						return nil, fmt.Errorf("zero goodput")
+					}
+					return nil, nil
+				}, nil
+			},
+		},
+		{
+			Name:  "simulator-second",
+			Desc:  "simulate the saturated two-link testbed end to end",
+			Quick: true,
+			Prepare: func(sc Scale) (func() (Metrics, error), error) {
+				seed := int64(0)
+				return func() (Metrics, error) {
+					opts := netsim.TestbedOptions()
+					opts.Protocol = netsim.ProtocolComap
+					opts.Seed = seed
+					opts.Duration = sc.ETDuration
+					seed++
+					n, err := netsim.Build(topology.ETSweep(30), opts)
+					if err != nil {
+						return nil, err
+					}
+					n.Run()
+					p := n.Progress()
+					return Metrics{"events_per_sec": p.EventsPerSec}, nil
+				}, nil
+			},
+		},
+	}
+}
+
+// Lookup returns the scenario with the given name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

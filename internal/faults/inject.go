@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/channel"
@@ -52,20 +54,24 @@ type Targets struct {
 // Injector schedules a Spec's fault processes on a simulation engine. All
 // randomness comes from named engine streams ("faults.<idx>.<kind>"), so two
 // runs with the same seed and spec inject identical faults.
+//
+// The window flags and the activation count are atomics so the live
+// observability plane can summarize injector state (Status) while the run
+// is in flight; everything else is sim-goroutine-only.
 type Injector struct {
 	eng  *sim.Engine
 	spec *Spec
 	t    Targets
 
 	// active[i] reports whether process i's window is currently open.
-	active []bool
+	active []atomic.Bool
 	rngs   []*rand.Rand
 
 	baseNoiseDBm float64
 
 	tr       *trace.Emitter
 	counters map[Kind]*metrics.Counter
-	injected int
+	injected atomic.Int64
 }
 
 // NewInjector builds an injector for the given spec and targets. A nil spec
@@ -79,7 +85,7 @@ func NewInjector(eng *sim.Engine, spec *Spec, t Targets) *Injector {
 		eng:    eng,
 		spec:   spec,
 		t:      t,
-		active: make([]bool, len(spec.Procs)),
+		active: make([]atomic.Bool, len(spec.Procs)),
 		rngs:   make([]*rand.Rand, len(spec.Procs)),
 	}
 	for i, p := range spec.Procs {
@@ -112,12 +118,53 @@ func (in *Injector) SetMetrics(reg *metrics.Registry) {
 }
 
 // Injected returns how many fault activations fired (window openings, plus
-// one per whole-run loss/delay process armed at start).
+// one per whole-run loss/delay process armed at start). Safe for concurrent
+// readers.
 func (in *Injector) Injected() int {
 	if in == nil {
 		return 0
 	}
-	return in.injected
+	return int(in.injected.Load())
+}
+
+// Status is a race-safe summary of the injector for the live health
+// endpoint.
+type Status struct {
+	// Spec is the fault specification text the injector runs.
+	Spec string `json:"spec"`
+	// Processes is the number of fault processes in the spec.
+	Processes int `json:"processes"`
+	// Injected counts activations so far (see Injector.Injected).
+	Injected int `json:"injected"`
+	// ActiveWindows is the number of processes whose window is open now.
+	ActiveWindows int `json:"active_windows"`
+	// ActiveKinds lists the kinds with an open window, sorted and deduped.
+	ActiveKinds []string `json:"active_kinds,omitempty"`
+}
+
+// Status summarises the injector mid-run. Safe for concurrent readers; a
+// nil injector reports a zero Status.
+func (in *Injector) Status() Status {
+	if in == nil {
+		return Status{}
+	}
+	st := Status{
+		Spec:      in.spec.String(),
+		Processes: len(in.spec.Procs),
+		Injected:  in.Injected(),
+	}
+	kinds := make(map[string]bool)
+	for i := range in.active {
+		if in.active[i].Load() {
+			st.ActiveWindows++
+			kinds[string(in.spec.Procs[i].Kind)] = true
+		}
+	}
+	for k := range kinds {
+		st.ActiveKinds = append(st.ActiveKinds, k)
+	}
+	sort.Strings(st.ActiveKinds)
+	return st
 }
 
 // Start schedules every process. Call once, before the run.
@@ -136,7 +183,7 @@ func (in *Injector) Start() {
 			if p.windowed() {
 				in.scheduleWindows(i, p, nil, nil)
 			} else {
-				in.active[i] = true
+				in.active[i].Store(true)
 				in.record(p) // armed for the whole run
 			}
 		case Outage:
@@ -178,14 +225,14 @@ func (in *Injector) Start() {
 func (in *Injector) scheduleWindows(i int, p Process, open, close func()) {
 	var start func()
 	start = func() {
-		in.active[i] = true
+		in.active[i].Store(true)
 		in.record(p)
 		if open != nil {
 			open()
 		}
 		if p.Dur > 0 {
 			in.eng.After(p.Dur, func() {
-				in.active[i] = false
+				in.active[i].Store(false)
 				if close != nil {
 					close()
 				}
@@ -200,7 +247,7 @@ func (in *Injector) scheduleWindows(i int, p Process, open, close func()) {
 
 // record counts one activation in metrics and trace.
 func (in *Injector) record(p Process) {
-	in.injected++
+	in.injected.Add(1)
 	if c := in.counters[p.Kind]; c != nil {
 		c.Inc()
 	}
@@ -224,7 +271,7 @@ func (in *Injector) record(p Process) {
 func (in *Injector) pipelineFault(id frame.NodeID) (time.Duration, bool) {
 	var delay time.Duration
 	for i, p := range in.spec.Procs {
-		if !in.active[i] || !p.applies(id) {
+		if !in.active[i].Load() || !p.applies(id) {
 			continue
 		}
 		switch p.Kind {
@@ -245,7 +292,7 @@ func (in *Injector) pipelineFault(id frame.NodeID) (time.Duration, bool) {
 // consume outgoing location beacons with the same probability.
 func (in *Injector) beaconLost() bool {
 	for i, p := range in.spec.Procs {
-		if p.Kind == LocLoss && in.active[i] {
+		if p.Kind == LocLoss && in.active[i].Load() {
 			if in.rngs[i].Float64() < p.P {
 				return true
 			}

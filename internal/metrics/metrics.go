@@ -3,9 +3,13 @@
 // fixed-bucket duration histograms and state clocks, plus a time-sliced
 // series sampler driven by sim.Engine events (sampler.go).
 //
-// The package follows the simulator's single-goroutine discipline — no
-// locks, no atomics — and instruments never feed back into protocol
-// behaviour, so attaching them cannot perturb a deterministic run.
+// Writers are the simulation goroutine; readers may be anyone. Instruments
+// never feed back into protocol behaviour, so attaching them — or scraping
+// them live over the observability plane (internal/obs) — cannot perturb a
+// deterministic run. To make live scraping safe, counters are atomic and
+// the remaining instruments carry a small mutex; the costs are uncontended
+// in a normal run and values still never flow back into the protocol, so
+// runs stay bit-identical whether or not anyone is reading.
 //
 // Every instrument is nil-safe: methods on a nil *Counter, *Gauge, *Dist,
 // *Timing or *StateClock are no-ops, and a nil *Registry hands out nil
@@ -15,25 +19,28 @@ package metrics
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
 )
 
-// Counter is a named monotonically increasing event count.
-type Counter struct{ v int64 }
+// Counter is a named monotonically increasing event count. Safe for
+// concurrent use.
+type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add increments by n.
 func (c *Counter) Add(n int64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -42,11 +49,12 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a named last-written value.
+// Gauge is a named last-written value. Safe for concurrent use.
 type Gauge struct {
+	mu  sync.Mutex
 	v   float64
 	set bool
 }
@@ -54,14 +62,18 @@ type Gauge struct {
 // Set overwrites the gauge.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
+		g.mu.Lock()
 		g.v, g.set = v, true
+		g.mu.Unlock()
 	}
 }
 
 // Add shifts the gauge by d.
 func (g *Gauge) Add(d float64) {
 	if g != nil {
+		g.mu.Lock()
 		g.v, g.set = g.v+d, true
+		g.mu.Unlock()
 	}
 }
 
@@ -70,17 +82,25 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.v
 }
 
 // Dist is a streaming distribution of unitless values (window occupancy,
 // queue lengths): count, mean, min, max and variance via stats.Online.
-type Dist struct{ o stats.Online }
+// Safe for concurrent use.
+type Dist struct {
+	mu sync.Mutex
+	o  stats.Online
+}
 
 // Observe records one value.
 func (d *Dist) Observe(x float64) {
 	if d != nil {
+		d.mu.Lock()
 		d.o.Add(x)
+		d.mu.Unlock()
 	}
 }
 
@@ -89,6 +109,8 @@ func (d *Dist) N() int {
 	if d == nil {
 		return 0
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.o.N()
 }
 
@@ -97,6 +119,8 @@ func (d *Dist) Mean() float64 {
 	if d == nil {
 		return 0
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.o.Mean()
 }
 
@@ -105,13 +129,25 @@ func (d *Dist) Max() float64 {
 	if d == nil {
 		return 0
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.o.Max()
+}
+
+func (d *Dist) snapshot() DistSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DistSnapshot{
+		N: d.o.N(), Mean: d.o.Mean(), Min: d.o.Min(), Max: d.o.Max(), StdDev: d.o.StdDev(),
+	}
 }
 
 // Timing is a duration distribution: streaming moments, a fixed-bucket
 // histogram (stats.Histogram over seconds) and the raw samples, kept so
-// reports can compute exact percentiles through stats.ECDF.
+// reports can compute exact percentiles through stats.ECDF. Safe for
+// concurrent use.
 type Timing struct {
+	mu      sync.Mutex
 	o       stats.Online
 	hist    *stats.Histogram
 	samples []float64 // seconds
@@ -135,9 +171,11 @@ func (t *Timing) Observe(d time.Duration) {
 		return
 	}
 	s := d.Seconds()
+	t.mu.Lock()
 	t.o.Add(s)
 	t.hist.Add(s)
 	t.samples = append(t.samples, s)
+	t.mu.Unlock()
 }
 
 // N returns the number of observations.
@@ -145,6 +183,8 @@ func (t *Timing) N() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.o.N()
 }
 
@@ -153,6 +193,8 @@ func (t *Timing) Mean() time.Duration {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return secondsToDuration(t.o.Mean())
 }
 
@@ -161,13 +203,20 @@ func (t *Timing) Max() time.Duration {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return secondsToDuration(t.o.Max())
 }
 
 // Quantile returns the q-th percentile (nearest rank) over all samples, or 0
 // with no samples.
 func (t *Timing) Quantile(q float64) time.Duration {
-	if t == nil || len(t.samples) == 0 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.samples) == 0 {
 		return 0
 	}
 	v, err := stats.NewECDF(t.samples).Quantile(q)
@@ -177,7 +226,9 @@ func (t *Timing) Quantile(q float64) time.Duration {
 	return secondsToDuration(v)
 }
 
-// Histogram exposes the fixed-bucket histogram (nil on a nil Timing).
+// Histogram exposes the fixed-bucket histogram (nil on a nil Timing). The
+// returned histogram is the live one; only the simulation goroutine should
+// touch it (snapshots copy under the lock instead).
 func (t *Timing) Histogram() *stats.Histogram {
 	if t == nil {
 		return nil
@@ -193,7 +244,10 @@ func secondsToDuration(s float64) time.Duration {
 // closes the open interval and charges it to the previous state. By
 // construction the buckets of a snapshot sum to exactly (now - creation
 // time), which is what makes per-station airtime breakdowns auditable.
+// Safe for concurrent use: Breakdown can be read mid-state from a scrape
+// while the simulation keeps switching states.
 type StateClock struct {
+	mu    sync.Mutex
 	now   func() time.Duration
 	state string
 	since time.Duration
@@ -207,7 +261,12 @@ func newStateClock(now func() time.Duration, initial string) *StateClock {
 // Set transitions to state, charging the time since the last transition to
 // the previous state. Setting the current state is a no-op.
 func (s *StateClock) Set(state string) {
-	if s == nil || state == s.state {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if state == s.state {
 		return
 	}
 	t := s.now()
@@ -220,6 +279,8 @@ func (s *StateClock) State() string {
 	if s == nil {
 		return ""
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.state
 }
 
@@ -229,6 +290,8 @@ func (s *StateClock) In(state string) time.Duration {
 	if s == nil {
 		return 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	d := s.acc[state]
 	if state == s.state {
 		d += s.now() - s.since
@@ -242,6 +305,8 @@ func (s *StateClock) Breakdown() map[string]time.Duration {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make(map[string]time.Duration, len(s.acc)+1)
 	for k, v := range s.acc {
 		out[k] = v
@@ -252,8 +317,9 @@ func (s *StateClock) Breakdown() map[string]time.Duration {
 
 // Registry is a named collection of instruments with get-or-create
 // semantics: asking twice for the same name returns the same instrument, so
-// independent components can share an accumulator.
+// independent components can share an accumulator. Safe for concurrent use.
 type Registry struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	dists    map[string]*Dist
@@ -278,11 +344,19 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+	r.mu.RUnlock()
+	if ok {
+		return c
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
 	return c
 }
 
@@ -291,11 +365,19 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+	r.mu.RUnlock()
+	if ok {
+		return g
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
 	return g
 }
 
@@ -304,11 +386,19 @@ func (r *Registry) Dist(name string) *Dist {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	d, ok := r.dists[name]
-	if !ok {
-		d = &Dist{}
-		r.dists[name] = d
+	r.mu.RUnlock()
+	if ok {
+		return d
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.dists[name]; ok {
+		return d
+	}
+	d = &Dist{}
+	r.dists[name] = d
 	return d
 }
 
@@ -325,11 +415,19 @@ func (r *Registry) TimingBuckets(name string, lo, hi time.Duration, bins int) *T
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	t, ok := r.timings[name]
-	if !ok {
-		t = newTiming(lo, hi, bins)
-		r.timings[name] = t
+	r.mu.RUnlock()
+	if ok {
+		return t
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.timings[name]; ok {
+		return t
+	}
+	t = newTiming(lo, hi, bins)
+	r.timings[name] = t
 	return t
 }
 
@@ -339,18 +437,28 @@ func (r *Registry) StateClock(name string, now func() time.Duration, initial str
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	c, ok := r.clocks[name]
-	if !ok {
-		c = newStateClock(now, initial)
-		r.clocks[name] = c
+	r.mu.RUnlock()
+	if ok {
+		return c
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.clocks[name]; ok {
+		return c
+	}
+	c = newStateClock(now, initial)
+	r.clocks[name] = c
 	return c
 }
 
 // --- exposition -----------------------------------------------------------
 
 // Snapshot is a JSON-marshalable copy of a registry's instruments. Empty
-// instrument classes are omitted.
+// instrument classes are omitted. encoding/json writes map keys in sorted
+// order, so marshalled snapshots are deterministic byte-for-byte; callers
+// that iterate the maps themselves must sort the keys (see SortedKeys).
 type Snapshot struct {
 	Counters map[string]int64          `json:"counters,omitempty"`
 	Gauges   map[string]float64        `json:"gauges,omitempty"`
@@ -379,7 +487,7 @@ type TimingSnapshot struct {
 	P50Ms  float64 `json:"p50_ms"`
 	P90Ms  float64 `json:"p90_ms"`
 	P99Ms  float64 `json:"p99_ms"`
-	// Buckets lists the non-empty histogram bins.
+	// Buckets lists the non-empty histogram bins in ascending bin order.
 	Buckets []TimingBucket `json:"buckets,omitempty"`
 	// Under/Over count samples outside the histogram range (they are still
 	// part of the moments and percentiles above).
@@ -395,41 +503,51 @@ type TimingBucket struct {
 }
 
 // Snapshot captures every instrument of the registry. A nil registry yields
-// a zero Snapshot.
+// a zero Snapshot. Safe to call while the simulation is writing: each
+// instrument is copied under its own lock, so a live scrape sees a coherent
+// per-instrument view (the snapshot as a whole is not a single atomic cut —
+// it cannot be without stopping the run, and a monitoring read does not
+// need it to be).
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
 	}
-	if len(r.counters) > 0 {
-		s.Counters = make(map[string]int64, len(r.counters))
-		for n, c := range r.counters {
+	r.mu.RLock()
+	counters := copyRefs(r.counters)
+	gauges := copyRefs(r.gauges)
+	dists := copyRefs(r.dists)
+	timings := copyRefs(r.timings)
+	clocks := copyRefs(r.clocks)
+	r.mu.RUnlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for n, c := range counters {
 			s.Counters[n] = c.Value()
 		}
 	}
-	if len(r.gauges) > 0 {
-		s.Gauges = make(map[string]float64, len(r.gauges))
-		for n, g := range r.gauges {
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for n, g := range gauges {
 			s.Gauges[n] = g.Value()
 		}
 	}
-	if len(r.dists) > 0 {
-		s.Dists = make(map[string]DistSnapshot, len(r.dists))
-		for n, d := range r.dists {
-			s.Dists[n] = DistSnapshot{
-				N: d.o.N(), Mean: d.o.Mean(), Min: d.o.Min(), Max: d.o.Max(), StdDev: d.o.StdDev(),
-			}
+	if len(dists) > 0 {
+		s.Dists = make(map[string]DistSnapshot, len(dists))
+		for n, d := range dists {
+			s.Dists[n] = d.snapshot()
 		}
 	}
-	if len(r.timings) > 0 {
-		s.Timings = make(map[string]TimingSnapshot, len(r.timings))
-		for n, t := range r.timings {
+	if len(timings) > 0 {
+		s.Timings = make(map[string]TimingSnapshot, len(timings))
+		for n, t := range timings {
 			s.Timings[n] = t.snapshot()
 		}
 	}
-	if len(r.clocks) > 0 {
-		s.AirtimeSec = make(map[string]map[string]float64, len(r.clocks))
-		for n, c := range r.clocks {
+	if len(clocks) > 0 {
+		s.AirtimeSec = make(map[string]map[string]float64, len(clocks))
+		for n, c := range clocks {
 			states := make(map[string]float64)
 			for st, d := range c.Breakdown() {
 				states[st] = d.Seconds()
@@ -440,7 +558,19 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// copyRefs copies a name->instrument map so instruments can be read outside
+// the registry lock.
+func copyRefs[T any](m map[string]*T) map[string]*T {
+	out := make(map[string]*T, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
 func (t *Timing) snapshot() TimingSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	snap := TimingSnapshot{N: t.o.N()}
 	if t.o.N() == 0 {
 		return snap
@@ -475,10 +605,24 @@ func (r *Registry) CounterNames() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// SortedKeys returns the keys of a snapshot map in sorted order — the
+// iteration order every exposition format uses, so that /metrics responses
+// and bench artifacts are diff-stable.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -163,12 +163,13 @@ func TestSamplerTicks(t *testing.T) {
 	if ticks != 10 || ser.Len() != 10 {
 		t.Fatalf("ticks = %d, samples = %d", ticks, ser.Len())
 	}
-	if ser.At[0] != 100*time.Millisecond || ser.At[9] != time.Second {
-		t.Fatalf("sample times: %v", ser.At)
+	at, values := ser.Samples()
+	if at[0] != 100*time.Millisecond || at[9] != time.Second {
+		t.Fatalf("sample times: %v", at)
 	}
 	// Probe runs before OnTick: first sample sees v=0, last sees v=9.
-	if ser.Values[0] != 0 || ser.Values[9] != 9 {
-		t.Fatalf("sample values: %v", ser.Values)
+	if values[0] != 0 || values[9] != 9 {
+		t.Fatalf("sample values: %v", values)
 	}
 	pts := ser.Points()
 	if pts[9].TSec != 1.0 || pts[9].V != 9 {

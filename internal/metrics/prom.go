@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromWriter renders registry snapshots in the Prometheus text exposition
+// format (version 0.0.4). Snapshots from several sources (stations, the
+// medium) are merged into shared metric families distinguished by labels,
+// so a scrape of a multi-registry sim is a single well-formed page: each
+// family's # TYPE line appears exactly once and families and samples are
+// emitted in sorted order, making consecutive scrapes of an idle registry
+// byte-identical.
+type PromWriter struct {
+	fams map[string]*promFamily
+}
+
+type promFamily struct {
+	typ     string
+	samples []promSample
+}
+
+type promSample struct {
+	labels string // pre-rendered, sorted label pairs (may be empty)
+	value  float64
+}
+
+// NewPromWriter returns an empty writer.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{fams: make(map[string]*promFamily)}
+}
+
+// SanitizeMetricName maps an arbitrary instrument name onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:]: every other rune (the registry's '.'
+// and '/' separators in particular) becomes '_', and a leading digit gets a
+// '_' prefix.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// renderLabels renders label pairs sorted by key: `k1="v1",k2="v2"`.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := SortedKeys(labels)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, SanitizeMetricName(k)+`="`+escapeLabelValue(labels[k])+`"`)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *PromWriter) sample(family, typ, labels string, v float64) {
+	f, ok := p.fams[family]
+	if !ok {
+		f = &promFamily{typ: typ}
+		p.fams[family] = f
+	}
+	f.samples = append(f.samples, promSample{labels: labels, value: v})
+}
+
+// Add merges one snapshot under the given labels (typically
+// {"source": "station.3"}). Counters become `<name>_total` counter
+// families; gauges keep their name; distributions expand to
+// `<name>_{count,mean,min,max,stddev}` gauges; timings become
+// `<name>_seconds` summaries (quantiles 0.5/0.9/0.99 plus _sum/_count);
+// state clocks become `<name>_airtime_seconds` gauges with a state label.
+func (p *PromWriter) Add(labels map[string]string, s Snapshot) {
+	base := renderLabels(labels)
+	for _, name := range SortedKeys(s.Counters) {
+		p.sample(SanitizeMetricName(name)+"_total", "counter", base, float64(s.Counters[name]))
+	}
+	for _, name := range SortedKeys(s.Gauges) {
+		p.sample(SanitizeMetricName(name), "gauge", base, s.Gauges[name])
+	}
+	for _, name := range SortedKeys(s.Dists) {
+		d := s.Dists[name]
+		n := SanitizeMetricName(name)
+		p.sample(n+"_count", "gauge", base, float64(d.N))
+		p.sample(n+"_mean", "gauge", base, d.Mean)
+		p.sample(n+"_min", "gauge", base, d.Min)
+		p.sample(n+"_max", "gauge", base, d.Max)
+		p.sample(n+"_stddev", "gauge", base, d.StdDev)
+	}
+	for _, name := range SortedKeys(s.Timings) {
+		t := s.Timings[name]
+		n := SanitizeMetricName(name) + "_seconds"
+		const toSec = 1e-3 // snapshots carry milliseconds
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", t.P50Ms}, {"0.9", t.P90Ms}, {"0.99", t.P99Ms}} {
+			l := `quantile="` + q.q + `"`
+			if base != "" {
+				l = base + "," + l
+			}
+			p.sample(n, "summary", l, q.v*toSec)
+		}
+		p.sample(n+"_sum", "summary", base, t.MeanMs*toSec*float64(t.N))
+		p.sample(n+"_count", "summary", base, float64(t.N))
+	}
+	for _, clock := range SortedKeys(s.AirtimeSec) {
+		states := s.AirtimeSec[clock]
+		n := SanitizeMetricName(clock) + "_airtime_seconds"
+		for _, st := range SortedKeys(states) {
+			l := `state="` + escapeLabelValue(st) + `"`
+			if base != "" {
+				l = base + "," + l
+			}
+			p.sample(n, "gauge", l, states[st])
+		}
+	}
+}
+
+// WriteTo writes the accumulated families: sorted by family name, each with
+// one # TYPE line, samples sorted by label string.
+func (p *PromWriter) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	names := SortedKeys(p.fams)
+	for _, name := range names {
+		f := p.fams[name]
+		// Summary helper rows share the parent family's TYPE declaration.
+		family := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		declare := true
+		if f.typ == "summary" && family != name {
+			if _, ok := p.fams[family]; ok {
+				declare = false
+			}
+		}
+		if declare {
+			n, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+		samples := make([]promSample, len(f.samples))
+		copy(samples, f.samples)
+		sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+		for _, s := range samples {
+			var (
+				n   int
+				err error
+			)
+			if s.labels == "" {
+				n, err = fmt.Fprintf(w, "%s %v\n", name, s.value)
+			} else {
+				n, err = fmt.Fprintf(w, "%s{%s} %v\n", name, s.labels, s.value)
+			}
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}

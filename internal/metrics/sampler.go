@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/sim"
@@ -12,21 +13,51 @@ type SamplePoint struct {
 	V    float64 `json:"v"`
 }
 
-// Series is a time series filled in by a Sampler at fixed intervals.
+// Series is a time series filled in by a Sampler at fixed intervals. Safe
+// for concurrent readers: the sampler appends from the simulation goroutine
+// while live scrapes copy the accumulated points.
 type Series struct {
-	Name   string
-	At     []time.Duration
-	Values []float64
+	name   string
+	mu     sync.Mutex
+	at     []time.Duration
+	values []float64
 }
 
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
 // Len returns the number of samples taken so far.
-func (s *Series) Len() int { return len(s.At) }
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.at)
+}
+
+// append records one observation.
+func (s *Series) append(t time.Duration, v float64) {
+	s.mu.Lock()
+	s.at = append(s.at, t)
+	s.values = append(s.values, v)
+	s.mu.Unlock()
+}
+
+// Samples returns copies of the time and value columns.
+func (s *Series) Samples() ([]time.Duration, []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := make([]time.Duration, len(s.at))
+	copy(at, s.at)
+	values := make([]float64, len(s.values))
+	copy(values, s.values)
+	return at, values
+}
 
 // Points converts the series to JSON-friendly sample points.
 func (s *Series) Points() []SamplePoint {
-	pts := make([]SamplePoint, len(s.At))
-	for i := range s.At {
-		pts[i] = SamplePoint{TSec: s.At[i].Seconds(), V: s.Values[i]}
+	at, values := s.Samples()
+	pts := make([]SamplePoint, len(at))
+	for i := range at {
+		pts[i] = SamplePoint{TSec: at[i].Seconds(), V: values[i]}
 	}
 	return pts
 }
@@ -61,7 +92,7 @@ func (s *Sampler) Interval() time.Duration { return s.interval }
 // Track registers a probe evaluated on every tick; its values accumulate in
 // the returned Series. Register before Start.
 func (s *Sampler) Track(name string, probe func() float64) *Series {
-	ser := &Series{Name: name}
+	ser := &Series{name: name}
 	s.names = append(s.names, name)
 	s.probes = append(s.probes, probe)
 	s.series = append(s.series, ser)
@@ -95,8 +126,7 @@ func (s *Sampler) schedule() {
 		s.ev = nil
 		now := s.eng.Now()
 		for i, probe := range s.probes {
-			s.series[i].At = append(s.series[i].At, now)
-			s.series[i].Values = append(s.series[i].Values, probe())
+			s.series[i].append(now, probe())
 		}
 		for _, fn := range s.onTick {
 			fn(now)

@@ -8,6 +8,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/bianchi"
@@ -267,7 +268,14 @@ type Network struct {
 	// Goodput slicing (see StartSlicing) and engine self-profiling.
 	sampler     *metrics.Sampler
 	sliceSeries map[topology.Flow]*metrics.Series
-	wall        time.Duration
+
+	// Run-state tracking for the live observability plane (progress.go).
+	// runMu guards runState, runStart and wall so Progress can be read from
+	// scrape goroutines while the run is in flight.
+	runMu    sync.Mutex
+	runState string
+	runStart time.Time
+	wall     time.Duration
 }
 
 // Build assembles the network for the given topology and options.
@@ -649,9 +657,10 @@ func (n *Network) SliceInterval() time.Duration {
 
 // Run executes the scenario for Opts.Duration and returns per-flow goodput.
 func (n *Network) Run() *Results {
+	n.markRunning()
 	start := time.Now()
 	n.Eng.RunUntil(n.Opts.Duration)
-	n.wall = time.Since(start)
+	n.markDone(time.Since(start))
 	if n.Opts.Trace != nil {
 		n.Opts.Trace.Record(trace.Event{
 			AtMicros: int64(n.Opts.Duration / time.Microsecond),

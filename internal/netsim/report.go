@@ -120,13 +120,14 @@ func (n *Network) Report(res *Results) *Report {
 		Summary:     n.Summarize(),
 		Medium:      n.MediumMetrics.Snapshot(),
 	}
+	_, wall := n.runClock()
 	r.Engine = EngineReport{
 		EventsFired:  n.Eng.EventsFired(),
 		PendingAtEnd: n.Eng.Pending(),
-		WallSec:      n.wall.Seconds(),
+		WallSec:      wall.Seconds(),
 	}
-	if n.wall > 0 {
-		r.Engine.EventsPerSec = float64(r.Engine.EventsFired) / n.wall.Seconds()
+	if wall > 0 {
+		r.Engine.EventsPerSec = float64(r.Engine.EventsFired) / wall.Seconds()
 	}
 
 	for _, fr := range res.Flows {
@@ -208,8 +209,9 @@ func (n *Network) flowSlices(f topology.Flow) []GoodputSlice {
 		})
 		prevT, prevB = t, b
 	}
-	for i := range s.At {
-		emit(s.At[i], int64(s.Values[i]))
+	at, values := s.Samples()
+	for i := range at {
+		emit(at[i], int64(values[i]))
 	}
 	// The run may end between ticks; close the partial slice from the final
 	// meter reading.

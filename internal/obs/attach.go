@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/frame"
+	"repro/internal/netsim"
+)
+
+// AttachNetwork wires a built netsim.Network into the admin plane under the
+// given name: the medium and every station registry become /metrics
+// sources ("<name>.medium", "<name>.station.<id>"), the network's live
+// Progress is served under /runs, and its degraded-mode HealthStatus under
+// /healthz. Call after netsim.Build (and StartSlicing, if slices should
+// show up in /runs) and before Run.
+//
+// Attaching is pull-only: every registered function reads atomics and
+// locked snapshots, so the served run stays bit-identical to an unserved
+// one. Attaching to a nil server is a no-op.
+func AttachNetwork(s *Server, name string, n *netsim.Network) {
+	if s == nil || n == nil {
+		return
+	}
+	s.AddMetrics(name+".medium", n.MediumMetrics.Snapshot)
+	ids := make([]int, 0, len(n.Stations))
+	for id := range n.Stations {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := n.Stations[frame.NodeID(id)]
+		s.AddMetrics(fmt.Sprintf("%s.station.%d", name, id), st.Metrics.Snapshot)
+	}
+	s.AddRun(name, func() any { return n.Progress() })
+	s.AddHealth(name, func() (string, any) {
+		h := n.HealthStatus()
+		return h.Status, h
+	})
+}

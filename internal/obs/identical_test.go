@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// reportJSON renders a full netsim.Report with the wall-clock-derived
+// engine fields (WallSec, EventsPerSec) zeroed — they measure the host, not
+// the run, and are the only fields allowed to differ between a served and
+// an unserved run.
+func reportJSON(t *testing.T, n *netsim.Network, res *netsim.Results) []byte {
+	t.Helper()
+	r := n.Report(res)
+	r.Engine.WallSec = 0
+	r.Engine.EventsPerSec = 0
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServedRunBitIdentical is the plane's core guarantee: attaching the
+// admin server and hammering every endpoint throughout the run leaves the
+// full report — flows, slices, station counters, airtime, fault block —
+// bit-identical to the unserved run with the same seed.
+func TestServedRunBitIdentical(t *testing.T) {
+	const seed = 11
+
+	// Unserved reference run.
+	ref := buildFaulted(t, seed)
+	refJSON := reportJSON(t, ref, ref.Run())
+
+	// Served run: scrape continuously while it executes.
+	n := buildFaulted(t, seed)
+	s := NewServer(Options{CaptureDir: t.TempDir()})
+	AttachNetwork(s, "run", n)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	client := &http.Client{}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, ep := range []string{"/metrics", "/metrics?format=prom", "/healthz", "/runs"} {
+				resp, err := client.Get("http://" + addr + ep)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	res := n.Run()
+	close(done)
+	<-stopped
+	servedJSON := reportJSON(t, n, res)
+
+	if !bytes.Equal(refJSON, servedJSON) {
+		t.Fatalf("served run diverged from unserved run:\n--- unserved\n%.2000s\n--- served\n%.2000s", refJSON, servedJSON)
+	}
+}

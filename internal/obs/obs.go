@@ -1,0 +1,337 @@
+// Package obs is the simulator's live observability plane: an embeddable
+// HTTP admin endpoint any long-running sim can attach. It serves
+//
+//   - /metrics  — every attached metrics.Registry snapshot, as JSON or
+//     Prometheus text exposition (?format=prom),
+//   - /healthz  — degraded-mode summary (fault-injector state, CO-MAP
+//     location-health fallback counters),
+//   - /runs     — live run progress (sim-time vs wall-time speedup,
+//     events/s, per-slice goodput),
+//   - /debug/pprof/ — the standard Go profiling endpoints, plus
+//     /debug/profile/{cpu,heap} capturing profiles into a results dir.
+//
+// The plane is strictly pull-only: handlers read atomic counters, locked
+// snapshots and wall clocks, and never call into protocol state, so a
+// served run is bit-identical to an unserved one (asserted by test against
+// the full netsim.Report).
+//
+// Like trace.Sink, the server is nil-safe: every method on a nil *Server is
+// a no-op, so instrumented mains can wire it unconditionally and pay
+// nothing when no -http flag is given.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CaptureDir is where on-demand CPU/heap profiles are written
+	// (/debug/profile/...). Empty defaults to "results/profiles".
+	CaptureDir string
+}
+
+// SnapshotFunc produces a point-in-time metrics snapshot. It must be safe
+// to call from any goroutine (metrics.Registry.Snapshot is).
+type SnapshotFunc func() metrics.Snapshot
+
+// RunFunc produces a live run-progress value (JSON-marshalable). It must be
+// safe to call from any goroutine (netsim.Network.Progress is).
+type RunFunc func() any
+
+// HealthFunc produces a health status ("ok" or "degraded") plus a detail
+// payload. It must be safe to call from any goroutine.
+type HealthFunc func() (status string, detail any)
+
+// Server is the admin plane. Register sources, then Start (or mount
+// Handler yourself). Zero value is usable; nil is a no-op.
+type Server struct {
+	opts Options
+
+	mu      sync.Mutex
+	sources map[string]SnapshotFunc
+	runs    map[string]RunFunc
+	health  map[string]HealthFunc
+
+	srv *http.Server
+	ln  net.Listener
+
+	// profMu serialises CPU profile captures (the runtime allows one).
+	profMu sync.Mutex
+}
+
+// NewServer returns an empty admin plane.
+func NewServer(opts Options) *Server {
+	if opts.CaptureDir == "" {
+		opts.CaptureDir = filepath.Join("results", "profiles")
+	}
+	return &Server{
+		opts:    opts,
+		sources: make(map[string]SnapshotFunc),
+		runs:    make(map[string]RunFunc),
+		health:  make(map[string]HealthFunc),
+	}
+}
+
+// AddMetrics registers a named snapshot source served under /metrics.
+func (s *Server) AddMetrics(name string, fn SnapshotFunc) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources[name] = fn
+	s.mu.Unlock()
+}
+
+// AddRun registers a named run-progress source served under /runs.
+func (s *Server) AddRun(name string, fn RunFunc) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.runs[name] = fn
+	s.mu.Unlock()
+}
+
+// AddHealth registers a named health source served under /healthz.
+func (s *Server) AddHealth(name string, fn HealthFunc) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.health[name] = fn
+	s.mu.Unlock()
+}
+
+// snapshotFuncs copies the registered sources for iteration outside the
+// lock (source functions may themselves take instrument locks).
+func (s *Server) snapshotFuncs() (map[string]SnapshotFunc, map[string]RunFunc, map[string]HealthFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src := make(map[string]SnapshotFunc, len(s.sources))
+	for k, v := range s.sources {
+		src[k] = v
+	}
+	runs := make(map[string]RunFunc, len(s.runs))
+	for k, v := range s.runs {
+		runs[k] = v
+	}
+	health := make(map[string]HealthFunc, len(s.health))
+	for k, v := range s.health {
+		health[k] = v
+	}
+	return src, runs, health
+}
+
+// Handler returns the admin mux (nil on a nil server).
+func (s *Server) Handler() http.Handler {
+	if s == nil {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/profile/cpu", s.handleCaptureCPU)
+	mux.HandleFunc("/debug/profile/heap", s.handleCaptureHeap)
+	return mux
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves in
+// a background goroutine. It returns the bound address. A nil server
+// returns "" with no error, so callers can start unconditionally.
+func (s *Server) Start(addr string) (string, error) {
+	if s == nil {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	srv := s.srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start or on a nil server).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. Safe on a nil or never-started server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "comap observability plane")
+	fmt.Fprintln(w, "  /metrics            registry snapshots (JSON; ?format=prom for Prometheus text)")
+	fmt.Fprintln(w, "  /healthz            fault-injector and location-health summary")
+	fmt.Fprintln(w, "  /runs               live run progress (speedup, events/s, sliced goodput)")
+	fmt.Fprintln(w, "  /debug/pprof/       Go profiling endpoints")
+	fmt.Fprintln(w, "  /debug/profile/cpu  capture a CPU profile to the results dir (?seconds=N)")
+	fmt.Fprintln(w, "  /debug/profile/heap capture a heap profile to the results dir")
+}
+
+// handleMetrics serves every source's snapshot: JSON keyed by source name
+// (sorted by encoding/json), or Prometheus text exposition with a source
+// label when ?format=prom is given.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sources, _, _ := s.snapshotFuncs()
+	names := metrics.SortedKeys(sources)
+	if r.URL.Query().Get("format") == "prom" {
+		pw := metrics.NewPromWriter()
+		for _, name := range names {
+			labels := map[string]string{}
+			if len(names) > 1 || name != "" {
+				labels["source"] = name
+			}
+			pw.Add(labels, sources[name]())
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		pw.WriteTo(w) //nolint:errcheck // client went away
+		return
+	}
+	out := make(map[string]metrics.Snapshot, len(names))
+	for _, name := range names {
+		out[name] = sources[name]()
+	}
+	writeJSON(w, out)
+}
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	// Status is "ok" unless any source reports otherwise, in which case it
+	// carries the first non-ok status (sources sorted by name).
+	Status  string         `json:"status"`
+	Sources map[string]any `json:"sources,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, _, health := s.snapshotFuncs()
+	resp := healthResponse{Status: "ok"}
+	if len(health) > 0 {
+		resp.Sources = make(map[string]any, len(health))
+	}
+	for _, name := range metrics.SortedKeys(health) {
+		status, detail := health[name]()
+		if status != "ok" && resp.Status == "ok" {
+			resp.Status = status
+		}
+		resp.Sources[name] = detail
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	_, runs, _ := s.snapshotFuncs()
+	type namedRun struct {
+		Name     string `json:"name"`
+		Progress any    `json:"progress"`
+	}
+	out := make([]namedRun, 0, len(runs))
+	for _, name := range metrics.SortedKeys(runs) {
+		out = append(out, namedRun{Name: name, Progress: runs[name]()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+// handleCaptureCPU profiles the process for ?seconds=N (default 2, max 120)
+// and writes the profile into the capture dir, responding with the path.
+func (s *Server) handleCaptureCPU(w http.ResponseWriter, r *http.Request) {
+	seconds := 2
+	if q := r.URL.Query().Get("seconds"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 || n > 120 {
+			http.Error(w, "seconds must be an integer in [1, 120]", http.StatusBadRequest)
+			return
+		}
+		seconds = n
+	}
+	if !s.profMu.TryLock() {
+		http.Error(w, "a CPU profile capture is already running", http.StatusConflict)
+		return
+	}
+	defer s.profMu.Unlock()
+	path, err := s.captureCPU(time.Duration(seconds) * time.Second)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]string{"profile": path})
+}
+
+func (s *Server) handleCaptureHeap(w http.ResponseWriter, r *http.Request) {
+	path, err := s.captureHeap()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]string{"profile": path})
+}
+
+// captureFile opens a timestamped profile file in the capture dir.
+func (s *Server) captureFile(kind string) (*os.File, error) {
+	if err := os.MkdirAll(s.opts.CaptureDir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: capture dir: %w", err)
+	}
+	name := fmt.Sprintf("%s-%s.pprof", kind, time.Now().UTC().Format("20060102T150405.000"))
+	f, err := os.Create(filepath.Join(s.opts.CaptureDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("obs: create profile: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// captureCPU records a CPU profile for the given duration into the capture
+// dir and returns the file path. The caller holds profMu.
+func (s *Server) captureCPU(d time.Duration) (string, error) {
+	f, err := s.captureFile("cpu")
+	if err != nil {
+		return "", err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return "", fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("obs: close cpu profile: %w", err)
+	}
+	return f.Name(), nil
+}
+
+// captureHeap records an up-to-date heap profile into the capture dir and
+// returns the file path.
+func (s *Server) captureHeap() (string, error) {
+	f, err := s.captureFile("heap")
+	if err != nil {
+		return "", err
+	}
+	runtime.GC() // up-to-date allocation data, as net/http/pprof does with gc=1
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		return "", fmt.Errorf("obs: write heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("obs: close heap profile: %w", err)
+	}
+	return f.Name(), nil
+}

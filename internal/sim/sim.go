@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"hash/fnv"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,12 +34,17 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; simulations are deterministic single-goroutine programs.
+//
+// Exception: the virtual clock and the fired-event count are stored
+// atomically, so Now and EventsFired may be read from other goroutines (the
+// live observability plane scrapes both mid-run). All scheduling and
+// mutation must still happen on the simulation goroutine.
 type Engine struct {
-	now    time.Duration
+	now    atomic.Int64 // virtual time in nanoseconds
 	queue  eventQueue
 	seq    uint64
 	seed   int64
-	fired  uint64
+	fired  atomic.Uint64
 	halted bool
 }
 
@@ -47,20 +53,21 @@ func New(seed int64) *Engine {
 	return &Engine{seed: seed}
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() time.Duration { return e.now }
+// Now returns the current virtual time. Safe for concurrent readers.
+func (e *Engine) Now() time.Duration { return time.Duration(e.now.Load()) }
 
 // Seed returns the engine seed.
 func (e *Engine) Seed() int64 { return e.seed }
 
-// EventsFired returns the number of events executed so far.
-func (e *Engine) EventsFired() uint64 { return e.fired }
+// EventsFired returns the number of events executed so far. Safe for
+// concurrent readers.
+func (e *Engine) EventsFired() uint64 { return e.fired.Load() }
 
 // Schedule registers fn to run at absolute virtual time at. Times in the past
 // are clamped to Now (the event runs as the next zero-delay event).
 func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
-	if at < e.now {
-		at = e.now
+	if now := e.Now(); at < now {
+		at = now
 	}
 	ev := &Event{at: at, seq: e.seq, fn: fn}
 	e.seq++
@@ -71,7 +78,7 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 // After registers fn to run d after the current virtual time. Negative delays
 // are clamped to zero.
 func (e *Engine) After(d time.Duration, fn func()) *Event {
-	return e.Schedule(e.now+d, fn)
+	return e.Schedule(e.Now()+d, fn)
 }
 
 // Cancel removes a pending event. Cancelling a nil, already-fired or
@@ -95,8 +102,8 @@ func (e *Engine) Step() bool {
 		if ev.cancelled {
 			continue
 		}
-		e.now = ev.at
-		e.fired++
+		e.now.Store(int64(ev.at))
+		e.fired.Add(1)
 		ev.fn()
 		return true
 	}
@@ -119,8 +126,8 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		}
 		e.Step()
 	}
-	if !e.halted && e.now < deadline {
-		e.now = deadline
+	if !e.halted && e.Now() < deadline {
+		e.now.Store(int64(deadline))
 	}
 }
 
