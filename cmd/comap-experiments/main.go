@@ -23,6 +23,8 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 1, 2, 7, 8, 9, 10, table1, ablation, rts, overhead or all")
 	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick runs")
+	quick := flag.Bool("quick", false, "quick-scale runs (the default; mutually exclusive with -full)")
+	workers := flag.Int("workers", 0, "parallel simulation workers per figure (0 = one per CPU, 1 = sequential); any value yields identical output")
 	seeds := flag.Int("seeds", 0, "override number of seeds per data point")
 	duration := flag.Duration("duration", 0, "override simulated duration per run")
 	topologies := flag.Int("topologies", 0, "override number of Fig. 10 topologies")
@@ -34,10 +36,15 @@ func main() {
 	svgDir = *svg
 	jsonDir = *jsonOut
 
+	if *quick && *full {
+		fmt.Fprintln(os.Stderr, "comap-experiments: -quick and -full are mutually exclusive")
+		os.Exit(2)
+	}
 	opts := experiments.Quick()
 	if *full {
 		opts = experiments.Full()
 	}
+	opts.Workers = *workers
 	if *seeds > 0 {
 		opts.Seeds = *seeds
 	}

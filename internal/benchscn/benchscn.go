@@ -33,10 +33,13 @@ type Scale struct {
 	ETDuration time.Duration
 }
 
-// Default is the scale the `go test -bench` targets run at.
+// Default is the scale the `go test -bench` targets run at. Workers is
+// pinned to 1: the observatory measures sequential hot-path cost, so ns/op
+// and allocs/op stay comparable across baselines regardless of the host's
+// core count (the parallel runner's scaling is validated separately).
 func Default() Scale {
 	return Scale{
-		Fig:        experiments.Opts{Seeds: 1, Duration: 500 * time.Millisecond, Topologies: 2},
+		Fig:        experiments.Opts{Seeds: 1, Duration: 500 * time.Millisecond, Topologies: 2, Workers: 1},
 		ETDuration: time.Second,
 	}
 }
@@ -44,7 +47,7 @@ func Default() Scale {
 // QuickScale is the reduced scale behind `comap-bench -quick` (CI smoke).
 func QuickScale() Scale {
 	return Scale{
-		Fig:        experiments.Opts{Seeds: 1, Duration: 150 * time.Millisecond, Topologies: 1},
+		Fig:        experiments.Opts{Seeds: 1, Duration: 150 * time.Millisecond, Topologies: 1, Workers: 1},
 		ETDuration: 250 * time.Millisecond,
 	}
 }

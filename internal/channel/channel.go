@@ -6,6 +6,15 @@
 //
 // The medium is single-threaded and driven by a sim.Engine; all state
 // transitions happen inside simulator events, so runs are deterministic.
+//
+// Hot-path layout: every transceiver carries a compact dense index (its
+// registration order), per-pair mean received power and frozen static
+// shadowing are precomputed into N×N matrices (rebuilt lazily after
+// geometry changes), and per-frame received powers live in a pooled dense
+// slice instead of a map. Per-transmitter audibility lists skip nodes whose
+// received power can never clear the audibility floor — while still
+// consuming the per-frame fading stream for them, so pruning never shifts
+// the RNG draw order of a run (see DESIGN.md, "Performance model").
 package channel
 
 import (
@@ -46,6 +55,19 @@ type Listener interface {
 // hardware).
 const DefaultCaptureMarginDB = 10.0
 
+// DefaultAudibilityMarginDB is how far below the noise floor a pair's
+// loudest plausible received power must fall before the pair is pruned from
+// the audibility lists. 40 dB under the noise floor, a signal contributes
+// less than a ten-thousandth of the noise power to any SINR denominator and
+// sits ~50 dB under every rate's sensitivity — physically inaudible.
+const DefaultAudibilityMarginDB = 40.0
+
+// audibilityFadeCapSigmas caps the per-frame fading excursion assumed when
+// classifying a pair as inaudible: mean + static + K·σ_fade must still be
+// under the floor. K = 6 puts the probability that a single draw exceeds the
+// cap at Φ(−6) ≈ 1e-9 (see DESIGN.md for the derivation).
+const audibilityFadeCapSigmas = 6.0
+
 // Medium is the shared wireless channel.
 type Medium struct {
 	eng    *sim.Engine
@@ -60,6 +82,14 @@ type Medium struct {
 	// disable capture entirely.
 	CaptureMarginDB float64
 
+	// AudibilityMarginDB sets the audibility floor at noise − margin:
+	// transmitter→receiver pairs whose precomputed mean power plus static
+	// shadow plus a 6σ fading excursion stays below the floor are skipped on
+	// the per-transmission hot path. Set to math.Inf(1) to disable pruning.
+	// Changes take effect at the next geometry rebuild. Default
+	// DefaultAudibilityMarginDB.
+	AudibilityMarginDB float64
+
 	// StaticShadowFraction is the fraction of the shadowing variance that is
 	// a fixed property of each node pair (walls, furniture — constant for
 	// stationary nodes), with the remainder redrawn per frame (fast fading).
@@ -69,6 +99,19 @@ type Medium struct {
 	// per topology instance. Default 0.7.
 	StaticShadowFraction float64
 	staticShadow         map[pairKey]float64
+
+	// Dense per-pair state, indexed [tx.idx][rx.idx] and rebuilt lazily
+	// whenever geomDirty is set (node added, position/power/noise changed).
+	geomDirty bool
+	meanRx    [][]float64      // mean received power, dBm
+	staticDB  [][]float64      // frozen static shadowing component, dB
+	audMask   [][]bool         // true when the pair clears the audibility floor
+	audible   [][]*Transceiver // per-transmitter audible receivers, ID order
+
+	// txPool recycles transmission records (and their dense power slices);
+	// sinrScratch is the reusable interferer buffer of updateSINR.
+	txPool      []*transmission
+	sinrScratch []float64
 
 	// OnTransmitStart, when set, observes every transmission at the instant
 	// it is put on the air (transmitter, frame, rate, airtime). Tracing uses
@@ -120,6 +163,7 @@ func NewMedium(eng *sim.Engine, model radio.LogNormal, noiseFloorDBm float64) *M
 		rng:                  eng.RNG("channel.shadowing"),
 		byID:                 make(map[frame.NodeID]*Transceiver),
 		CaptureMarginDB:      DefaultCaptureMarginDB,
+		AudibilityMarginDB:   DefaultAudibilityMarginDB,
 		StaticShadowFraction: 0.7,
 		staticShadow:         make(map[pairKey]float64),
 	}
@@ -135,6 +179,19 @@ func (m *Medium) SetMetrics(reg *metrics.Registry) {
 	m.air = reg.StateClock("medium", m.eng.Now, "idle")
 	m.collisions = reg.Counter("collisions")
 	m.txStarts = reg.Counter("tx_starts")
+	for _, n := range m.nodes {
+		n.collisions = m.nodeCollisionCounter(n.id)
+	}
+}
+
+// nodeCollisionCounter resolves the per-node collision counter once, so the
+// hot path never rebuilds the "collision.node.<id>" key. With no registry
+// attached it returns nil, and nil counters ignore Inc.
+func (m *Medium) nodeCollisionCounter(id frame.NodeID) *metrics.Counter {
+	if m.metrics == nil {
+		return nil
+	}
+	return m.metrics.Counter(fmt.Sprintf("collision.node.%d", id))
 }
 
 // Metrics returns the attached registry (nil if none).
@@ -166,6 +223,7 @@ func (m *Medium) SetNoiseFloorDBm(dbm float64) {
 		return
 	}
 	m.noise = dbm
+	m.geomDirty = true // the audibility floor moved with it
 	for _, n := range m.nodes {
 		m.updateSINR(n)
 	}
@@ -178,7 +236,14 @@ func (m *Medium) ExtraPathLossDB() float64 { return m.extraPathLossDB }
 // fading window injected by the faults layer). It applies to frames
 // transmitted after the call; in-flight frames keep the powers sampled at
 // their start. Zero restores the nominal channel.
-func (m *Medium) SetExtraPathLossDB(db float64) { m.extraPathLossDB = db }
+func (m *Medium) SetExtraPathLossDB(db float64) {
+	if (db < 0) != (m.extraPathLossDB < 0) {
+		// A gain (negative loss) can lift otherwise-inaudible pairs over the
+		// floor; the rebuild disables pruning while one is in effect.
+		m.geomDirty = true
+	}
+	m.extraPathLossDB = db
+}
 
 // AddNode registers a transceiver on the medium. Adding a duplicate ID
 // panics: node identity is fixed at topology-construction time and a
@@ -187,10 +252,14 @@ func (m *Medium) AddNode(id frame.NodeID, pos geom.Point, txPowerDBm float64, l 
 	if _, dup := m.byID[id]; dup {
 		panic(fmt.Sprintf("channel: duplicate node id %d", id))
 	}
-	tr := &Transceiver{id: id, pos: pos, txPower: txPowerDBm, medium: m, listener: l}
+	// idx is the registration order — stable under the ID re-sort below, so
+	// dense per-pair state never moves once assigned.
+	tr := &Transceiver{id: id, idx: len(m.nodes), pos: pos, txPower: txPowerDBm, medium: m, listener: l}
+	tr.collisions = m.nodeCollisionCounter(id)
 	m.byID[id] = tr
 	m.nodes = append(m.nodes, tr)
 	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i].id < m.nodes[j].id })
+	m.geomDirty = true
 	return tr
 }
 
@@ -206,9 +275,27 @@ type transmission struct {
 	from *Transceiver
 	f    frame.Frame
 	rate phy.Rate
-	// rxDBm holds the shadowing-resolved received power of this frame at
-	// every other node, sampled once at transmission start.
-	rxDBm map[frame.NodeID]float64
+	// rx holds the shadowing-resolved received power of this frame at every
+	// node (indexed by Transceiver.idx), sampled once at transmission start.
+	// Pruned (inaudible) receivers hold -Inf, which contributes exactly
+	// 0 mW to every power sum.
+	rx []float64
+	// heard is the transmitter's audibility list snapshotted at start, so
+	// the end-of-transmission sweep visits exactly the nodes notified at
+	// start even if geometry was rebuilt mid-flight.
+	heard []*Transceiver
+	// activeIdx is this record's position in Medium.active.
+	activeIdx int
+}
+
+// rxAt returns the received power at dense index i. Out-of-range indexes
+// (a node registered after this frame started — never happens in shipped
+// scenarios) report 0 dBm, matching the old map's zero value.
+func (tx *transmission) rxAt(i int) float64 {
+	if i < len(tx.rx) {
+		return tx.rx[i]
+	}
+	return 0
 }
 
 // reception tracks a radio locked onto a frame.
@@ -220,13 +307,16 @@ type reception struct {
 
 // Transceiver is one node's radio front-end.
 type Transceiver struct {
-	id       frame.NodeID
-	pos      geom.Point
-	txPower  float64
-	medium   *Medium
-	listener Listener
-	sending  *transmission
-	lock     *reception
+	id         frame.NodeID
+	idx        int // dense index: registration order
+	pos        geom.Point
+	txPower    float64
+	medium     *Medium
+	listener   Listener
+	sending    *transmission
+	lock       *reception
+	rec        reception // the single lock slot, reused across receptions
+	collisions *metrics.Counter
 }
 
 // ID returns the node identifier.
@@ -245,13 +335,19 @@ func (t *Transceiver) Position() geom.Point { return t.pos }
 
 // SetPosition moves the node (mobility). In-flight frames keep the powers
 // sampled at their transmission start.
-func (t *Transceiver) SetPosition(p geom.Point) { t.pos = p }
+func (t *Transceiver) SetPosition(p geom.Point) {
+	t.pos = p
+	t.medium.geomDirty = true
+}
 
 // TxPowerDBm returns the node's transmit power.
 func (t *Transceiver) TxPowerDBm() float64 { return t.txPower }
 
 // SetTxPowerDBm changes the node's transmit power for future frames.
-func (t *Transceiver) SetTxPowerDBm(p float64) { t.txPower = p }
+func (t *Transceiver) SetTxPowerDBm(p float64) {
+	t.txPower = p
+	t.medium.geomDirty = true
+}
 
 // Transmitting reports whether the node currently has a frame on the air.
 func (t *Transceiver) Transmitting() bool { return t.sending != nil }
@@ -269,9 +365,100 @@ func (t *Transceiver) AggregateSignalDBm() float64 {
 		if tx.from == t {
 			continue
 		}
-		sumMW += radio.DBmToMilliwatts(tx.rxDBm[t.id])
+		sumMW += radio.DBmToMilliwatts(tx.rxAt(t.idx))
 	}
 	return radio.MilliwattsToDBm(sumMW)
+}
+
+// rebuildGeometry refreshes the dense per-pair state: mean received powers,
+// frozen static shadowing and the audibility lists. It runs lazily on the
+// first transmission after any geometry change, so bursts of mobility
+// updates cost one rebuild.
+func (m *Medium) rebuildGeometry() {
+	n := len(m.nodes)
+	if len(m.meanRx) != n {
+		m.meanRx = makeMatrix(n)
+		m.staticDB = makeMatrix(n)
+		m.audMask = make([][]bool, n)
+		for i := range m.audMask {
+			m.audMask[i] = make([]bool, n)
+		}
+		m.audible = make([][]*Transceiver, n)
+	}
+	sigma := m.model.SigmaDB
+	f := m.staticFraction()
+	fadeCap := 0.0
+	if sigma != 0 {
+		fadeCap = audibilityFadeCapSigmas * math.Sqrt(1-f) * sigma
+	}
+	floor := m.noise - m.AudibilityMarginDB
+	if m.extraPathLossDB < 0 {
+		// An injected gain could lift arbitrary pairs above the floor;
+		// disable pruning entirely while one is active.
+		floor = math.Inf(-1)
+	}
+	for _, t := range m.nodes {
+		means, statics, mask := m.meanRx[t.idx], m.staticDB[t.idx], m.audMask[t.idx]
+		// A fresh slice every rebuild: in-flight transmissions alias the old
+		// one as their heard snapshot.
+		aud := make([]*Transceiver, 0, n-1)
+		for _, r := range m.nodes { // ID order, so audibility lists stay sorted
+			if r == t {
+				continue
+			}
+			d := t.pos.DistanceTo(r.pos)
+			mean := m.model.MeanReceivedDBm(t.txPower, d)
+			static := m.staticShadowFor(t.id, r.id)
+			means[r.idx] = mean
+			statics[r.idx] = static
+			audible := mean+static+fadeCap >= floor
+			mask[r.idx] = audible
+			if audible {
+				aud = append(aud, r)
+			}
+		}
+		m.audible[t.idx] = aud
+	}
+	m.geomDirty = false
+}
+
+func makeMatrix(n int) [][]float64 {
+	rows := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range rows {
+		rows[i] = backing[i*n : (i+1)*n]
+	}
+	return rows
+}
+
+// newTransmission takes a pooled transmission record (or allocates the first
+// time) sized for the current node count.
+func (m *Medium) newTransmission(t *Transceiver, f frame.Frame, rate phy.Rate) *transmission {
+	var tx *transmission
+	if n := len(m.txPool); n > 0 {
+		tx = m.txPool[n-1]
+		m.txPool[n-1] = nil
+		m.txPool = m.txPool[:n-1]
+	} else {
+		tx = &transmission{}
+	}
+	tx.from, tx.f, tx.rate = t, f, rate
+	if cap(tx.rx) < len(m.nodes) {
+		tx.rx = make([]float64, len(m.nodes))
+	} else {
+		tx.rx = tx.rx[:len(m.nodes)]
+	}
+	return tx
+}
+
+// releaseTransmission returns a finished record to the pool. The dense power
+// slice is kept for reuse; reference fields are cleared so pooled records do
+// not retain transceivers or payload metadata.
+func (m *Medium) releaseTransmission(tx *transmission) {
+	tx.from = nil
+	tx.f = frame.Frame{}
+	tx.heard = nil
+	m.txPool = append(m.txPool, tx)
 }
 
 // Transmit puts a frame on the air for the given airtime at the given rate.
@@ -285,16 +472,40 @@ func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Durati
 		return fmt.Errorf("channel: non-positive airtime %v", airtime)
 	}
 	m := t.medium
-	tx := &transmission{from: t, f: f, rate: rate, rxDBm: make(map[frame.NodeID]float64, len(m.nodes))}
+	if m.geomDirty {
+		m.rebuildGeometry()
+	}
+	tx := m.newTransmission(t, f, rate)
+	// Received powers: precomputed mean + (frozen static + fresh fading) −
+	// extra loss, with the fading draw taken for every node in ID order —
+	// including pruned ones — so the shared shadowing stream advances
+	// identically whether or not pruning skips any pair ("keep the draw,
+	// skip the work").
+	sigma := m.model.SigmaDB
+	fadeScale := 0.0
+	if sigma != 0 {
+		fadeScale = math.Sqrt(1-m.staticFraction()) * sigma
+	}
+	means, statics, mask := m.meanRx[t.idx], m.staticDB[t.idx], m.audMask[t.idx]
 	for _, n := range m.nodes {
 		if n == t {
 			continue
 		}
-		d := t.pos.DistanceTo(n.pos)
-		tx.rxDBm[n.id] = m.model.MeanReceivedDBm(t.txPower, d) + m.shadowDB(t.id, n.id) - m.extraPathLossDB
+		shadow := 0.0
+		if sigma != 0 {
+			shadow = statics[n.idx] + fadeScale*m.rng.NormFloat64()
+		}
+		if mask[n.idx] {
+			tx.rx[n.idx] = means[n.idx] + shadow - m.extraPathLossDB
+		} else {
+			tx.rx[n.idx] = math.Inf(-1)
+		}
 	}
+	tx.rx[t.idx] = math.Inf(-1)
+	tx.heard = m.audible[t.idx]
 	t.sending = tx
 	t.lock = nil // half-duplex: abort any reception
+	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
 	m.txStarts.Inc()
 	m.touchAir()
@@ -302,10 +513,7 @@ func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Durati
 		m.OnTransmitStart(t.id, f, rate, airtime)
 	}
 
-	for _, n := range m.nodes {
-		if n == t {
-			continue
-		}
+	for _, n := range tx.heard {
 		m.onAirChanged(n)
 		m.maybeLock(n, tx)
 	}
@@ -320,13 +528,26 @@ func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Durati
 	return nil
 }
 
+// staticFraction returns StaticShadowFraction clamped to [0, 1].
+func (m *Medium) staticFraction() float64 {
+	f := m.StaticShadowFraction
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
 // emitHeaderIndication delivers the embedded discovery header of an
 // in-flight data frame to every node whose radio is locked onto it and has
-// decoded it cleanly so far.
+// decoded it cleanly so far. Only nodes audible at transmission start can
+// hold such a lock.
 func (m *Medium) emitHeaderIndication(tx *transmission) {
 	hdr := frame.Frame{Kind: frame.ComapHeader, Src: tx.f.Src, Dst: tx.f.Dst, Retry: true}
-	for _, n := range m.nodes {
-		if n == tx.from || n.listener == nil {
+	for _, n := range tx.heard {
+		if n.listener == nil {
 			continue
 		}
 		if n.lock != nil && n.lock.tx == tx && !n.lock.corrupted {
@@ -341,7 +562,7 @@ func (m *Medium) maybeLock(n *Transceiver, tx *transmission) {
 	if n.sending != nil {
 		return
 	}
-	p := tx.rxDBm[n.id]
+	p := tx.rxAt(n.idx)
 	if p < tx.rate.SensitivityDBm {
 		return
 	}
@@ -353,8 +574,8 @@ func (m *Medium) maybeLock(n *Transceiver, tx *transmission) {
 			return
 		}
 	}
-	rec := &reception{tx: tx, signalDBm: p}
-	n.lock = rec
+	n.rec = reception{tx: tx, signalDBm: p}
+	n.lock = &n.rec
 	m.updateSINR(n)
 }
 
@@ -366,22 +587,21 @@ func (m *Medium) updateSINR(n *Transceiver) {
 	if rec == nil || rec.corrupted {
 		return
 	}
-	var interferers []float64
+	interferers := m.sinrScratch[:0]
 	for _, other := range m.active {
 		if other == rec.tx || other.from == n {
 			continue
 		}
-		interferers = append(interferers, other.rxDBm[n.id])
+		interferers = append(interferers, other.rxAt(n.idx))
 	}
+	m.sinrScratch = interferers[:0]
 	sinr := radio.SINRdB(rec.signalDBm, m.noise, interferers...)
 	if sinr < rec.tx.rate.MinSIRdB {
 		rec.corrupted = true
 		// A collision overlap: interference pushed this node's locked frame
 		// below its SINR threshold. Latched once per reception.
 		m.collisions.Inc()
-		if m.metrics != nil {
-			m.metrics.Counter(fmt.Sprintf("collision.node.%d", n.id)).Inc()
-		}
+		n.collisions.Inc()
 	}
 }
 
@@ -395,26 +615,32 @@ func (m *Medium) onAirChanged(n *Transceiver) {
 }
 
 // endTransmission removes tx from the air, delivers it to any locked
-// receiver and notifies everyone of the energy change.
+// receiver and notifies every node that heard it of the energy change.
 func (m *Medium) endTransmission(tx *transmission) {
-	for i, a := range m.active {
-		if a == tx {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
+	// Ordered removal at the stored index: the order of m.active fixes the
+	// floating-point summation order of every power aggregate, so a
+	// swap-remove would change low-order result bits whenever three or more
+	// transmissions overlap (see DESIGN.md).
+	i := tx.activeIdx
+	copy(m.active[i:], m.active[i+1:])
+	m.active[len(m.active)-1] = nil
+	m.active = m.active[:len(m.active)-1]
+	for j := i; j < len(m.active); j++ {
+		m.active[j].activeIdx = j
 	}
 	tx.from.sending = nil
 	m.touchAir()
 
-	for _, n := range m.nodes {
+	for _, n := range tx.heard {
 		if n == tx.from {
 			continue
 		}
 		if n.lock != nil && n.lock.tx == tx {
 			rec := n.lock
+			ok, rssi := !rec.corrupted, rec.signalDBm
 			n.lock = nil
 			if n.listener != nil {
-				n.listener.FrameReceived(tx.f, !rec.corrupted, rec.signalDBm)
+				n.listener.FrameReceived(tx.f, ok, rssi)
 			}
 		}
 		m.onAirChanged(n)
@@ -422,6 +648,9 @@ func (m *Medium) endTransmission(tx *transmission) {
 	if tx.from.listener != nil {
 		tx.from.listener.TransmitDone(tx.f)
 	}
+	// Recycle only after the last callback: a synchronous re-Transmit from
+	// TransmitDone takes a different pooled record.
+	m.releaseTransmission(tx)
 }
 
 // ReceivedPowerSampleDBm draws one shadowed received-power sample from src to
@@ -441,15 +670,23 @@ func (m *Medium) shadowDB(a, b frame.NodeID) float64 {
 	if sigma == 0 {
 		return 0
 	}
-	f := m.StaticShadowFraction
-	if f < 0 {
-		f = 0
-	} else if f > 1 {
-		f = 1
-	}
+	f := m.staticFraction()
 	fading := math.Sqrt(1-f) * sigma * m.rng.NormFloat64()
 	if f == 0 {
 		return fading
+	}
+	return m.staticShadowFor(a, b) + fading
+}
+
+// staticShadowFor returns the frozen static shadowing component of the pair,
+// drawing it on first use from the pair's own named stream — so the value
+// depends only on (seed, pair), never on when or in what order pairs are
+// first used.
+func (m *Medium) staticShadowFor(a, b frame.NodeID) float64 {
+	sigma := m.model.SigmaDB
+	f := m.staticFraction()
+	if sigma == 0 || f == 0 {
+		return 0
 	}
 	key := makePairKey(a, b)
 	static, ok := m.staticShadow[key]
@@ -458,7 +695,7 @@ func (m *Medium) shadowDB(a, b frame.NodeID) float64 {
 		static = math.Sqrt(f) * sigma * pairRNG.NormFloat64()
 		m.staticShadow[key] = static
 	}
-	return static + fading
+	return static
 }
 
 // SilentDBm is the aggregate power reported on an idle channel.

@@ -111,9 +111,90 @@ func TestBelowSensitivityNotLocked(t *testing.T) {
 	if len(rx.frames) != 0 {
 		t.Errorf("received %d frames, want 0", len(rx.frames))
 	}
+	// At ~-147 dBm the pair is 50+ dB under the audibility floor
+	// (noise − margin = -135 dBm), so pruning skips the energy callbacks
+	// entirely.
+	if len(rx.energies) != 0 {
+		t.Errorf("energy callbacks = %d, want 0 (pair pruned as inaudible)", len(rx.energies))
+	}
+}
+
+func TestBelowSensitivityEnergyReportedWithoutPruning(t *testing.T) {
+	eng, m := newTestMedium(t, 1)
+	m.AudibilityMarginDB = math.Inf(1) // disable pruning
+	rx := &recorder{}
+	a := m.AddNode(1, geom.Pt(0, 0), 0, &recorder{})
+	b := m.AddNode(2, geom.Pt(5000, 0), 0, rx)
+
+	f := frame.Frame{Kind: frame.Data, Src: 1, Dst: 2, PayloadBytes: 100}
+	if err := a.Transmit(f, phy.RateDSSS1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if b.Receiving() {
+		t.Error("should not lock below sensitivity")
+	}
+	eng.Run()
 	// Energy is still reported (it changed from silence to a weak signal).
 	if len(rx.energies) != 2 {
 		t.Errorf("energy callbacks = %d, want 2 (start+end)", len(rx.energies))
+	}
+}
+
+// TestPruningKeepsDrawOrder runs the same shadowed scenario twice — once
+// with the default audibility margin (which prunes a node 50 km away) and
+// once with pruning disabled — and requires every PHY indication at the
+// near nodes to be bit-identical. This is the "keep the draw, skip the
+// work" contract: pruning must not shift the shared fading stream.
+func TestPruningKeepsDrawOrder(t *testing.T) {
+	run := func(margin float64) (near []*recorder, far *recorder) {
+		eng := sim.New(42)
+		m := NewMedium(eng, radio.NewLogNormal2400(2.9, 4), -95)
+		m.AudibilityMarginDB = margin
+		near = []*recorder{{}, {}, {}}
+		a := m.AddNode(1, geom.Pt(0, 0), 15, near[0])
+		b := m.AddNode(2, geom.Pt(30, 0), 15, near[1])
+		m.AddNode(3, geom.Pt(60, 0), 15, near[2])
+		far = &recorder{}
+		m.AddNode(9, geom.Pt(50000, 0), 15, far)
+
+		eng.Schedule(0, func() {
+			_ = a.Transmit(frame.Frame{Kind: frame.Data, Src: 1, Dst: 2, PayloadBytes: 500}, phy.RateDSSS1, time.Millisecond)
+		})
+		eng.Schedule(500*time.Microsecond, func() {
+			_ = b.Transmit(frame.Frame{Kind: frame.Data, Src: 2, Dst: 3, PayloadBytes: 500}, phy.RateDSSS1, time.Millisecond)
+		})
+		eng.Schedule(3*time.Millisecond, func() {
+			_ = a.Transmit(frame.Frame{Kind: frame.Data, Src: 1, Dst: 3, PayloadBytes: 200}, phy.RateDSSS1, time.Millisecond)
+		})
+		eng.Run()
+		return near, far
+	}
+
+	nearPruned, farPruned := run(DefaultAudibilityMarginDB)
+	nearFull, farFull := run(math.Inf(1))
+
+	if len(farPruned.energies) != 0 {
+		t.Errorf("far node got %d energy callbacks with pruning, want 0", len(farPruned.energies))
+	}
+	if len(farFull.energies) == 0 {
+		t.Error("far node got no energy callbacks with pruning disabled")
+	}
+	for i := range nearPruned {
+		p, f := nearPruned[i], nearFull[i]
+		if len(p.energies) != len(f.energies) || len(p.frames) != len(f.frames) {
+			t.Fatalf("node %d: callback counts diverged: %d/%d energies, %d/%d frames",
+				i+1, len(p.energies), len(f.energies), len(p.frames), len(f.frames))
+		}
+		for j := range p.energies {
+			if p.energies[j] != f.energies[j] {
+				t.Errorf("node %d energy[%d]: %v (pruned) != %v (full)", i+1, j, p.energies[j], f.energies[j])
+			}
+		}
+		for j := range p.frames {
+			if p.frames[j] != f.frames[j] {
+				t.Errorf("node %d frame[%d]: %+v != %+v", i+1, j, p.frames[j], f.frames[j])
+			}
+		}
 	}
 }
 

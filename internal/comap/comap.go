@@ -2,6 +2,7 @@ package comap
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/bianchi"
@@ -104,6 +105,9 @@ type Agent struct {
 	// seen records when each foreign link was last observed on the air
 	// (from its discovery header); it drives persistent concurrency.
 	seen map[Link]time.Duration
+	// seenScratch is reused by persistentConcurrencyOK so the sorted
+	// iteration over seen does not allocate per access attempt.
+	seenScratch []Link
 
 	// Location-health model (zero = trust the provider unconditionally).
 	health HealthPolicy
@@ -231,9 +235,24 @@ func (a *Agent) PersistentConcurrencyOK(myDst frame.NodeID, now time.Duration) b
 }
 
 func (a *Agent) persistentConcurrencyOK(myDst frame.NodeID, now time.Duration) bool {
+	// The loop expires stale entries, may return early, and feeds the
+	// hit/miss telemetry through Allowed — all order-sensitive side
+	// effects, so Go's randomized map iteration would make otherwise
+	// identical runs diverge. Walk the links in sorted order instead.
+	links := a.seenScratch[:0]
+	for l := range a.seen {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Src != links[j].Src {
+			return links[i].Src < links[j].Src
+		}
+		return links[i].Dst < links[j].Dst
+	})
+	a.seenScratch = links
 	active := 0
-	for l, at := range a.seen {
-		if now-at > DefaultLinkMaxAge {
+	for _, l := range links {
+		if now-a.seen[l] > DefaultLinkMaxAge {
 			delete(a.seen, l)
 			continue
 		}

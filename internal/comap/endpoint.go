@@ -26,7 +26,7 @@ type stream struct {
 	// credit is the CBR byte bucket; nil means saturated.
 	credit     *float64
 	creditRate float64 // bytes per second
-	creditEv   *sim.Event
+	creditEv   sim.Handle
 	active     bool
 }
 
@@ -189,9 +189,9 @@ func (e *Endpoint) StopStream() {
 
 func (e *Endpoint) pauseStream(s *stream) {
 	s.active = false
-	if s.creditEv != nil {
+	if s.creditEv.Active() {
 		e.eng.Cancel(s.creditEv)
-		s.creditEv = nil
+		s.creditEv = sim.Handle{}
 	}
 }
 
@@ -200,7 +200,7 @@ func (e *Endpoint) resumeStream(s *stream) (resumed bool) {
 		return false
 	}
 	s.active = true
-	if s.credit != nil && s.creditEv == nil {
+	if s.credit != nil && !s.creditEv.Active() {
 		e.scheduleCredit(s)
 	}
 	return true

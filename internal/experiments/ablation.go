@@ -29,41 +29,49 @@ type AblationResult struct {
 // Ablation measures each variant, averaged over o.Seeds runs.
 func Ablation(o Opts) (*AblationResult, error) {
 	top := topology.ETSweep(30)
-	run := func(mutate func(*netsim.Options)) (float64, error) {
-		var sum stats.Online
-		for s := 0; s < o.Seeds; s++ {
-			opts := netsim.TestbedOptions()
-			opts.Protocol = netsim.ProtocolComap
-			opts.Seed = int64(1000*s + 7)
-			opts.Duration = o.Duration
-			if mutate != nil {
-				mutate(&opts)
-			}
-			res, err := netsim.RunScenario(top, opts)
-			if err != nil {
-				return 0, err
-			}
-			sum.Add(res.Total() / 1e6)
-		}
-		return sum.Mean(), nil
+	mutations := []func(*netsim.Options){
+		func(o *netsim.Options) { o.Protocol = netsim.ProtocolDCF },
+		nil, // full CO-MAP
+		func(o *netsim.Options) { o.Header = netsim.HeaderFrame },
+		func(o *netsim.Options) { o.DisablePersistentConcurrency = true },
+		func(o *netsim.Options) { o.InBandLocation = true },
 	}
 
-	out := &AblationResult{}
-	var err error
-	if out.DCF, err = run(func(o *netsim.Options) { o.Protocol = netsim.ProtocolDCF }); err != nil {
+	// Job grid: variant x seed; each slot stores the run's aggregate Mbps.
+	slots := make([]float64, len(mutations)*o.Seeds)
+	err := runIndexed(o.workerCount(), len(slots), func(i int) error {
+		v, s := i/o.Seeds, i%o.Seeds
+		opts := netsim.TestbedOptions()
+		opts.Protocol = netsim.ProtocolComap
+		opts.Seed = int64(1000*s + 7)
+		opts.Duration = o.Duration
+		if mutate := mutations[v]; mutate != nil {
+			mutate(&opts)
+		}
+		res, err := netsim.RunScenario(top, opts)
+		if err != nil {
+			return err
+		}
+		slots[i] = res.Total() / 1e6
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if out.Full, err = run(nil); err != nil {
-		return nil, err
+
+	means := make([]float64, len(mutations))
+	for v := range mutations {
+		var sum stats.Online
+		for s := 0; s < o.Seeds; s++ {
+			sum.Add(slots[v*o.Seeds+s])
+		}
+		means[v] = sum.Mean()
 	}
-	if out.HeaderFrame, err = run(func(o *netsim.Options) { o.Header = netsim.HeaderFrame }); err != nil {
-		return nil, err
-	}
-	if out.NoPersistent, err = run(func(o *netsim.Options) { o.DisablePersistentConcurrency = true }); err != nil {
-		return nil, err
-	}
-	if out.InBandLocation, err = run(func(o *netsim.Options) { o.InBandLocation = true }); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return &AblationResult{
+		DCF:            means[0],
+		Full:           means[1],
+		HeaderFrame:    means[2],
+		NoPersistent:   means[3],
+		InBandLocation: means[4],
+	}, nil
 }

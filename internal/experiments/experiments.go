@@ -38,8 +38,15 @@ type Opts struct {
 	// <topology>-<protocol>-seed<N>.jsonl, ready for comap-trace. It covers
 	// every run driven through the shared per-seed goodput loops (Figs. 1,
 	// 2, 7, 9 and the RTS comparison). Tracing never alters results: runs
-	// stay bit-identical to untraced ones.
+	// stay bit-identical to untraced ones. Setting TraceDir forces
+	// single-worker execution (see Workers).
 	TraceDir string
+	// Workers is the number of goroutines the replication runner uses to
+	// execute independent (figure point, seed) simulations. 0 uses one
+	// worker per CPU; 1 runs sequentially. Every run is a self-contained
+	// deterministic engine and results are committed in index order, so the
+	// output is bit-identical for any worker count.
+	Workers int
 }
 
 // Quick returns a fast configuration for tests and benchmarks.
@@ -153,30 +160,26 @@ func slug(s string) string {
 	}, s)
 }
 
-// meanGoodput runs the scenario over opts.Seeds seeds and returns the mean
-// goodput (bps) of the given flow.
+// meanGoodput runs the scenario over opts.Seeds seeds (in parallel on the
+// worker pool) and returns the mean goodput (bps) of the given flow.
 func meanGoodput(top topology.Topology, base netsim.Options, o Opts, flow topology.Flow) (float64, error) {
-	sum := 0.0
-	for s := 0; s < o.Seeds; s++ {
-		res, err := runSeed(top, base, o, s)
-		if err != nil {
-			return 0, err
-		}
-		sum += res.Goodput(flow)
+	runs, err := runGrid(o, []gridCell{{top: top, opts: base}})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(o.Seeds), nil
+	return meanOverSeeds(runs[0], flow), nil
 }
 
 // medianGoodput runs the scenario over o.Seeds seeds and returns the median
 // goodput (bps) of the given flow — preferable to the mean for scenarios
 // that are bimodal across shadowing realizations.
 func medianGoodput(top topology.Topology, base netsim.Options, o Opts, flow topology.Flow) (float64, error) {
+	runs, err := runGrid(o, []gridCell{{top: top, opts: base}})
+	if err != nil {
+		return 0, err
+	}
 	samples := make([]float64, 0, o.Seeds)
-	for s := 0; s < o.Seeds; s++ {
-		res, err := runSeed(top, base, o, s)
-		if err != nil {
-			return 0, err
-		}
+	for _, res := range runs[0] {
 		samples = append(samples, res.Goodput(flow))
 	}
 	med, err := stats.NewECDF(samples).Quantile(0.5)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/netsim"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -29,34 +30,37 @@ func RTSComparison(o Opts) (*RTSComparisonResult, error) {
 		topology.RoleHidden, topology.RoleHidden, topology.RoleHidden,
 	})
 	flow := top.Flows[0]
-	res := &RTSComparisonResult{}
 
 	dcf := netsim.NS2Options()
 	dcf.Protocol = netsim.ProtocolDCF
-	g, err := medianGoodput(top, dcf, o, flow)
-	if err != nil {
-		return nil, err
-	}
-	res.DCF = g / 1e6
 
 	rts := netsim.NS2Options()
 	rts.Protocol = netsim.ProtocolDCF
 	rts.RTSThresholdBytes = 1
-	g, err = medianGoodput(top, rts, o, flow)
-	if err != nil {
-		return nil, err
-	}
-	res.RTSCTS = g / 1e6
 
 	cm := netsim.NS2Options()
 	cm.Protocol = netsim.ProtocolComap
 	cm.AdaptTable = adaptTable()
-	g, err = medianGoodput(top, cm, o, flow)
+
+	runs, err := runGrid(o, []gridCell{
+		{top: top, opts: dcf}, {top: top, opts: rts}, {top: top, opts: cm},
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.Comap = g / 1e6
-	return res, nil
+	medians := make([]float64, len(runs))
+	for i, cell := range runs {
+		samples := make([]float64, 0, o.Seeds)
+		for _, r := range cell {
+			samples = append(samples, r.Goodput(flow))
+		}
+		med, err := stats.NewECDF(samples).Quantile(0.5)
+		if err != nil {
+			return nil, err
+		}
+		medians[i] = med / 1e6
+	}
+	return &RTSComparisonResult{DCF: medians[0], RTSCTS: medians[1], Comap: medians[2]}, nil
 }
 
 // OverheadResult quantifies the in-band location exchange (paper §V
@@ -73,36 +77,59 @@ type OverheadResult struct {
 	BeaconBytes int64
 }
 
+// overheadRun is one seed's oracle/in-band run pair.
+type overheadRun struct {
+	oracleTotal float64
+	inbandTotal float64
+	beacons     int
+	beaconBytes int64
+}
+
 // Overhead measures the cost of in-band location exchange on the ET square.
 func Overhead(o Opts) (*OverheadResult, error) {
 	top := topology.ETSweep(30)
-	res := &OverheadResult{}
 
-	for s := 0; s < o.Seeds; s++ {
+	// One job per seed, each running the oracle and in-band configurations
+	// back to back as the sequential loop did.
+	slots := make([]overheadRun, o.Seeds)
+	err := runIndexed(o.workerCount(), o.Seeds, func(s int) error {
 		oracle := netsim.TestbedOptions()
 		oracle.Protocol = netsim.ProtocolComap
 		oracle.Seed = int64(1000*s + 7)
 		oracle.Duration = o.Duration
 		r, err := netsim.RunScenario(top, oracle)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.OracleMbps += r.Total() / 1e6 / float64(o.Seeds)
+		slot := overheadRun{oracleTotal: r.Total()}
 
 		inband := oracle
 		inband.InBandLocation = true
 		n, err := netsim.Build(top, inband)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r = n.Run()
-		res.InBandMbps += r.Total() / 1e6 / float64(o.Seeds)
+		slot.inbandTotal = r.Total()
 		for _, st := range n.Stations {
 			if st.Locx != nil {
-				res.Beacons += st.Locx.BeaconsSent()
-				res.BeaconBytes += st.Locx.BytesSent()
+				slot.beacons += st.Locx.BeaconsSent()
+				slot.beaconBytes += st.Locx.BytesSent()
 			}
 		}
+		slots[s] = slot
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &OverheadResult{}
+	for _, slot := range slots {
+		res.OracleMbps += slot.oracleTotal / 1e6 / float64(o.Seeds)
+		res.InBandMbps += slot.inbandTotal / 1e6 / float64(o.Seeds)
+		res.Beacons += slot.beacons
+		res.BeaconBytes += slot.beaconBytes
 	}
 	return res, nil
 }

@@ -21,24 +21,29 @@ type Fig1Result struct {
 // Fig1 reproduces the paper's Fig. 1 (exposed-terminal testbed, basic DCF).
 // Expected shape: a goodput valley while C2 sits inside C1's carrier-sense
 // range but outside the harmful-interference zone, recovering once C2 leaves
-// the CS range (~34 m).
+// the CS range (~34 m). Both flows are read from one run set per position —
+// the runs are deterministic, so this matches running the sweep once per
+// flow.
 func Fig1(o Opts) (*Fig1Result, error) {
+	cells := make([]gridCell, len(ETPositions))
+	for i, x := range ETPositions {
+		opts := netsim.TestbedOptions()
+		opts.Protocol = netsim.ProtocolDCF
+		cells[i] = gridCell{top: topology.ETSweep(x), opts: opts}
+	}
+	runs, err := runGrid(o, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig1Result{
 		C1Goodput: Series{Name: "DCF C1->AP1 (Mbps)"},
 		C2Goodput: Series{Name: "DCF C2->AP2 (Mbps)"},
 	}
-	for _, x := range ETPositions {
-		top := topology.ETSweep(x)
-		opts := netsim.TestbedOptions()
-		opts.Protocol = netsim.ProtocolDCF
-		g1, err := meanGoodput(top, opts, o, top.Flows[0])
-		if err != nil {
-			return nil, err
-		}
-		g2, err := meanGoodput(top, opts, o, top.Flows[1])
-		if err != nil {
-			return nil, err
-		}
+	for i, x := range ETPositions {
+		top := cells[i].top
+		g1 := meanOverSeeds(runs[i], top.Flows[0])
+		g2 := meanOverSeeds(runs[i], top.Flows[1])
 		res.C1Goodput.Points = append(res.C1Goodput.Points, Point{X: x, Y: g1 / 1e6})
 		res.C2Goodput.Points = append(res.C2Goodput.Points, Point{X: x, Y: g2 / 1e6})
 	}
@@ -56,52 +61,81 @@ type Fig8Result struct {
 	ETRegionGainPct float64
 }
 
+// fig8Run is one (position, protocol, seed) run's contribution: the measured
+// link's goodput, the aggregate goodput and whether any station transmitted
+// concurrently (CO-MAP runs only).
+type fig8Run struct {
+	c1         float64
+	total      float64
+	concurrent bool
+}
+
 // Fig8 reproduces the paper's Fig. 8: CO-MAP's goodput improvement for the
 // exposed-terminal scenario, with Minstrel rate adaptation active.
 func Fig8(o Opts) (*Fig8Result, error) {
+	tops := make([]topology.Topology, len(ETPositions))
+	for i, x := range ETPositions {
+		tops[i] = topology.ETSweep(x)
+	}
+
+	// Job grid: position x {DCF, CO-MAP} x seed, folded below in the same
+	// order the sequential loops accumulated.
+	perPos := 2 * o.Seeds
+	slots := make([]fig8Run, len(ETPositions)*perPos)
+	err := runIndexed(o.workerCount(), len(slots), func(i int) error {
+		pos, rest := i/perPos, i%perPos
+		comap, s := rest/o.Seeds == 1, rest%o.Seeds
+
+		opts := netsim.TestbedOptions()
+		opts.Seed = int64(1000*s + 7)
+		opts.Duration = o.Duration
+		if !comap {
+			opts.Protocol = netsim.ProtocolDCF
+			r, err := netsim.RunScenario(tops[pos], opts)
+			if err != nil {
+				return err
+			}
+			slots[i] = fig8Run{c1: r.Goodput(tops[pos].Flows[0]), total: r.Total()}
+			return nil
+		}
+		opts.Protocol = netsim.ProtocolComap
+		n, err := netsim.Build(tops[pos], opts)
+		if err != nil {
+			return err
+		}
+		r := n.Run()
+		slot := fig8Run{c1: r.Goodput(tops[pos].Flows[0]), total: r.Total()}
+		for _, st := range n.Stations {
+			if st.MAC.Stats().Get("et.concurrent_tx") > 0 {
+				slot.concurrent = true
+			}
+		}
+		slots[i] = slot
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig8Result{
 		DCF:   Series{Name: "DCF C1->AP1 (Mbps)"},
 		Comap: Series{Name: "CO-MAP C1->AP1 (Mbps)"},
 	}
 	var gains []float64
-	for _, x := range ETPositions {
-		top := topology.ETSweep(x)
-
-		dcf := netsim.TestbedOptions()
-		dcf.Protocol = netsim.ProtocolDCF
-		var dcfC1, dcfTotal float64
-		for s := 0; s < o.Seeds; s++ {
-			dcf.Seed = int64(1000*s + 7)
-			dcf.Duration = o.Duration
-			r, err := netsim.RunScenario(top, dcf)
-			if err != nil {
-				return nil, err
-			}
-			dcfC1 += r.Goodput(top.Flows[0]) / float64(o.Seeds)
-			dcfTotal += r.Total() / float64(o.Seeds)
-		}
-
-		cm := netsim.TestbedOptions()
-		cm.Protocol = netsim.ProtocolComap
-		var cmC1, cmTotal float64
+	for pos, x := range ETPositions {
+		var dcfC1, dcfTotal, cmC1, cmTotal float64
 		concurrent := false
 		for s := 0; s < o.Seeds; s++ {
-			cm.Seed = int64(1000*s + 7)
-			cm.Duration = o.Duration
-			n, err := netsim.Build(top, cm)
-			if err != nil {
-				return nil, err
-			}
-			r := n.Run()
-			cmC1 += r.Goodput(top.Flows[0]) / float64(o.Seeds)
-			cmTotal += r.Total() / float64(o.Seeds)
-			for _, st := range n.Stations {
-				if st.MAC.Stats().Get("et.concurrent_tx") > 0 {
-					concurrent = true
-				}
-			}
+			d := slots[pos*perPos+s]
+			dcfC1 += d.c1 / float64(o.Seeds)
+			dcfTotal += d.total / float64(o.Seeds)
 		}
-
+		for s := 0; s < o.Seeds; s++ {
+			c := slots[pos*perPos+o.Seeds+s]
+			cmC1 += c.c1 / float64(o.Seeds)
+			cmTotal += c.total / float64(o.Seeds)
+			concurrent = concurrent || c.concurrent
+		}
 		res.DCF.Points = append(res.DCF.Points, Point{X: x, Y: dcfC1 / 1e6})
 		res.Comap.Points = append(res.Comap.Points, Point{X: x, Y: cmC1 / 1e6})
 		if concurrent && dcfTotal > 0 {

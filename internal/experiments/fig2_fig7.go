@@ -23,20 +23,30 @@ type Fig2Result struct {
 // regime. Expected shape: without a hidden terminal, goodput rises
 // monotonically with payload; with one, intermediate payloads win.
 func Fig2(o Opts) (*Fig2Result, error) {
-	res := &Fig2Result{
-		NoHT:  Series{Name: "Nht=0 (Mbps)"},
-		OneHT: Series{Name: "Nht=1 (Mbps)"},
-	}
-	for _, nht := range []int{0, 1} {
+	nhts := []int{0, 1}
+	var cells []gridCell
+	for _, nht := range nhts {
 		top := topology.HTPayload(nht)
 		for _, payload := range PayloadGrid {
 			opts := netsim.NS2Options()
 			opts.Protocol = netsim.ProtocolDCF
 			opts.PayloadBytes = payload
-			g, err := meanGoodput(top, opts, o, top.Flows[0])
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, gridCell{top: top, opts: opts})
+		}
+	}
+	runs, err := runGrid(o, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig2Result{
+		NoHT:  Series{Name: "Nht=0 (Mbps)"},
+		OneHT: Series{Name: "Nht=1 (Mbps)"},
+	}
+	for ni, nht := range nhts {
+		for pi, payload := range PayloadGrid {
+			c := ni*len(PayloadGrid) + pi
+			g := meanOverSeeds(runs[c], cells[c].top.Flows[0])
 			p := Point{X: float64(payload), Y: g / 1e6}
 			if nht == 0 {
 				res.NoHT.Points = append(res.NoHT.Points, p)
@@ -74,7 +84,28 @@ func Fig7(o Opts) ([]Fig7Panel, error) {
 	base := bianchi.FromPHY(phy.NS2Table1(), phy.RateOFDM6)
 	base.Contenders = Fig7Contenders
 
+	// Simulation grid: hidden x window x payload; the analytical curves are
+	// computed inline during the fold.
+	var cells []gridCell
+	for _, h := range Fig7Hidden {
+		top := topology.Fig7(Fig7Contenders, h)
+		for _, w := range Fig7Windows {
+			for _, payload := range PayloadGrid {
+				opts := netsim.NS2Options()
+				opts.Protocol = netsim.ProtocolDCF
+				opts.FixedCW = w
+				opts.PayloadBytes = payload
+				cells = append(cells, gridCell{top: top, opts: opts})
+			}
+		}
+	}
+	runs, err := runGrid(o, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	var panels []Fig7Panel
+	c := 0
 	for _, h := range Fig7Hidden {
 		panel := Fig7Panel{Hidden: h}
 		for _, w := range Fig7Windows {
@@ -83,20 +114,12 @@ func Fig7(o Opts) ([]Fig7Panel, error) {
 			p := base
 			p.W = w
 			p.Hidden = h
-			top := topology.Fig7(Fig7Contenders, h)
 			for _, payload := range PayloadGrid {
 				model.Points = append(model.Points,
 					Point{X: float64(payload), Y: p.Goodput(payload) / 1e6})
-
-				opts := netsim.NS2Options()
-				opts.Protocol = netsim.ProtocolDCF
-				opts.FixedCW = w
-				opts.PayloadBytes = payload
-				g, err := meanGoodput(top, opts, o, top.Flows[0])
-				if err != nil {
-					return nil, err
-				}
+				g := meanOverSeeds(runs[c], cells[c].top.Flows[0])
 				sim.Points = append(sim.Points, Point{X: float64(payload), Y: g / 1e6})
+				c++
 			}
 			panel.Model = append(panel.Model, model)
 			panel.Sim = append(panel.Sim, sim)

@@ -43,26 +43,30 @@ type Fig9Result struct {
 // contender/hidden/independent roles.
 func Fig9(o Opts) (*Fig9Result, error) {
 	table := adaptTable()
-	var dcfSamples, cmSamples []float64
+
+	// Grid: per role configuration, one DCF cell then one CO-MAP cell.
+	var cells []gridCell
 	for _, roles := range topology.Fig9Roles() {
 		top := topology.HTRoles(roles)
 
 		dcf := netsim.NS2Options()
 		dcf.Protocol = netsim.ProtocolDCF
-		g, err := meanGoodput(top, dcf, o, top.Flows[0])
-		if err != nil {
-			return nil, err
-		}
-		dcfSamples = append(dcfSamples, g/1e6)
+		cells = append(cells, gridCell{top: top, opts: dcf})
 
 		cm := netsim.NS2Options()
 		cm.Protocol = netsim.ProtocolComap
 		cm.AdaptTable = table
-		g, err = meanGoodput(top, cm, o, top.Flows[0])
-		if err != nil {
-			return nil, err
-		}
-		cmSamples = append(cmSamples, g/1e6)
+		cells = append(cells, gridCell{top: top, opts: cm})
+	}
+	runs, err := runGrid(o, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var dcfSamples, cmSamples []float64
+	for c := 0; c < len(cells); c += 2 {
+		dcfSamples = append(dcfSamples, meanOverSeeds(runs[c], cells[c].top.Flows[0])/1e6)
+		cmSamples = append(cmSamples, meanOverSeeds(runs[c+1], cells[c+1].top.Flows[0])/1e6)
 	}
 	dcfCDF := stats.NewECDF(dcfSamples)
 	cmCDF := stats.NewECDF(cmSamples)
@@ -94,57 +98,70 @@ const Fig10PositionError = 10
 // topologies, for the three protocol configurations.
 func Fig10(o Opts) (*Fig10Result, error) {
 	table := cbrAdaptTable()
+
+	tops := make([]topology.Topology, o.Topologies)
+	for t := range tops {
+		tops[t] = topology.LargeScale(rand.New(rand.NewSource(int64(9000 + t))))
+	}
+
+	dcf := netsim.NS2Options()
+	dcf.Protocol = netsim.ProtocolDCF
+	dcf.CBRBitsPerSec = 3e6
+
+	cm := netsim.NS2Options()
+	cm.Protocol = netsim.ProtocolComap
+	cm.CBRBitsPerSec = 3e6
+	cm.AdaptTable = table
+	// CBR floor: only throttle for interferers that actually cripple the
+	// link (see cbrAdaptTable); the saturated-HT assumption behind the
+	// default TPRR classification does not hold here.
+	cm.ComapModel.HTImpactPRR = 0.5
+
+	cmErr := cm
+	cmErr.PositionErrorMeters = Fig10PositionError
+
+	// Job grid: topology x configuration x seed. Fig. 10 keeps its
+	// historical seed formula 1000*s+t (the topology index, not the usual
+	// +7 offset), so it does not route through runSeed/runGrid.
+	configs := []netsim.Options{dcf, cm, cmErr}
+	perTop := len(configs) * o.Seeds
+	slots := make([]*netsim.Results, o.Topologies*perTop)
+	err := runIndexed(o.workerCount(), len(slots), func(i int) error {
+		t, rest := i/perTop, i%perTop
+		cfg, s := rest/o.Seeds, rest%o.Seeds
+		opts := configs[cfg]
+		opts.Seed = int64(1000*s + t)
+		opts.Duration = o.Duration
+		res, err := netsim.RunScenario(tops[t], opts)
+		if err != nil {
+			return err
+		}
+		slots[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var dcfS, cmS, cmErrS []float64
-
 	for t := 0; t < o.Topologies; t++ {
-		top := topology.LargeScale(rand.New(rand.NewSource(int64(9000 + t))))
-
-		collect := func(opts netsim.Options) ([]float64, error) {
-			perFlow := make([]float64, len(top.Flows))
+		for cfg := range configs {
+			perFlow := make([]float64, len(tops[t].Flows))
 			for s := 0; s < o.Seeds; s++ {
-				opts.Seed = int64(1000*s + t)
-				opts.Duration = o.Duration
-				res, err := netsim.RunScenario(top, opts)
-				if err != nil {
-					return nil, err
-				}
+				res := slots[t*perTop+cfg*o.Seeds+s]
 				for i, f := range res.Flows {
 					perFlow[i] += f.GoodputBps / float64(o.Seeds) / 1e6
 				}
 			}
-			return perFlow, nil
+			switch cfg {
+			case 0:
+				dcfS = append(dcfS, perFlow...)
+			case 1:
+				cmS = append(cmS, perFlow...)
+			case 2:
+				cmErrS = append(cmErrS, perFlow...)
+			}
 		}
-
-		dcf := netsim.NS2Options()
-		dcf.Protocol = netsim.ProtocolDCF
-		dcf.CBRBitsPerSec = 3e6
-		v, err := collect(dcf)
-		if err != nil {
-			return nil, err
-		}
-		dcfS = append(dcfS, v...)
-
-		cm := netsim.NS2Options()
-		cm.Protocol = netsim.ProtocolComap
-		cm.CBRBitsPerSec = 3e6
-		cm.AdaptTable = table
-		// CBR floor: only throttle for interferers that actually cripple the
-		// link (see cbrAdaptTable); the saturated-HT assumption behind the
-		// default TPRR classification does not hold here.
-		cm.ComapModel.HTImpactPRR = 0.5
-		v, err = collect(cm)
-		if err != nil {
-			return nil, err
-		}
-		cmS = append(cmS, v...)
-
-		cmErr := cm
-		cmErr.PositionErrorMeters = Fig10PositionError
-		v, err = collect(cmErr)
-		if err != nil {
-			return nil, err
-		}
-		cmErrS = append(cmErrS, v...)
 	}
 
 	dcfCDF := stats.NewECDF(dcfS)

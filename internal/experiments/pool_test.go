@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		err := runIndexed(workers, 100, func(i int) error {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 100 {
+			t.Fatalf("workers=%d: ran %d of 100 jobs", workers, len(seen))
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestRunIndexedReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Sequential: lowest index fails first and stops the loop.
+	err := runIndexed(1, 10, func(i int) error {
+		switch i {
+		case 2:
+			return errA
+		case 5:
+			t.Fatal("sequential run continued past the error")
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("err = %v, want %v", err, errA)
+	}
+	// Parallel: a failing job's error surfaces. (With several failures the
+	// lowest recorded index wins, but which jobs still run after the first
+	// failure is scheduling-dependent, so only one job fails here.)
+	err = runIndexed(4, 8, func(i int) error {
+		if i == 3 {
+			return errB
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("err = %v, want %v", err, errB)
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	if got := (Opts{Workers: 3}).workerCount(); got != 3 {
+		t.Errorf("Workers=3: %d", got)
+	}
+	if got := (Opts{}).workerCount(); got < 1 {
+		t.Errorf("Workers=0 resolved to %d", got)
+	}
+	if got := (Opts{Workers: 8, TraceDir: "x"}).workerCount(); got != 1 {
+		t.Errorf("TraceDir should force 1 worker, got %d", got)
+	}
+}
+
+// TestWorkersDoNotChangeResults is the determinism contract of the parallel
+// replication runner: every figure must produce identical output (down to
+// float bit patterns, via reflect.DeepEqual) for any worker count. Fig8
+// exercises the custom job grid with the station-scan fold, Fig10 the
+// three-configuration grid with its historical 1000*s+t seed formula, and
+// the RTS comparison the shared runGrid/median path.
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	o1 := Opts{Seeds: 2, Duration: 100 * time.Millisecond, Topologies: 2, Workers: 1}
+	o8 := o1
+	o8.Workers = 8
+
+	t.Run("fig8", func(t *testing.T) {
+		a, err := Fig8(o1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Fig8(o8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("workers changed Fig8 output:\n1: %+v\n8: %+v", a, b)
+		}
+	})
+
+	t.Run("fig10", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("fig10 is slow")
+		}
+		a, err := Fig10(o1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Fig10(o8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("workers changed Fig10 output:\n1: %+v\n8: %+v", a, b)
+		}
+	})
+
+	t.Run("rts", func(t *testing.T) {
+		a, err := RTSComparison(o1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RTSComparison(o8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("workers changed RTSComparison output:\n1: %+v\n8: %+v", a, b)
+		}
+	})
+}

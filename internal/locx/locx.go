@@ -13,6 +13,7 @@
 package locx
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/frame"
@@ -88,7 +89,7 @@ type Node struct {
 	beaconsSent int
 	beaconsLost int
 	bytesSent   int64
-	tickEv      *sim.Event
+	tickEv      sim.Handle
 }
 
 var _ loc.FixProvider = (*Node)(nil)
@@ -154,9 +155,9 @@ func (n *Node) learnSelf() (geom.Point, bool) {
 
 // Stop cancels the periodic work.
 func (n *Node) Stop() {
-	if n.tickEv != nil {
+	if n.tickEv.Active() {
 		n.eng.Cancel(n.tickEv)
-		n.tickEv = nil
+		n.tickEv = sim.Handle{}
 	}
 }
 
@@ -228,10 +229,14 @@ func (n *Node) send(f frame.Frame) bool {
 func (n *Node) broadcastNext() {
 	n.learnSelf()
 	if len(n.rrOrder) != len(n.table) {
+		// The rotation order decides which positions hit the air first, so
+		// it must not inherit the map's randomized iteration order — that
+		// would make otherwise identical runs diverge. Broadcast in ID order.
 		n.rrOrder = n.rrOrder[:0]
 		for id := range n.table {
 			n.rrOrder = append(n.rrOrder, id)
 		}
+		sort.Slice(n.rrOrder, func(i, j int) bool { return n.rrOrder[i] < n.rrOrder[j] })
 	}
 	if len(n.rrOrder) == 0 {
 		return

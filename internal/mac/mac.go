@@ -192,18 +192,18 @@ type MAC struct {
 	// the medium "busy" across the SIFS+ACK tail of their exchange. (This is
 	// not RTS/CTS — that stays disabled as in the paper.)
 	navActive bool
-	navEv     *sim.Event
+	navEv     sim.Handle
 
-	difsEv       *sim.Event
-	slotEv       *sim.Event
-	ackTimeoutEv *sim.Event
-	ctsTimeoutEv *sim.Event
+	difsEv       sim.Handle
+	slotEv       sim.Handle
+	ackTimeoutEv sim.Handle
+	ctsTimeoutEv sim.Handle
 
 	ackPending bool
 
 	concurrent   bool
 	concPending  bool
-	concExpiryEv *sim.Event
+	concExpiryEv sim.Handle
 	rssi1MW      float64
 	// concSrc/concDst identify the ongoing link we are overlapping with.
 	concSrc, concDst frame.NodeID
@@ -213,6 +213,10 @@ type MAC struct {
 	// transmissions of one ET by disabling its carrier sense with a high CCA
 	// threshold", §VI-B) until the agent revokes it.
 	persistent bool
+
+	// rateKey caches "tx.rate.<name>" stat keys so the data hot path
+	// never concatenates per frame.
+	rateKey map[string]string
 
 	accessLatency *metrics.Timing
 	dropLatency   *metrics.Timing
@@ -238,6 +242,11 @@ func New(eng *sim.Engine, tr *channel.Transceiver, cfg Config) *MAC {
 		cw:      0,
 	}
 	m.cw = m.initialCW()
+	m.rateKey = make(map[string]string, len(cfg.PHY.Rates)+1)
+	for _, r := range cfg.PHY.Rates {
+		m.rateKey[r.Name] = "tx.rate." + r.Name
+	}
+	m.rateKey[cfg.PHY.BasicRate.Name] = "tx.rate." + cfg.PHY.BasicRate.Name
 	// Nil-safe instruments: with no registry these stay nil and every
 	// recording below is a no-op.
 	m.accessLatency = cfg.Metrics.Timing("mac.access_latency")
@@ -262,7 +271,7 @@ func (m *MAC) airtimeState() string {
 	case m.navActive:
 		return "nav"
 	case m.st == phaseAccess:
-		if m.difsEv != nil {
+		if m.difsEv.Active() {
 			return "defer"
 		}
 		return "backoff"
@@ -274,6 +283,15 @@ func (m *MAC) airtimeState() string {
 // touchAir re-derives the airtime state; called after every transition that
 // can change it.
 func (m *MAC) touchAir() { m.air.Set(m.airtimeState()) }
+
+// rateStatKey returns the cached "tx.rate.<name>" key, falling back to
+// concatenation for rates outside the configured set.
+func (m *MAC) rateStatKey(name string) string {
+	if k, ok := m.rateKey[name]; ok {
+		return k
+	}
+	return "tx.rate." + name
+}
 
 func itoa(v int) string {
 	if v == 0 {
@@ -418,15 +436,13 @@ func (m *MAC) PersistentConcurrent() bool { return m.persistent }
 // exchange.
 func (m *MAC) setNAV(d time.Duration) {
 	until := m.eng.Now() + d
-	if m.navActive && m.navEv != nil && m.navEv.At() >= until {
+	if m.navActive && m.navEv.Active() && m.navEv.At() >= until {
 		return // existing reservation already covers it
 	}
-	if m.navEv != nil {
-		m.eng.Cancel(m.navEv)
-	}
+	m.eng.Cancel(m.navEv)
 	m.navActive = true
 	m.navEv = m.eng.After(d, func() {
-		m.navEv = nil
+		m.navEv = sim.Handle{}
 		m.navActive = false
 		m.reevaluateAccess()
 		m.touchAir()
@@ -436,14 +452,10 @@ func (m *MAC) setNAV(d time.Duration) {
 }
 
 func (m *MAC) cancelAccessTimers() {
-	if m.difsEv != nil {
-		m.eng.Cancel(m.difsEv)
-		m.difsEv = nil
-	}
-	if m.slotEv != nil {
-		m.eng.Cancel(m.slotEv)
-		m.slotEv = nil
-	}
+	m.eng.Cancel(m.difsEv)
+	m.difsEv = sim.Handle{}
+	m.eng.Cancel(m.slotEv)
+	m.slotEv = sim.Handle{}
 }
 
 func (m *MAC) scheduleDefer() {
@@ -461,7 +473,7 @@ func (m *MAC) scheduleDefer() {
 }
 
 func (m *MAC) onDeferComplete() {
-	m.difsEv = nil
+	m.difsEv = sim.Handle{}
 	m.eifs = false
 	if m.counter == 0 {
 		m.beginTx()
@@ -472,7 +484,7 @@ func (m *MAC) onDeferComplete() {
 }
 
 func (m *MAC) onSlot() {
-	m.slotEv = nil
+	m.slotEv = sim.Handle{}
 	m.counter--
 	if m.counter == 0 {
 		m.beginTx()
@@ -527,7 +539,7 @@ func (m *MAC) sendData() {
 		m.trace.Emit(e)
 	}
 	m.stat.Inc("tx.data")
-	m.stat.Inc("tx.rate." + r.Name)
+	m.stat.Inc(m.rateStatKey(r.Name))
 	if cur.Retry {
 		m.stat.Inc("tx.retry")
 	}
@@ -584,7 +596,7 @@ func (m *MAC) ctsTimeout() time.Duration {
 // onCTSTimeout handles a missing CTS: back off and retry like a collision.
 func (m *MAC) onCTSTimeout() {
 	defer m.touchAir()
-	m.ctsTimeoutEv = nil
+	m.ctsTimeoutEv = sim.Handle{}
 	m.stat.Inc("cts.timeout")
 	if m.trace.Enabled() && len(m.queue) > 0 {
 		e := trace.FrameEvent(trace.KindTimeout, m.queue[0])
@@ -634,7 +646,7 @@ func (m *MAC) resumeAfterAck() {
 
 func (m *MAC) onAckTimeout() {
 	defer m.touchAir()
-	m.ackTimeoutEv = nil
+	m.ackTimeoutEv = sim.Handle{}
 	m.stat.Inc("ack.timeout")
 	cur := m.queue[0]
 	if m.trace.Enabled() {
@@ -735,10 +747,8 @@ func (m *MAC) FrameReceived(f frame.Frame, ok bool, rssi float64) {
 			m.hooks.OnAckInfo(f)
 		}
 		if m.st == phaseWaitAck && len(m.queue) > 0 && ackCovers(f, m.queue[0].Seq) {
-			if m.ackTimeoutEv != nil {
-				m.eng.Cancel(m.ackTimeoutEv)
-				m.ackTimeoutEv = nil
-			}
+			m.eng.Cancel(m.ackTimeoutEv)
+			m.ackTimeoutEv = sim.Handle{}
 			m.cfg.Rates.Feedback(m.queue[0].Dst, m.curRate, true)
 			m.completeCurrent(true, "")
 		}
@@ -763,10 +773,8 @@ func (m *MAC) FrameReceived(f frame.Frame, ok bool, rssi float64) {
 			if m.st != phaseWaitCTS {
 				return
 			}
-			if m.ctsTimeoutEv != nil {
-				m.eng.Cancel(m.ctsTimeoutEv)
-				m.ctsTimeoutEv = nil
-			}
+			m.eng.Cancel(m.ctsTimeoutEv)
+			m.ctsTimeoutEv = sim.Handle{}
 			m.eng.After(m.cfg.PHY.SIFS, func() {
 				if m.st == phaseWaitCTS && !m.tr.Transmitting() {
 					m.sendData()
@@ -891,7 +899,7 @@ func (m *MAC) onHeaderDecoded(f frame.Frame, _ float64) {
 	// appears.
 	m.concPending = true
 	m.concExpiryEv = m.eng.After(m.cfg.PHY.SlotTime, func() {
-		m.concExpiryEv = nil
+		m.concExpiryEv = sim.Handle{}
 		m.concPending = false
 	})
 }
@@ -941,10 +949,8 @@ func (m *MAC) EnergyChanged(aggDBm float64) {
 		// The announced data frame hit the air: record RSSI1 and resume the
 		// backoff through the busy medium (paper Fig. 6).
 		m.concPending = false
-		if m.concExpiryEv != nil {
-			m.eng.Cancel(m.concExpiryEv)
-			m.concExpiryEv = nil
-		}
+		m.eng.Cancel(m.concExpiryEv)
+		m.concExpiryEv = sim.Handle{}
 		m.concurrent = true
 		m.rssi1MW = newMW
 		if m.trace.Enabled() {
@@ -999,12 +1005,12 @@ func (m *MAC) reevaluateAccess() {
 		return
 	}
 	if m.channelClear() {
-		if m.difsEv == nil && m.slotEv == nil {
+		if !m.difsEv.Active() && !m.slotEv.Active() {
 			m.scheduleDefer()
 		}
 		return
 	}
-	if (m.difsEv != nil || m.slotEv != nil) && m.trace.Enabled() && len(m.queue) > 0 {
+	if (m.difsEv.Active() || m.slotEv.Active()) && m.trace.Enabled() && len(m.queue) > 0 {
 		e := trace.FrameEvent(trace.KindBackoffFreeze, m.queue[0])
 		e.Slots = m.counter
 		m.trace.Emit(e)

@@ -73,7 +73,7 @@ type Sampler struct {
 	probes   []func() float64
 	series   []*Series
 	onTick   []func(now time.Duration)
-	ev       *sim.Event
+	ev       sim.Handle
 }
 
 // NewSampler creates a sampler on eng firing every interval (which must be
@@ -107,7 +107,7 @@ func (s *Sampler) OnTick(fn func(now time.Duration)) {
 // Start schedules the first tick one interval from now. Starting an already
 // started sampler is a no-op.
 func (s *Sampler) Start() {
-	if s.ev != nil {
+	if s.ev.Active() {
 		return
 	}
 	s.schedule()
@@ -115,15 +115,15 @@ func (s *Sampler) Start() {
 
 // Stop cancels the pending tick.
 func (s *Sampler) Stop() {
-	if s.ev != nil {
+	if s.ev.Active() {
 		s.eng.Cancel(s.ev)
-		s.ev = nil
+		s.ev = sim.Handle{}
 	}
 }
 
 func (s *Sampler) schedule() {
 	s.ev = s.eng.After(s.interval, func() {
-		s.ev = nil
+		s.ev = sim.Handle{}
 		now := s.eng.Now()
 		for i, probe := range s.probes {
 			s.series[i].append(now, probe())

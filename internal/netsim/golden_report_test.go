@@ -1,0 +1,175 @@
+package netsim_test
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bianchi"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// updateGolden regenerates the checked-in pre-optimization reports:
+//
+//	go test ./internal/netsim/ -run TestGoldenReports -update-golden
+//
+// The fixtures pin the engine's observable behavior: any hot-path
+// optimization (event free-list, dense channel state, audibility pruning,
+// parallel replication) must reproduce these reports byte for byte.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden run reports")
+
+// goldenScenario is one fixed (topology, options) run whose full report is
+// pinned. The chh role string (one contender, two hidden terminals) is the
+// same fixture scenario the trace analyzer's goldens are built on.
+type goldenScenario struct {
+	name string
+	top  topology.Topology
+	opts netsim.Options
+}
+
+func goldenScenarios() []goldenScenario {
+	chh := topology.HTRoles([]topology.Role{
+		topology.RoleContender, topology.RoleHidden, topology.RoleHidden,
+	})
+
+	dcf := netsim.NS2Options()
+	dcf.Protocol = netsim.ProtocolDCF
+	dcf.Seed = 7
+	dcf.Duration = time.Second
+
+	cm := netsim.NS2Options()
+	cm.Protocol = netsim.ProtocolComap
+	base := bianchi.FromPHY(cm.PHY, cm.PHY.LowestRate())
+	cm.AdaptTable = bianchi.NewAdaptationTable(base, 5, 8, nil, nil)
+	cm.Seed = 7
+	cm.Duration = time.Second
+
+	spec, err := faults.Parse("locloss:p=0.3;outage:node=2,at=300ms,dur=200ms")
+	if err != nil {
+		panic(err)
+	}
+	faulted := cm
+	faulted.Faults = spec
+
+	et := netsim.TestbedOptions()
+	et.Protocol = netsim.ProtocolComap
+	et.Seed = 11
+	et.Duration = time.Second
+
+	return []goldenScenario{
+		{name: "chh-dcf", top: chh, opts: dcf},
+		{name: "chh-comap", top: chh, opts: cm},
+		{name: "chh-comap-faulted", top: chh, opts: faulted},
+		{name: "et30-comap", top: topology.ETSweep(30), opts: et},
+	}
+}
+
+// reportBytes runs the scenario and renders its report with the wall-clock
+// self-profiling fields zeroed (they are the only non-deterministic fields).
+func reportBytes(t *testing.T, sc goldenScenario) []byte {
+	t.Helper()
+	n, err := netsim.Build(sc.top, sc.opts)
+	if err != nil {
+		t.Fatalf("%s: build: %v", sc.name, err)
+	}
+	res := n.Run()
+	rep := n.Report(res)
+	rep.Engine.WallSec = 0
+	rep.Engine.EventsPerSec = 0
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("%s: encode: %v", sc.name, err)
+	}
+	return buf.Bytes()
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden_report_"+name+".json")
+}
+
+// TestGoldenReports asserts that every fixture scenario reproduces its
+// checked-in pre-optimization report byte for byte.
+func TestGoldenReports(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			got := reportBytes(t, sc)
+			path := goldenPath(sc.name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("report diverged from pre-optimization golden %s\n"+
+					"got %d bytes, want %d bytes; regenerate only if the divergence is intended",
+					path, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenReportsTraced re-runs every fixture scenario with a JSONL trace
+// attached (written to io.Discard) and with live progress scrapes during the
+// run, and asserts the report still matches the same golden: tracing and
+// observability must not perturb the engine.
+func TestGoldenReportsTraced(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(sc.name))
+			if err != nil {
+				t.Skipf("missing golden (run TestGoldenReports -update-golden first): %v", err)
+			}
+			opts := sc.opts
+			opts.Trace = trace.NewWriter(io.Discard)
+			n, err := netsim.Build(sc.top, opts)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			// Scrape like the obs plane does, from another goroutine.
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						_ = n.Progress()
+						_ = n.HealthStatus()
+					}
+				}
+			}()
+			res := n.Run()
+			close(stop)
+			<-done
+			rep := n.Report(res)
+			rep.Engine.WallSec = 0
+			rep.Engine.EventsPerSec = 0
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("traced+scraped run diverged from golden %s", goldenPath(sc.name))
+			}
+		})
+	}
+}

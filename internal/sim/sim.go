@@ -16,21 +16,39 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback. It is returned by Schedule/After so callers
-// can cancel it.
+// Event is a scheduled callback's queue slot. Events are pooled: once an
+// event fires or is cancelled, its slot is recycled for a future Schedule, so
+// the hot path allocates nothing in steady state. Callers never hold *Event
+// directly — Schedule/After return a Handle that stays safe across recycling.
 type Event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	index     int // position in the heap, -1 once removed
-	cancelled bool
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int    // position in the heap, -1 once removed
+	gen   uint64 // bumped on every recycle; stale Handles detect the mismatch
 }
 
-// At returns the virtual time the event is (or was) scheduled for.
-func (e *Event) At() time.Duration { return e.at }
+// Handle identifies a scheduled event. The zero Handle is valid and inert:
+// it is never Active and cancelling it is a no-op. A Handle outlives its
+// event safely — once the event fires, is cancelled, or its slot is reused
+// for a later Schedule, the generation counters no longer match and the
+// Handle reports inactive.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Active reports whether the event is still pending in the queue.
+func (h Handle) Active() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// At returns the virtual time the event is scheduled for, or 0 if the
+// handle is no longer active.
+func (h Handle) At() time.Duration {
+	if !h.Active() {
+		return 0
+	}
+	return h.ev.at
+}
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; simulations are deterministic single-goroutine programs.
@@ -40,12 +58,14 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 // live observability plane scrapes both mid-run). All scheduling and
 // mutation must still happen on the simulation goroutine.
 type Engine struct {
-	now    atomic.Int64 // virtual time in nanoseconds
-	queue  eventQueue
-	seq    uint64
-	seed   int64
-	fired  atomic.Uint64
-	halted bool
+	now     atomic.Int64 // virtual time in nanoseconds
+	queue   eventQueue
+	seq     uint64
+	seed    int64
+	fired   atomic.Uint64
+	halted  bool
+	free    []*Event // recycled event slots
+	pending int      // queue length, maintained incrementally
 }
 
 // New returns an engine with its clock at zero, seeded with seed.
@@ -65,49 +85,69 @@ func (e *Engine) EventsFired() uint64 { return e.fired.Load() }
 
 // Schedule registers fn to run at absolute virtual time at. Times in the past
 // are clamped to Now (the event runs as the next zero-delay event).
-func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(at time.Duration, fn func()) Handle {
 	if now := e.Now(); at < now {
 		at = now
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	e.pending++
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After registers fn to run d after the current virtual time. Negative delays
 // are clamped to zero.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Handle {
 	return e.Schedule(e.Now()+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling a nil, already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		if ev != nil {
-			ev.cancelled = true
-		}
+// Cancel removes a pending event. Cancelling a zero Handle or one whose
+// event already fired, was already cancelled, or whose slot has since been
+// recycled is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if !h.Active() {
 		return
 	}
-	ev.cancelled = true
-	heap.Remove(&e.queue, ev.index)
+	heap.Remove(&e.queue, h.ev.index)
+	e.pending--
+	e.recycle(h.ev)
+}
+
+// recycle invalidates outstanding handles to ev and returns its slot to the
+// free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
+//
+// The event's slot is recycled before its callback runs, so handles to the
+// firing event already report inactive inside the callback, and the slot may
+// be reused by anything the callback schedules.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now.Store(int64(ev.at))
-		e.fired.Add(1)
-		ev.fn()
-		return true
+	if e.queue.Len() == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*Event)
+	e.pending--
+	fn := ev.fn
+	e.now.Store(int64(ev.at))
+	e.recycle(ev)
+	e.fired.Add(1)
+	fn()
+	return true
 }
 
 // RunUntil executes events in order until the queue holds no event at or
@@ -115,15 +155,7 @@ func (e *Engine) Step() bool {
 // Events scheduled beyond the deadline remain pending.
 func (e *Engine) RunUntil(deadline time.Duration) {
 	e.halted = false
-	for !e.halted && e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.cancelled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > deadline {
-			break
-		}
+	for !e.halted && e.queue.Len() > 0 && e.queue[0].at <= deadline {
 		e.Step()
 	}
 	if !e.halted && e.Now() < deadline {
@@ -142,16 +174,9 @@ func (e *Engine) Run() {
 // Halt stops Run/RunUntil after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
 
-// Pending returns the number of not-yet-cancelled events in the queue.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of events in the queue. O(1): cancellation
+// removes events eagerly, so the queue never holds dead entries.
+func (e *Engine) Pending() int { return e.pending }
 
 // RNG returns a deterministic random stream derived from the engine seed and
 // the stream name. Equal (seed, name) pairs always produce identical streams,

@@ -82,18 +82,18 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Error("Cancelled() should be true")
+	if ev.Active() {
+		t.Error("Active() should be false after cancel")
 	}
-	// Double cancel and nil cancel are no-ops.
+	// Double cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
 	e := New(1)
 	fired := false
-	var victim *Event
+	var victim Handle
 	e.Schedule(time.Second, func() { e.Cancel(victim) })
 	victim = e.Schedule(2*time.Second, func() { fired = true })
 	e.Run()
@@ -299,7 +299,7 @@ func TestCancelPropertyNeverFires(t *testing.T) {
 	f := func(delays []uint16, cancelMask []bool) bool {
 		e := New(3)
 		fired := make(map[int]bool)
-		events := make([]*Event, len(delays))
+		events := make([]Handle, len(delays))
 		for i, d := range delays {
 			i := i
 			events[i] = e.Schedule(time.Duration(d)*time.Microsecond, func() { fired[i] = true })
@@ -336,5 +336,103 @@ func TestRunUntilThenRunDrains(t *testing.T) {
 	e.Run()
 	if count != 5 {
 		t.Errorf("after Run count = %d", count)
+	}
+}
+
+func TestStaleHandleAfterFire(t *testing.T) {
+	e := New(1)
+	h := e.After(time.Second, func() {})
+	if !h.Active() {
+		t.Fatal("handle should be active before firing")
+	}
+	e.Run()
+	if h.Active() {
+		t.Error("handle should be inactive after firing")
+	}
+	if h.At() != 0 {
+		t.Errorf("stale At = %v, want 0", h.At())
+	}
+	// Cancelling a fired handle is a no-op even though its slot is free.
+	e.Cancel(h)
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+func TestStaleHandleDoesNotCancelRecycledSlot(t *testing.T) {
+	e := New(1)
+	// Fire one event so its slot lands on the free list, then schedule a
+	// new one that reuses the slot. The stale handle must not cancel it.
+	old := e.After(time.Second, func() {})
+	e.Run()
+	fired := false
+	fresh := e.After(time.Second, func() { fired = true })
+	if old.Active() {
+		t.Fatal("old handle claims to be active")
+	}
+	e.Cancel(old)
+	if !fresh.Active() {
+		t.Fatal("stale cancel killed the recycled slot's new event")
+	}
+	e.Run()
+	if !fired {
+		t.Error("recycled event did not fire")
+	}
+}
+
+func TestHandleInactiveInsideOwnCallback(t *testing.T) {
+	e := New(1)
+	var h Handle
+	activeInside := true
+	h = e.After(time.Second, func() { activeInside = h.Active() })
+	e.Run()
+	if activeInside {
+		t.Error("handle should report inactive inside its own callback")
+	}
+}
+
+func TestEventSlotsAreRecycled(t *testing.T) {
+	e := New(1)
+	// Steady-state schedule/fire churn must plateau the free list at the
+	// max concurrent depth, i.e. slots really are reused.
+	for i := 0; i < 1000; i++ {
+		e.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	e.Run()
+	if got := len(e.free); got != 1000 {
+		t.Fatalf("free list = %d slots, want 1000", got)
+	}
+	for i := 0; i < 1000; i++ {
+		e.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	if got := len(e.free); got != 0 {
+		t.Errorf("free list = %d slots after rescheduling, want 0 (slots reused)", got)
+	}
+	e.Run()
+}
+
+func TestPendingIncrementalMatchesQueue(t *testing.T) {
+	e := New(9)
+	rng := rand.New(rand.NewSource(9))
+	var handles []Handle
+	for i := 0; i < 500; i++ {
+		handles = append(handles, e.Schedule(time.Duration(rng.Intn(1000))*time.Microsecond, func() {}))
+	}
+	cancelled := 0
+	for i, h := range handles {
+		if i%3 == 0 {
+			e.Cancel(h)
+			cancelled++
+		}
+	}
+	if e.Pending() != len(handles)-cancelled {
+		t.Fatalf("Pending = %d, want %d", e.Pending(), len(handles)-cancelled)
+	}
+	if e.Pending() != e.queue.Len() {
+		t.Fatalf("Pending = %d but queue holds %d", e.Pending(), e.queue.Len())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending after drain = %d", e.Pending())
 	}
 }

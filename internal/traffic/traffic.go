@@ -31,7 +31,7 @@ type source struct {
 	// credit is the CBR byte bucket; nil = saturated.
 	credit   *float64
 	rateBps  float64
-	creditEv *sim.Event
+	creditEv sim.Handle
 	active   bool
 }
 
@@ -144,9 +144,9 @@ func (p *Peer) Stop() {
 
 func (p *Peer) pauseSource(s *source) {
 	s.active = false
-	if s.creditEv != nil {
+	if s.creditEv.Active() {
 		p.eng.Cancel(s.creditEv)
-		s.creditEv = nil
+		s.creditEv = sim.Handle{}
 	}
 }
 
@@ -155,7 +155,7 @@ func (p *Peer) resumeSource(s *source) (resumed bool) {
 		return false
 	}
 	s.active = true
-	if s.credit != nil && s.creditEv == nil {
+	if s.credit != nil && !s.creditEv.Active() {
 		p.scheduleCredit(s)
 	}
 	return true
