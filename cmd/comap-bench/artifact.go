@@ -8,11 +8,22 @@ import (
 	"runtime"
 	"sort"
 	"time"
+
+	"repro/internal/prof"
 )
 
 // artifactSchema versions the BENCH_*.json layout; diff refuses artifacts
-// with a different schema rather than comparing incompatible numbers.
-const artifactSchema = "comap-bench/1"
+// with an unknown schema rather than comparing incompatible numbers.
+// Version 2 added the attribution block; version-1 artifacts are still read
+// (the ns/op contract is unchanged), so diffs against pre-attribution
+// baselines keep working.
+const artifactSchema = "comap-bench/2"
+
+// compatibleSchemas lists every schema readArtifact accepts.
+var compatibleSchemas = map[string]bool{
+	"comap-bench/1": true,
+	"comap-bench/2": true,
+}
 
 // artifact is one machine-readable benchmark run. encoding/json sorts the
 // metric maps and results are appended in scenario order, so re-serializing
@@ -26,6 +37,10 @@ type artifact struct {
 	Quick      bool          `json:"quick"`
 	MinTimeMs  float64       `json:"min_time_ms"`
 	Results    []benchResult `json:"results"`
+	// Attribution is the per-subsystem event/wall-time breakdown of one
+	// profiled reference run (schema 2; absent in version-1 artifacts and
+	// with -noattr).
+	Attribution *prof.Attribution `json:"attribution,omitempty"`
 }
 
 type benchResult struct {
@@ -83,7 +98,7 @@ func readArtifact(path string) (*artifact, error) {
 	if err := json.Unmarshal(data, &a); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if a.Schema != artifactSchema {
+	if !compatibleSchemas[a.Schema] {
 		return nil, fmt.Errorf("%s: schema %q, want %q", path, a.Schema, artifactSchema)
 	}
 	return &a, nil

@@ -10,10 +10,11 @@
 //
 // A run writes one BENCH_<timestamp>.json artifact recording ns/op,
 // allocs/op, bytes/op and the domain metrics (goodput in Mbps, CO-MAP gain
-// in percent, simulator events/s) per scenario. `comap-bench diff` compares
-// two artifacts and exits non-zero when any scenario slowed down past the
-// threshold, so a perf regression fails the pipeline instead of hiding in
-// log noise.
+// in percent, simulator events/s) per scenario, plus a per-subsystem
+// attribution block from one profiled reference run (skip with -noattr).
+// `comap-bench diff` compares two artifacts and exits non-zero when any
+// scenario slowed down past the threshold, so a perf regression fails the
+// pipeline instead of hiding in log noise.
 package main
 
 import (
@@ -63,6 +64,7 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		quick   = fs.Bool("quick", false, "CI smoke: quick scenario subset at reduced scale")
 		minTime = fs.Duration("mintime", 0, "minimum measured time per scenario (default 1s, 200ms with -quick)")
 		runPat  = fs.String("run", "", "only scenarios matching this regexp")
+		noAttr  = fs.Bool("noattr", false, "skip the profiled attribution run (omit the artifact's attribution block)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,6 +122,20 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 	if len(art.Results) == 0 {
 		fmt.Fprintln(stderr, "comap-bench: no scenarios matched")
 		return 1
+	}
+
+	// One profiled reference run attributes the dispatch loop's events and
+	// wall time to subsystems, so a ns/op regression in the artifact can be
+	// localized without re-profiling.
+	if !*noAttr {
+		fmt.Fprintf(stderr, "bench %-30s ", "attribution")
+		a, err := benchscn.AttributionRun(scale)
+		if err != nil {
+			fmt.Fprintf(stderr, "run: %v\n", err)
+			return 1
+		}
+		art.Attribution = &a
+		fmt.Fprintf(stderr, "%8d events across %d tags\n", a.Events, len(a.Tags))
 	}
 
 	path := *out

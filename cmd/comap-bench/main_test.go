@@ -105,6 +105,9 @@ func TestBenchEmitsValidArtifact(t *testing.T) {
 	if a.Schema != artifactSchema || !a.Quick || a.GoVersion == "" {
 		t.Fatalf("artifact header = %+v", a)
 	}
+	if a.Attribution == nil || a.Attribution.Events == 0 || len(a.Attribution.Tags) == 0 {
+		t.Fatalf("attribution block missing or empty: %+v", a.Attribution)
+	}
 	if len(a.Results) != 1 || a.Results[0].Name != "bianchi-goodput" {
 		t.Fatalf("results = %+v", a.Results)
 	}
@@ -119,6 +122,36 @@ func TestBenchEmitsValidArtifact(t *testing.T) {
 	}
 	if !strings.Contains(diffOut.String(), "no regressions") {
 		t.Fatalf("self-diff output:\n%s", diffOut.String())
+	}
+}
+
+// TestDiffAcceptsVersion1Artifacts pins the cross-schema contract: CI diffs
+// fresh (version 2, with attribution) artifacts against the checked-in
+// version-1 baseline, so readArtifact must accept both while still
+// rejecting foreign schemas.
+func TestDiffAcceptsVersion1Artifacts(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old_v1.json")
+	if err := writeFile(oldPath, `{
+  "schema": "comap-bench/1",
+  "quick": true,
+  "min_time_ms": 200,
+  "go_version": "go0.0",
+  "results": [
+    {"name": "bianchi-goodput", "iters": 10, "ns_per_op": 100, "allocs_per_op": 1, "bytes_per_op": 64}
+  ]
+}`); err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "new_v2.json")
+	writeFixture(t, newPath, map[string]float64{"bianchi-goodput": 101})
+
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{"diff", oldPath, newPath}, &out, &errBuf); code != 0 {
+		t.Fatalf("v1-vs-v2 diff exit = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("diff output:\n%s", out.String())
 	}
 }
 

@@ -5,12 +5,15 @@
 //	comap-sim -topology roles -roles chh -protocol dcf
 //	comap-sim -topology fig7 -contenders 5 -hidden 3 -cw 255
 //	comap-sim -topology large -protocol comap -cbr 3000000 -poserr 10
+//	comap-sim -topology et -profile -profile-out results/profiles/et.json
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -55,11 +59,17 @@ func run() error {
 		slice       = flag.Duration("slice", 0, "goodput time-slice interval for the report (0 = no slicing)")
 		faultSpec   = flag.String("faults", "", `fault-injection spec, e.g. "locloss:p=0.3;outage:node=2,at=1s,dur=500ms"`)
 		httpAddr    = flag.String("http", "", `serve the live observability plane on this address, e.g. ":8080" (metrics, health, runs, pprof)`)
+		profile     = flag.Bool("profile", false, "attach the subsystem profiler and print per-tag attribution after the run")
+		flightN     = flag.Int("flight", 0, "with -profile: flight-recorder ring capacity, rounded up to a power of two (0 = default 4096, negative disables)")
+		profileOut  = flag.String("profile-out", "", "with -profile: also write the attribution JSON to this file")
 	)
 	flag.Parse()
 
 	spec, err := validateFlags(*duration, *slice, *posErr, *cbr, *payload, *cw, *faultSpec, *httpAddr)
 	if err != nil {
+		return err
+	}
+	if err := validateProfileFlags(*profile, *flightN, *profileOut); err != nil {
 		return err
 	}
 
@@ -104,6 +114,9 @@ func run() error {
 	}
 	if *cw > 0 {
 		opts.FixedCW = *cw
+	}
+	if *profile {
+		opts.Profile = &prof.Config{FlightEvents: *flightN}
 	}
 
 	var (
@@ -184,6 +197,17 @@ func run() error {
 		fmt.Println()
 	}
 
+	if *profile {
+		a := n.Prof.Attribution()
+		printAttribution(os.Stdout, a)
+		if *profileOut != "" {
+			if err := writeAttribution(*profileOut, a); err != nil {
+				return fmt.Errorf("writing profile %s: %w", *profileOut, err)
+			}
+			fmt.Printf("wrote attribution to %s\n", *profileOut)
+		}
+	}
+
 	if traceW != nil {
 		fmt.Printf("wrote %d trace events to %s\n", traceW.Count(), *tracePath)
 	}
@@ -237,6 +261,43 @@ func validateFlags(duration, slice time.Duration, posErr, cbr float64, payload, 
 		return nil, fmt.Errorf("bad -faults spec: %w", err)
 	}
 	return spec, nil
+}
+
+// validateProfileFlags rejects profiler knobs without -profile, so a typo
+// like a lone -flight fails fast instead of silently doing nothing.
+func validateProfileFlags(profile bool, flight int, out string) error {
+	if !profile && (flight != 0 || out != "") {
+		return fmt.Errorf("-flight and -profile-out require -profile")
+	}
+	return nil
+}
+
+// printAttribution renders the per-subsystem attribution as a table, busiest
+// subsystem first, skipping tags that saw no events.
+func printAttribution(w io.Writer, a prof.Attribution) {
+	fmt.Fprintf(w, "\nsubsystem attribution (%d events, %.3f s sampled wall time, stride %d):\n",
+		a.Events, a.SampledSec, a.SampleEvery)
+	tags := make([]prof.TagStat, 0, len(a.Tags))
+	for _, t := range a.Tags {
+		if t.Events > 0 {
+			tags = append(tags, t)
+		}
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].Events > tags[j].Events })
+	fmt.Fprintf(w, "  %-16s %12s %12s %8s\n", "tag", "events", "wall", "share")
+	for _, t := range tags {
+		fmt.Fprintf(w, "  %-16s %12d %10.4f s %7.1f%%\n", t.Tag, t.Events, t.SampledSec, t.SharePct)
+	}
+}
+
+// writeAttribution writes the attribution as indented JSON (the same layout
+// /profile serves and comap-bench artifacts embed).
+func writeAttribution(path string, a prof.Attribution) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func buildTopology(name string, pos float64, roleStr string, contenders, hidden int, seed int64) (topology.Topology, string, error) {

@@ -46,3 +46,28 @@ func TestValidateFlagsExisting(t *testing.T) {
 		t.Errorf("valid fault spec rejected: %v", err)
 	}
 }
+
+// TestValidateProfileFlags checks the profiler knobs are rejected without
+// -profile and accepted with it (including the disable sentinel).
+func TestValidateProfileFlags(t *testing.T) {
+	for _, c := range []struct {
+		profile bool
+		flight  int
+		out     string
+		ok      bool
+	}{
+		{false, 0, "", true},
+		{true, 0, "", true},
+		{true, 8192, "a.json", true},
+		{true, -1, "", true},
+		{false, 4096, "", false},
+		{false, -1, "", false},
+		{false, 0, "a.json", false},
+	} {
+		err := validateProfileFlags(c.profile, c.flight, c.out)
+		if (err == nil) != c.ok {
+			t.Errorf("validateProfileFlags(%v, %d, %q) = %v, want ok=%v",
+				c.profile, c.flight, c.out, err, c.ok)
+		}
+	}
+}

@@ -94,8 +94,8 @@ func printSpanReport(w io.Writer, spans []*span.Span, n int, slowest bool) {
 	printPhaseRow(w, "total", ps.total)
 
 	fmt.Fprintln(w, "\nper-link service:")
-	fmt.Fprintf(w, "  %-12s %8s %8s %9s %10s %12s\n",
-		"link", "spans", "acked", "dropped", "rx-ok", "p50 total")
+	fmt.Fprintf(w, "  %-12s %8s %8s %9s %10s %12s %12s %12s\n",
+		"link", "spans", "acked", "dropped", "rx-ok", "p50 total", "p999 total", "max total")
 	for _, k := range sortedLinks(perLink) {
 		ls := perLink[k]
 		var a, d, rx int
@@ -114,12 +114,19 @@ func printSpanReport(w io.Writer, spans []*span.Span, n int, slowest bool) {
 				totals = append(totals, ms(t))
 			}
 		}
-		p50 := "-"
-		if q, err := stats.NewECDF(totals).Quantile(0.5); err == nil {
+		p50, p999, max := "-", "-", "-"
+		e := stats.NewECDF(totals)
+		if q, err := e.Quantile(0.5); err == nil {
 			p50 = fmt.Sprintf("%.3f ms", q)
 		}
-		fmt.Fprintf(w, "  %-12s %8d %7.1f%% %8.1f%% %9.1f%% %12s\n",
-			k, len(ls), pct(a, len(ls)), pct(d, len(ls)), pct(rx, len(ls)), p50)
+		if q, err := e.Quantile(0.999); err == nil {
+			p999 = fmt.Sprintf("%.3f ms", q)
+		}
+		if q, err := e.Quantile(1); err == nil {
+			max = fmt.Sprintf("%.3f ms", q)
+		}
+		fmt.Fprintf(w, "  %-12s %8d %7.1f%% %8.1f%% %9.1f%% %12s %12s %12s\n",
+			k, len(ls), pct(a, len(ls)), pct(d, len(ls)), pct(rx, len(ls)), p50, p999, max)
 	}
 
 	if n > 0 {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,9 @@ type linkStats struct {
 	deliveredOK  int
 	corrupted    int
 	payloadBytes int64
+	// ackLatencyMs collects the sender's access latency (enqueue→ACK, from
+	// mac.ack events) so the table can report the tail of the link's delay.
+	ackLatencyMs []float64
 }
 
 // report is the analysis result.
@@ -96,12 +100,7 @@ func summarize(events []trace.Event) *report {
 		// Per-link data accounting: count only receptions at the intended
 		// destination.
 		if e.Kind == trace.KindRx && e.FrameKind == "DATA" && e.Node == e.Dst {
-			k := linkKey{src: uint16(e.Src), dst: uint16(e.Dst)}
-			ls := rep.links[k]
-			if ls == nil {
-				ls = &linkStats{}
-				rep.links[k] = ls
-			}
+			ls := rep.link(e)
 			if e.Decoded() {
 				ls.deliveredOK++
 				ls.payloadBytes += int64(e.Payload)
@@ -109,8 +108,25 @@ func summarize(events []trace.Event) *report {
 				ls.corrupted++
 			}
 		}
+		// Sender-side access latency: mac.ack events carry the enqueue→ACK
+		// elapsed time of the completed frame in DurUs.
+		if e.Kind == trace.KindAck && e.DurUs > 0 {
+			ls := rep.link(e)
+			ls.ackLatencyMs = append(ls.ackLatencyMs, float64(e.DurUs)/1e3)
+		}
 	}
 	return rep
+}
+
+// link returns (creating if needed) the stats row for the event's (src, dst).
+func (r *report) link(e trace.Event) *linkStats {
+	k := linkKey{src: uint16(e.Src), dst: uint16(e.Dst)}
+	ls := r.links[k]
+	if ls == nil {
+		ls = &linkStats{}
+		r.links[k] = ls
+	}
+	return ls
 }
 
 // sortedLinks returns the report's link keys in (src, dst) order.
@@ -144,7 +160,8 @@ func (r *report) print(w io.Writer) {
 	}
 
 	fmt.Fprintln(w, "\nper-link data receptions (at the intended destination):")
-	fmt.Fprintf(w, "  %-12s %10s %10s %12s %12s\n", "link", "ok", "corrupt", "loss", "goodput")
+	fmt.Fprintf(w, "  %-12s %10s %10s %12s %12s %12s %12s\n",
+		"link", "ok", "corrupt", "loss", "goodput", "p999 lat", "max lat")
 	for _, k := range sortedLinks(r.links) {
 		ls := r.links[k]
 		total := ls.deliveredOK + ls.corrupted
@@ -156,7 +173,16 @@ func (r *report) print(w io.Writer) {
 		if spanUs > 0 {
 			goodput = float64(ls.payloadBytes) * 8 / (float64(spanUs) / 1e6) / 1e6
 		}
-		fmt.Fprintf(w, "  %4d->%-6d %10d %10d %11.1f%% %9.3f Mbps\n",
-			k.src, k.dst, ls.deliveredOK, ls.corrupted, loss*100, goodput)
+		p999, max := "-", "-"
+		if e := stats.NewECDF(ls.ackLatencyMs); e.N() > 0 {
+			if q, err := e.Quantile(0.999); err == nil {
+				p999 = fmt.Sprintf("%.3f ms", q)
+			}
+			if q, err := e.Quantile(1); err == nil {
+				max = fmt.Sprintf("%.3f ms", q)
+			}
+		}
+		fmt.Fprintf(w, "  %4d->%-6d %10d %10d %11.1f%% %9.3f Mbps %12s %12s\n",
+			k.src, k.dst, ls.deliveredOK, ls.corrupted, loss*100, goodput, p999, max)
 	}
 }

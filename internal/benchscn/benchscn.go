@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 	"repro/internal/phy"
+	"repro/internal/prof"
 	"repro/internal/topology"
 )
 
@@ -92,6 +93,25 @@ func ablation(quick bool, mutate func(*netsim.Options)) func(sc Scale) (func() (
 			return Metrics{"Mbps": g}, nil
 		}, nil
 	}
+}
+
+// AttributionRun executes one profiled exposed-terminal run at the given
+// scale and returns the per-subsystem attribution. It is what comap-bench
+// embeds as the artifact's attribution block: alongside the ns/op numbers it
+// says where the dispatch loop's events and wall time went, so a regression
+// can be localized to a subsystem without rerunning anything.
+func AttributionRun(sc Scale) (prof.Attribution, error) {
+	opts := netsim.TestbedOptions()
+	opts.Protocol = netsim.ProtocolComap
+	opts.Seed = 7
+	opts.Duration = sc.ETDuration
+	opts.Profile = &prof.Config{FlightEvents: -1}
+	n, err := netsim.Build(topology.ETSweep(30), opts)
+	if err != nil {
+		return prof.Attribution{}, err
+	}
+	n.Run()
+	return n.Prof.Attribution(), nil
 }
 
 // Scenarios returns the canonical list, figures first, in stable order.

@@ -520,11 +520,11 @@ func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Durati
 
 	if m.HeaderIndicationAt != nil && f.Kind == frame.Data {
 		if at := m.HeaderIndicationAt(rate); at > 0 && at < airtime {
-			m.eng.After(at, func() { m.emitHeaderIndication(tx) })
+			m.eng.AfterTagged(at, sim.TagChannel, int32(t.id), func() { m.emitHeaderIndication(tx) })
 		}
 	}
 
-	m.eng.After(airtime, func() { m.endTransmission(tx) })
+	m.eng.AfterTagged(airtime, sim.TagChannel, int32(t.id), func() { m.endTransmission(tx) })
 	return nil
 }
 

@@ -169,7 +169,7 @@ func (e *Endpoint) StartCBRStream(dst frame.NodeID, payloadFn func() int, bitsPe
 }
 
 func (e *Endpoint) scheduleCredit(s *stream) {
-	s.creditEv = e.eng.After(creditInterval, func() {
+	s.creditEv = e.eng.AfterTagged(creditInterval, sim.TagComap, int32(e.m.ID()), func() {
 		*s.credit += s.creditRate * creditInterval.Seconds()
 		// Cap the bucket at one second of traffic to bound bursts.
 		if bucketCap := s.creditRate; *s.credit > bucketCap {

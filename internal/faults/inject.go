@@ -72,6 +72,20 @@ type Injector struct {
 	tr       *trace.Emitter
 	counters map[Kind]*metrics.Counter
 	injected atomic.Int64
+
+	// onWindowOpen fires on every fault-window activation (after the
+	// counters). The observability layer hangs flight-recorder dumps off it.
+	onWindowOpen func(kind Kind)
+}
+
+// OnWindowOpen installs a callback invoked each time a fault window opens,
+// with the fault kind. Call before Start; nil disables. A nil injector
+// ignores it.
+func (in *Injector) OnWindowOpen(fn func(kind Kind)) {
+	if in == nil {
+		return
+	}
+	in.onWindowOpen = fn
 }
 
 // NewInjector builds an injector for the given spec and targets. A nil spec
@@ -231,7 +245,7 @@ func (in *Injector) scheduleWindows(i int, p Process, open, close func()) {
 			open()
 		}
 		if p.Dur > 0 {
-			in.eng.After(p.Dur, func() {
+			in.eng.AfterTagged(p.Dur, sim.TagFaults, sim.NoOwner, func() {
 				in.active[i].Store(false)
 				if close != nil {
 					close()
@@ -239,10 +253,10 @@ func (in *Injector) scheduleWindows(i int, p Process, open, close func()) {
 			})
 		}
 		if p.Every > 0 {
-			in.eng.After(p.Every, start)
+			in.eng.AfterTagged(p.Every, sim.TagFaults, sim.NoOwner, start)
 		}
 	}
-	in.eng.After(p.At, start)
+	in.eng.AfterTagged(p.At, sim.TagFaults, sim.NoOwner, start)
 }
 
 // record counts one activation in metrics and trace.
@@ -262,6 +276,9 @@ func (in *Injector) record(p Process) {
 			Reason: string(p.Kind),
 			DurUs:  p.Dur.Microseconds(),
 		})
+	}
+	if in.onWindowOpen != nil {
+		in.onWindowOpen(p.Kind)
 	}
 }
 

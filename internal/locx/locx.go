@@ -127,7 +127,7 @@ func NewAP(eng *sim.Engine, m *mac.MAC, measure func() (geom.Point, bool), cfg C
 // do not all collide.
 func (n *Node) Start() {
 	n.learnSelf()
-	n.eng.After(time.Duration(n.m.ID()%32)*2*time.Millisecond, func() {
+	n.eng.AfterTagged(time.Duration(n.m.ID()%32)*2*time.Millisecond, sim.TagLocx, int32(n.m.ID()), func() {
 		n.tick()
 		n.scheduleTick()
 	})
@@ -166,7 +166,7 @@ func (n *Node) scheduleTick() {
 	if n.isAP {
 		d = n.cfg.BroadcastInterval
 	}
-	n.tickEv = n.eng.After(d, func() {
+	n.tickEv = n.eng.AfterTagged(d, sim.TagLocx, int32(n.m.ID()), func() {
 		n.tick()
 		n.scheduleTick()
 	})

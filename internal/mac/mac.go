@@ -220,7 +220,13 @@ type MAC struct {
 
 	accessLatency *metrics.Timing
 	dropLatency   *metrics.Timing
-	air           *metrics.StateClock
+	// latencyTo holds the per-destination access-latency timings behind the
+	// per-flow delay tails in netsim.Report (p999, worst case).
+	latencyTo map[frame.NodeID]*metrics.Timing
+	air       *metrics.StateClock
+	// owner is the station's ID as an attribution owner for the profiler's
+	// tagged timers.
+	owner int32
 
 	trace *trace.Emitter
 }
@@ -240,6 +246,7 @@ func New(eng *sim.Engine, tr *channel.Transceiver, cfg Config) *MAC {
 		stat:    stats.NewCounter(),
 		counter: -1,
 		cw:      0,
+		owner:   int32(tr.ID()),
 	}
 	m.cw = m.initialCW()
 	m.rateKey = make(map[string]string, len(cfg.PHY.Rates)+1)
@@ -251,9 +258,32 @@ func New(eng *sim.Engine, tr *channel.Transceiver, cfg Config) *MAC {
 	// recording below is a no-op.
 	m.accessLatency = cfg.Metrics.Timing("mac.access_latency")
 	m.dropLatency = cfg.Metrics.Timing("mac.drop_latency")
+	if cfg.Metrics != nil {
+		m.latencyTo = make(map[frame.NodeID]*metrics.Timing)
+	}
 	m.air = cfg.Metrics.StateClock("mac", eng.Now, "idle")
 	m.trace = trace.NewEmitter(eng, tr.ID(), cfg.Trace)
 	return m
+}
+
+// after schedules a MAC-owned timer, attributed to this station under the
+// "mac" profiling tag.
+func (m *MAC) after(d time.Duration, fn func()) sim.Handle {
+	return m.eng.AfterTagged(d, sim.TagMAC, m.owner, fn)
+}
+
+// latencyToDst returns the per-destination access-latency timing, creating
+// it on first use ("mac.access_latency.to.<dst>"). nil without a registry.
+func (m *MAC) latencyToDst(dst frame.NodeID) *metrics.Timing {
+	if m.latencyTo == nil {
+		return nil
+	}
+	t, ok := m.latencyTo[dst]
+	if !ok {
+		t = m.cfg.Metrics.Timing("mac.access_latency.to." + itoa(int(dst)))
+		m.latencyTo[dst] = t
+	}
+	return t
 }
 
 // airtimeState derives the current airtime-accounting state. Priority
@@ -441,7 +471,7 @@ func (m *MAC) setNAV(d time.Duration) {
 	}
 	m.eng.Cancel(m.navEv)
 	m.navActive = true
-	m.navEv = m.eng.After(d, func() {
+	m.navEv = m.after(d, func() {
 		m.navEv = sim.Handle{}
 		m.navActive = false
 		m.reevaluateAccess()
@@ -468,7 +498,7 @@ func (m *MAC) scheduleDefer() {
 	if m.eifs {
 		d = m.cfg.PHY.EIFS()
 	}
-	m.difsEv = m.eng.After(d, m.onDeferComplete)
+	m.difsEv = m.after(d, m.onDeferComplete)
 	m.touchAir()
 }
 
@@ -479,7 +509,7 @@ func (m *MAC) onDeferComplete() {
 		m.beginTx()
 		return
 	}
-	m.slotEv = m.eng.After(m.cfg.PHY.SlotTime, m.onSlot)
+	m.slotEv = m.after(m.cfg.PHY.SlotTime, m.onSlot)
 	m.touchAir()
 }
 
@@ -490,7 +520,7 @@ func (m *MAC) onSlot() {
 		m.beginTx()
 		return
 	}
-	m.slotEv = m.eng.After(m.cfg.PHY.SlotTime, m.onSlot)
+	m.slotEv = m.after(m.cfg.PHY.SlotTime, m.onSlot)
 }
 
 // --- transmission -------------------------------------------------------
@@ -565,7 +595,7 @@ func (m *MAC) TransmitDone(f frame.Frame) {
 	switch {
 	case f.Kind == frame.RTS && m.st == phaseTxRTS:
 		m.st = phaseWaitCTS
-		m.ctsTimeoutEv = m.eng.After(m.ctsTimeout(), m.onCTSTimeout)
+		m.ctsTimeoutEv = m.after(m.ctsTimeout(), m.onCTSTimeout)
 	case f.Kind == frame.ComapHeader && m.st == phaseTxHeader:
 		m.sendData()
 	case m.st == phaseTxData && (f.Kind == frame.Data || f.Kind == frame.LocationBeacon):
@@ -574,7 +604,7 @@ func (m *MAC) TransmitDone(f frame.Frame) {
 			return
 		}
 		m.st = phaseWaitAck
-		m.ackTimeoutEv = m.eng.After(m.cfg.PHY.ACKTimeout(), m.onAckTimeout)
+		m.ackTimeoutEv = m.after(m.cfg.PHY.ACKTimeout(), m.onAckTimeout)
 	case f.IsAck() || f.Kind == frame.CTS:
 		m.ackPending = false
 		m.resumeAfterAck()
@@ -685,6 +715,9 @@ func (m *MAC) completeCurrent(acked bool, reason string) {
 	m.queuedAt = m.queuedAt[1:]
 	if acked {
 		m.accessLatency.Observe(elapsed)
+		if cur.Kind == frame.Data && cur.Dst != frame.Broadcast {
+			m.latencyToDst(cur.Dst).Observe(elapsed)
+		}
 	} else {
 		m.dropLatency.Observe(elapsed)
 	}
@@ -775,7 +808,7 @@ func (m *MAC) FrameReceived(f frame.Frame, ok bool, rssi float64) {
 			}
 			m.eng.Cancel(m.ctsTimeoutEv)
 			m.ctsTimeoutEv = sim.Handle{}
-			m.eng.After(m.cfg.PHY.SIFS, func() {
+			m.after(m.cfg.PHY.SIFS, func() {
 				if m.st == phaseWaitCTS && !m.tr.Transmitting() {
 					m.sendData()
 				}
@@ -815,7 +848,7 @@ func (m *MAC) scheduleCTS(rts frame.Frame) {
 	m.ackPending = true
 	m.cancelAccessTimers()
 	m.touchAir()
-	m.eng.After(m.cfg.PHY.SIFS, func() {
+	m.after(m.cfg.PHY.SIFS, func() {
 		if m.tr.Transmitting() {
 			m.ackPending = false
 			m.resumeAfterAck()
@@ -898,7 +931,7 @@ func (m *MAC) onHeaderDecoded(f frame.Frame, _ float64) {
 	// edge; a one-slot expiry bounds it in case the announced data never
 	// appears.
 	m.concPending = true
-	m.concExpiryEv = m.eng.After(m.cfg.PHY.SlotTime, func() {
+	m.concExpiryEv = m.after(m.cfg.PHY.SlotTime, func() {
 		m.concExpiryEv = sim.Handle{}
 		m.concPending = false
 	})
@@ -915,7 +948,7 @@ func (m *MAC) scheduleAck(data frame.Frame) {
 	m.ackPending = true
 	m.cancelAccessTimers()
 	m.touchAir()
-	m.eng.After(m.cfg.PHY.SIFS, func() {
+	m.after(m.cfg.PHY.SIFS, func() {
 		if m.tr.Transmitting() {
 			// Should not happen (half-duplex discipline), but never wedge.
 			m.ackPending = false

@@ -487,6 +487,7 @@ type TimingSnapshot struct {
 	P50Ms  float64 `json:"p50_ms"`
 	P90Ms  float64 `json:"p90_ms"`
 	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
 	// Buckets lists the non-empty histogram bins in ascending bin order.
 	Buckets []TimingBucket `json:"buckets,omitempty"`
 	// Under/Over count samples outside the histogram range (they are still
@@ -587,7 +588,7 @@ func (t *Timing) snapshot() TimingSnapshot {
 		}
 		return v * ms
 	}
-	snap.P50Ms, snap.P90Ms, snap.P99Ms = q(0.5), q(0.9), q(0.99)
+	snap.P50Ms, snap.P90Ms, snap.P99Ms, snap.P999Ms = q(0.5), q(0.9), q(0.99), q(0.999)
 	snap.Under, snap.Over = t.hist.Under, t.hist.Over
 	for i, c := range t.hist.Counts {
 		if c == 0 {

@@ -89,11 +89,20 @@ func (p *PromWriter) sample(family, typ, labels string, v float64) {
 	f.samples = append(f.samples, promSample{labels: labels, value: v})
 }
 
+// Sample adds one raw sample to a family of the given type ("counter",
+// "gauge", "summary"), with the family name sanitized and the labels
+// rendered sorted. It is the escape hatch for families that are not
+// registry snapshots — the profiler's comap_prof_* attribution families use
+// it.
+func (p *PromWriter) Sample(family, typ string, labels map[string]string, v float64) {
+	p.sample(SanitizeMetricName(family), typ, renderLabels(labels), v)
+}
+
 // Add merges one snapshot under the given labels (typically
 // {"source": "station.3"}). Counters become `<name>_total` counter
 // families; gauges keep their name; distributions expand to
 // `<name>_{count,mean,min,max,stddev}` gauges; timings become
-// `<name>_seconds` summaries (quantiles 0.5/0.9/0.99 plus _sum/_count);
+// `<name>_seconds` summaries (quantiles 0.5/0.9/0.99/0.999 plus _sum/_count);
 // state clocks become `<name>_airtime_seconds` gauges with a state label.
 func (p *PromWriter) Add(labels map[string]string, s Snapshot) {
 	base := renderLabels(labels)
@@ -119,7 +128,7 @@ func (p *PromWriter) Add(labels map[string]string, s Snapshot) {
 		for _, q := range []struct {
 			q string
 			v float64
-		}{{"0.5", t.P50Ms}, {"0.9", t.P90Ms}, {"0.99", t.P99Ms}} {
+		}{{"0.5", t.P50Ms}, {"0.9", t.P90Ms}, {"0.99", t.P99Ms}, {"0.999", t.P999Ms}} {
 			l := `quantile="` + q.q + `"`
 			if base != "" {
 				l = base + "," + l

@@ -87,6 +87,43 @@ func TestPromExpositionEscapesAndOrders(t *testing.T) {
 	}
 }
 
+// TestPromSampleFamilies covers the exported Sample path the /profile
+// endpoint uses for the comap_prof_* families: names are sanitized, the
+// TYPE line is declared once per family, labels render sorted, and the
+// already-clean profiler family names pass through unchanged.
+func TestPromSampleFamilies(t *testing.T) {
+	pw := NewPromWriter()
+	pw.Sample("comap_prof_events_total", "counter", map[string]string{"tag": "mac", "source": "et30"}, 42)
+	pw.Sample("comap_prof_events_total", "counter", map[string]string{"tag": "channel", "source": "et30"}, 7)
+	pw.Sample("comap_prof_sampled_seconds_total", "counter", map[string]string{"tag": "mac"}, 0.25)
+	pw.Sample("comap_prof_flight_records_total", "counter", nil, 4096)
+	pw.Sample("comap.prof/odd-name", "gauge", map[string]string{"tag": "metrics-sampler"}, 1)
+
+	var b strings.Builder
+	if _, err := pw.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE comap_prof_events_total counter\n",
+		"# TYPE comap_prof_sampled_seconds_total counter\n",
+		"# TYPE comap_prof_flight_records_total counter\n",
+		"# TYPE comap_prof_odd_name gauge\n",
+		`comap_prof_events_total{source="et30",tag="mac"} 42`,
+		`comap_prof_events_total{source="et30",tag="channel"} 7`,
+		`comap_prof_sampled_seconds_total{tag="mac"} 0.25`,
+		"comap_prof_flight_records_total 4096",
+		`comap_prof_odd_name{tag="metrics-sampler"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE comap_prof_events_total"); n != 1 {
+		t.Errorf("TYPE declared %d times for comap_prof_events_total, want 1:\n%s", n, out)
+	}
+}
+
 // TestPromSummaryQuantilesInSeconds checks unit conversion: snapshots carry
 // milliseconds, the exposition serves base-unit seconds.
 func TestPromSummaryQuantilesInSeconds(t *testing.T) {
@@ -104,6 +141,9 @@ func TestPromSummaryQuantilesInSeconds(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, `lat_seconds{quantile="0.5"} 0.1`) {
 		t.Errorf("quantile not in seconds:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds{quantile="0.999"} 0.1`) {
+		t.Errorf("p999 quantile row missing:\n%s", out)
 	}
 	if !strings.Contains(out, "lat_seconds_count 10") {
 		t.Errorf("missing count:\n%s", out)

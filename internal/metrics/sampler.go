@@ -122,7 +122,7 @@ func (s *Sampler) Stop() {
 }
 
 func (s *Sampler) schedule() {
-	s.ev = s.eng.After(s.interval, func() {
+	s.ev = s.eng.AfterTagged(s.interval, sim.TagSampler, sim.NoOwner, func() {
 		s.ev = sim.Handle{}
 		now := s.eng.Now()
 		for i, probe := range s.probes {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bianchi"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/prof"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -119,6 +120,76 @@ func TestGoldenReports(t *testing.T) {
 				t.Fatalf("report diverged from pre-optimization golden %s\n"+
 					"got %d bytes, want %d bytes; regenerate only if the divergence is intended",
 					path, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenReportsProfiled re-runs every fixture scenario with the
+// attribution profiler and flight recorder attached, scraping the
+// attribution from another goroutine mid-run, and asserts the report still
+// matches the same golden byte for byte: profiling must never touch RNG
+// streams or event order.
+func TestGoldenReportsProfiled(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(sc.name))
+			if err != nil {
+				t.Skipf("missing golden (run TestGoldenReports -update-golden first): %v", err)
+			}
+			opts := sc.opts
+			opts.Profile = &prof.Config{SampleEvery: 8, Dir: t.TempDir()}
+			n, err := netsim.Build(sc.top, opts)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if n.Prof == nil {
+				t.Fatal("profiler not attached")
+			}
+			// Scrape the attribution and flight ring concurrently, as the
+			// /profile and /flight endpoints do.
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						_ = n.Prof.Attribution()
+						if f := n.Prof.Flight(); f != nil {
+							_ = f.Snapshot()
+						}
+					}
+				}
+			}()
+			res := n.Run()
+			close(stop)
+			<-done
+			rep := n.Report(res)
+			rep.Engine.WallSec = 0
+			rep.Engine.EventsPerSec = 0
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("profiled run diverged from golden %s", goldenPath(sc.name))
+			}
+			a := n.Prof.Attribution()
+			if a.Events == 0 {
+				t.Fatal("profiler observed no events")
+			}
+			var tagged uint64
+			for _, ts := range a.Tags {
+				if ts.Tag != "other" {
+					tagged += ts.Events
+				}
+			}
+			if tagged == 0 {
+				t.Fatal("no events attributed to any subsystem tag")
 			}
 		})
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/metrics"
 	"repro/internal/phy"
+	"repro/internal/prof"
 	"repro/internal/radio"
 	"repro/internal/rate"
 	"repro/internal/sim"
@@ -141,6 +142,12 @@ type Options struct {
 	// node (very verbose). Ignored unless Trace is set.
 	TraceEnergy bool
 
+	// Profile, when set, attaches the attribution profiler and flight
+	// recorder (internal/prof) to the engine's dispatch loop. Profiling is
+	// purely observational — profiled runs are bit-identical to unprofiled
+	// ones (asserted by the golden-report suite).
+	Profile *prof.Config
+
 	// Duration of the measured run.
 	Duration time.Duration
 }
@@ -258,6 +265,8 @@ type Network struct {
 	// MediumMetrics holds the channel-level telemetry (busy/idle airtime,
 	// collision overlaps). Always non-nil after Build.
 	MediumMetrics *metrics.Registry
+	// Prof is the attribution profiler (nil unless Options.Profile is set).
+	Prof *prof.Profiler
 
 	providers map[frame.NodeID]*providerRef
 
@@ -315,6 +324,11 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 	}
 
 	eng := sim.New(opts.Seed)
+	var profiler *prof.Profiler
+	if opts.Profile != nil {
+		profiler = prof.New(*opts.Profile)
+		eng.SetObserver(profiler)
+	}
 	medium := channel.NewMedium(eng, opts.Prop, opts.PHY.NoiseFloorDBm)
 	if opts.Protocol == ProtocolComap && opts.Header == HeaderEmbedded {
 		p := opts.PHY
@@ -330,6 +344,7 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		Opts:          opts,
 		Stations:      make(map[frame.NodeID]*Station, len(top.Nodes)),
 		MediumMetrics: metrics.NewRegistry(),
+		Prof:          profiler,
 		providers:     make(map[frame.NodeID]*providerRef, len(top.Nodes)),
 	}
 	medium.SetMetrics(n.MediumMetrics)
@@ -343,7 +358,9 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 	}
 	n.Locs = loc.NewRegistry(eng.RNG("loc"), opts.PositionErrorMeters, threshold)
 	n.Locs.SetClock(eng.Now)
-	n.Locs.SetScheduler(func(d time.Duration, fn func()) { eng.After(d, fn) })
+	n.Locs.SetScheduler(func(d time.Duration, fn func()) {
+		eng.AfterTagged(d, sim.TagLocx, sim.NoOwner, fn)
+	})
 	for _, node := range top.Nodes {
 		n.Locs.Register(node.ID, node.Pos)
 	}
@@ -515,10 +532,26 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		})
 		n.injector.SetMetrics(n.MediumMetrics)
 		n.injector.SetTrace(trace.NewEmitter(eng, frame.Broadcast, opts.Trace))
+		if profiler != nil && profiler.Flight() != nil {
+			// Dump the flight ring on fault-window entry so the events
+			// leading into each degradation are preserved. Capped so a
+			// tight recurring window can't flood the profiles directory.
+			dumps := 0
+			n.injector.OnWindowOpen(func(kind faults.Kind) {
+				if dumps >= maxFaultFlightDumps {
+					return
+				}
+				dumps++
+				_, _ = profiler.DumpFlight("fault-" + string(kind))
+			})
+		}
 		n.injector.Start()
 	}
 	return n, nil
 }
+
+// maxFaultFlightDumps bounds the number of fault-window flight dumps per run.
+const maxFaultFlightDumps = 8
 
 // locHeartbeatInterval is the location service's keepalive period when the
 // health model is active (see loc.Registry.StartHeartbeat).
@@ -656,9 +689,19 @@ func (n *Network) SliceInterval() time.Duration {
 }
 
 // Run executes the scenario for Opts.Duration and returns per-flow goodput.
+// When the flight recorder is attached, a panic inside the event loop dumps
+// the ring to the profile directory before propagating.
 func (n *Network) Run() *Results {
 	n.markRunning()
 	start := time.Now()
+	if n.Prof != nil && n.Prof.Flight() != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				_, _ = n.Prof.DumpFlight("panic")
+				panic(r)
+			}
+		}()
+	}
 	n.Eng.RunUntil(n.Opts.Duration)
 	n.markDone(time.Since(start))
 	if n.Opts.Trace != nil {

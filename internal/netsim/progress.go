@@ -31,6 +31,10 @@ type Progress struct {
 	Speedup      float64 `json:"speedup"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// PendingEvents / EventPool mirror the engine's queue length and recycled
+	// event-pool size (published every ~1k dispatches; see sim.LivePending).
+	PendingEvents int `json:"pending_events"`
+	EventPool     int `json:"event_pool"`
 	// Flows carries per-flow sliced goodput when slicing is enabled
 	// (StartSlicing); otherwise the list only names the flows.
 	Flows []FlowProgress `json:"flows,omitempty"`
@@ -88,6 +92,9 @@ func (n *Network) Progress() Progress {
 		DurationSec: n.Opts.Duration.Seconds(),
 		WallSec:     wall.Seconds(),
 		Events:      n.Eng.EventsFired(),
+
+		PendingEvents: n.Eng.LivePending(),
+		EventPool:     n.Eng.LivePoolSize(),
 	}
 	if wall > 0 {
 		p.Speedup = p.SimSec / wall.Seconds()
@@ -133,6 +140,11 @@ type HealthStatus struct {
 	// window is open or health fallbacks have fired.
 	Status string  `json:"status"`
 	SimSec float64 `json:"sim_sec"`
+	// PendingEvents / EventPool mirror the engine's live queue and pool
+	// gauges: a pending count that climbs without bound, or a pool that
+	// grows while pending stays flat, both flag engine-level trouble.
+	PendingEvents int `json:"pending_events"`
+	EventPool     int `json:"event_pool"`
 	// Faults reports injector state; absent on fault-free runs.
 	Faults *faults.Status `json:"faults,omitempty"`
 	// HealthPolicy echoes the active CO-MAP location-health policy; absent
@@ -155,7 +167,12 @@ type HealthPolicyStatus struct {
 // goroutine during a run: it reads only atomic counters and injector
 // atomics.
 func (n *Network) HealthStatus() HealthStatus {
-	h := HealthStatus{Status: "ok", SimSec: n.Eng.Now().Seconds()}
+	h := HealthStatus{
+		Status:        "ok",
+		SimSec:        n.Eng.Now().Seconds(),
+		PendingEvents: n.Eng.LivePending(),
+		EventPool:     n.Eng.LivePoolSize(),
+	}
 	if n.injector != nil {
 		st := n.injector.Status()
 		h.Faults = &st

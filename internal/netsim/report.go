@@ -66,10 +66,14 @@ type EngineReport struct {
 // FlowReport is one flow's goodput, with its time slices when slicing was
 // enabled.
 type FlowReport struct {
-	Src        frame.NodeID   `json:"src"`
-	Dst        frame.NodeID   `json:"dst"`
-	GoodputBps float64        `json:"goodput_bps"`
-	Slices     []GoodputSlice `json:"slices,omitempty"`
+	Src        frame.NodeID `json:"src"`
+	Dst        frame.NodeID `json:"dst"`
+	GoodputBps float64      `json:"goodput_bps"`
+	// LatencyMs summarises the flow's MAC access latency (enqueue→ACK at the
+	// sender, frames towards this destination only), including the p999 and
+	// worst-case tail; absent when no frame completed.
+	LatencyMs *LatencyMs     `json:"latency_ms,omitempty"`
+	Slices    []GoodputSlice `json:"slices,omitempty"`
 }
 
 // GoodputSlice is the goodput of one flow over one time slice.
@@ -105,7 +109,20 @@ type LatencyMs struct {
 	P50  float64 `json:"p50"`
 	P90  float64 `json:"p90"`
 	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
 	Max  float64 `json:"max"`
+}
+
+// latencyFromTiming converts a timing snapshot into the report's latency
+// summary (nil when empty).
+func latencyFromTiming(t metrics.TimingSnapshot) *LatencyMs {
+	if t.N == 0 {
+		return nil
+	}
+	return &LatencyMs{
+		N: t.N, Mean: t.MeanMs,
+		P50: t.P50Ms, P90: t.P90Ms, P99: t.P99Ms, P999: t.P999Ms, Max: t.MaxMs,
+	}
 }
 
 // Report assembles the run report from the network's telemetry and the
@@ -130,8 +147,18 @@ func (n *Network) Report(res *Results) *Report {
 		r.Engine.EventsPerSec = float64(r.Engine.EventsFired) / wall.Seconds()
 	}
 
+	// Snapshot every station registry once; flow latency tails and station
+	// blocks read from the same snapshots.
+	snaps := make(map[frame.NodeID]metrics.Snapshot, len(n.Stations))
+	for id, st := range n.Stations {
+		snaps[id] = st.Metrics.Snapshot()
+	}
+
 	for _, fr := range res.Flows {
 		fl := FlowReport{Src: fr.Flow.Src, Dst: fr.Flow.Dst, GoodputBps: fr.GoodputBps}
+		if t, ok := snaps[fr.Flow.Src].Timings[perDstLatencyKey(fr.Flow.Dst)]; ok {
+			fl.LatencyMs = latencyFromTiming(t)
+		}
 		fl.Slices = n.flowSlices(fr.Flow)
 		r.Flows = append(r.Flows, fl)
 	}
@@ -149,7 +176,7 @@ func (n *Network) Report(res *Results) *Report {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		st := n.Stations[id]
-		snap := st.Metrics.Snapshot()
+		snap := snaps[id]
 		sr := StationReport{
 			ID:       id,
 			IsAP:     st.Node.IsAP,
@@ -159,10 +186,8 @@ func (n *Network) Report(res *Results) *Report {
 		if len(sr.Counters) == 0 {
 			sr.Counters = nil
 		}
-		if lat, ok := snap.Timings["mac.access_latency"]; ok && lat.N > 0 {
-			sr.LatencyMs = &LatencyMs{
-				N: lat.N, Mean: lat.MeanMs, P50: lat.P50Ms, P90: lat.P90Ms, P99: lat.P99Ms, Max: lat.MaxMs,
-			}
+		if lat, ok := snap.Timings["mac.access_latency"]; ok {
+			sr.LatencyMs = latencyFromTiming(lat)
 		}
 		sr.AirtimeSec = snap.AirtimeSec["mac"]
 		r.Stations = append(r.Stations, sr)
@@ -184,6 +209,25 @@ func (n *Network) Report(res *Results) *Report {
 		r.Faults = fr
 	}
 	return r
+}
+
+// perDstLatencyKey names the MAC's per-destination access-latency timing.
+func perDstLatencyKey(dst frame.NodeID) string {
+	return "mac.access_latency.to." + itoaU16(dst)
+}
+
+func itoaU16(v frame.NodeID) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [5]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
 }
 
 // flowSlices converts a flow's cumulative byte series into per-slice deltas,

@@ -37,4 +37,7 @@ func AttachNetwork(s *Server, name string, n *netsim.Network) {
 		h := n.HealthStatus()
 		return h.Status, h
 	})
+	if n.Prof != nil {
+		s.AddProfiler(name, n.Prof)
+	}
 }

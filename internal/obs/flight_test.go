@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/prof"
+	"repro/internal/topology"
+)
+
+func buildProfiled(t *testing.T, dir string) *netsim.Network {
+	t.Helper()
+	opts := netsim.TestbedOptions()
+	opts.Protocol = netsim.ProtocolComap
+	opts.Seed = 7
+	opts.Duration = 400 * time.Millisecond
+	opts.Profile = &prof.Config{SampleEvery: 8, FlightEvents: 256, Dir: dir}
+	n, err := netsim.Build(topology.ETSweep(30), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestProfileAndFlightEndpoints runs a profiled network while goroutines
+// hammer /profile and /flight (the -race build validates the lock-free
+// scrape path), then checks both payloads and the ?dump=1 side effect.
+func TestProfileAndFlightEndpoints(t *testing.T) {
+	dumpDir := t.TempDir()
+	n := buildProfiled(t, dumpDir)
+	s := NewServer(Options{})
+	AttachNetwork(s, "et30", n)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Concurrent scrapers during the run.
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, ep := range []string{"/profile", "/profile?format=prom", "/flight"} {
+				if code, _ := get(t, client, ts.URL+ep); code != http.StatusOK {
+					panic("scrape failed: " + ep)
+				}
+			}
+		}
+	}()
+	n.Run()
+	close(done)
+	<-finished
+
+	// /profile JSON: one attribution keyed by source, mac events dominant.
+	_, body := get(t, client, ts.URL+"/profile")
+	var profiles map[string]prof.Attribution
+	if err := json.Unmarshal(body, &profiles); err != nil {
+		t.Fatalf("/profile: %v\n%s", err, body)
+	}
+	a, ok := profiles["et30"]
+	if !ok {
+		t.Fatalf("/profile missing source et30: %s", body)
+	}
+	if a.Events == 0 || a.SampleEvery != 8 {
+		t.Fatalf("attribution = %+v", a)
+	}
+	var macEvents uint64
+	for _, tagStat := range a.Tags {
+		if tagStat.Tag == "mac" {
+			macEvents = tagStat.Events
+		}
+	}
+	if macEvents == 0 {
+		t.Fatalf("no mac-tagged events in a saturated run: %+v", a.Tags)
+	}
+
+	// /profile?format=prom: the comap_prof_* families with tag labels.
+	_, body = get(t, client, ts.URL+"/profile?format=prom")
+	promOut := string(body)
+	for _, want := range []string{
+		"# TYPE comap_prof_events_total counter",
+		`comap_prof_events_total{source="et30",tag="mac"}`,
+		"# TYPE comap_prof_sampled_seconds_total counter",
+		"# TYPE comap_prof_flight_records_total counter",
+	} {
+		if !strings.Contains(promOut, want) {
+			t.Errorf("prom exposition missing %q:\n%.800s", want, promOut)
+		}
+	}
+
+	// /flight: the ring's tail, newest Total matches the recorder.
+	_, body = get(t, client, ts.URL+"/flight")
+	var flights map[string]struct {
+		Total   uint64        `json:"total"`
+		Records []prof.Record `json:"records"`
+		Dumped  string        `json:"dumped"`
+	}
+	if err := json.Unmarshal(body, &flights); err != nil {
+		t.Fatalf("/flight: %v\n%s", err, body)
+	}
+	fv, ok := flights["et30"]
+	if !ok {
+		t.Fatalf("/flight missing source et30: %s", body)
+	}
+	if fv.Total == 0 || len(fv.Records) == 0 || len(fv.Records) > 256 {
+		t.Fatalf("flight view = total %d, %d records", fv.Total, len(fv.Records))
+	}
+	if fv.Records[0].Tag == "" {
+		t.Fatalf("undecoded record: %+v", fv.Records[0])
+	}
+	if fv.Dumped != "" {
+		t.Fatalf("dump written without ?dump=1: %q", fv.Dumped)
+	}
+
+	// ?dump=1 writes the ring to the profiler's dir and returns the path.
+	_, body = get(t, client, ts.URL+"/flight?dump=1")
+	if err := json.Unmarshal(body, &flights); err != nil {
+		t.Fatalf("/flight?dump=1: %v\n%s", err, body)
+	}
+	dumped := flights["et30"].Dumped
+	if dumped == "" {
+		t.Fatalf("?dump=1 returned no path: %s", body)
+	}
+	data, err := os.ReadFile(dumped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d prof.FlightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("dump file: %v", err)
+	}
+	if d.Reason != "on-demand" || len(d.Records) == 0 {
+		t.Fatalf("dump = reason %q, %d records", d.Reason, len(d.Records))
+	}
+}
+
+// TestProfileEndpointsWithoutProfiler locks in the empty-state payloads: an
+// unprofiled plane serves empty objects, not errors.
+func TestProfileEndpointsWithoutProfiler(t *testing.T) {
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, ep := range []string{"/profile", "/flight"} {
+		code, body := get(t, ts.Client(), ts.URL+ep)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", ep, code)
+		}
+		if got := strings.TrimSpace(string(body)); got != "{}" {
+			t.Fatalf("GET %s = %q, want empty object", ep, got)
+		}
+	}
+	// AddProfiler is nil-safe on both sides.
+	s.AddProfiler("x", nil)
+	var nilServer *Server
+	nilServer.AddProfiler("x", prof.New(prof.Config{FlightEvents: -1}))
+}

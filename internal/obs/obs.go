@@ -6,7 +6,11 @@
 //   - /healthz  — degraded-mode summary (fault-injector state, CO-MAP
 //     location-health fallback counters),
 //   - /runs     — live run progress (sim-time vs wall-time speedup,
-//     events/s, per-slice goodput),
+//     events/s, per-slice goodput, engine queue/pool gauges),
+//   - /profile  — the attribution profiler's per-subsystem event counts and
+//     sampled wall time (JSON, or comap_prof_* families with ?format=prom),
+//   - /flight   — the flight recorder's ring of recent events (?dump=1 also
+//     writes it to the profile dir),
 //   - /debug/pprof/ — the standard Go profiling endpoints, plus
 //     /debug/profile/{cpu,heap} capturing profiles into a results dir.
 //
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/prof"
 )
 
 // Options configures a Server.
@@ -60,10 +65,11 @@ type HealthFunc func() (status string, detail any)
 type Server struct {
 	opts Options
 
-	mu      sync.Mutex
-	sources map[string]SnapshotFunc
-	runs    map[string]RunFunc
-	health  map[string]HealthFunc
+	mu        sync.Mutex
+	sources   map[string]SnapshotFunc
+	runs      map[string]RunFunc
+	health    map[string]HealthFunc
+	profilers map[string]*prof.Profiler
 
 	srv *http.Server
 	ln  net.Listener
@@ -78,10 +84,11 @@ func NewServer(opts Options) *Server {
 		opts.CaptureDir = filepath.Join("results", "profiles")
 	}
 	return &Server{
-		opts:    opts,
-		sources: make(map[string]SnapshotFunc),
-		runs:    make(map[string]RunFunc),
-		health:  make(map[string]HealthFunc),
+		opts:      opts,
+		sources:   make(map[string]SnapshotFunc),
+		runs:      make(map[string]RunFunc),
+		health:    make(map[string]HealthFunc),
+		profilers: make(map[string]*prof.Profiler),
 	}
 }
 
@@ -145,6 +152,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -213,6 +222,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /metrics            registry snapshots (JSON; ?format=prom for Prometheus text)")
 	fmt.Fprintln(w, "  /healthz            fault-injector and location-health summary")
 	fmt.Fprintln(w, "  /runs               live run progress (speedup, events/s, sliced goodput)")
+	fmt.Fprintln(w, "  /profile            per-subsystem event/wall-time attribution (JSON; ?format=prom)")
+	fmt.Fprintln(w, "  /flight             flight-recorder ring of recent events (?dump=1 writes a file)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go profiling endpoints")
 	fmt.Fprintln(w, "  /debug/profile/cpu  capture a CPU profile to the results dir (?seconds=N)")
 	fmt.Fprintln(w, "  /debug/profile/heap capture a heap profile to the results dir")

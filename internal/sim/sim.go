@@ -26,6 +26,8 @@ type Event struct {
 	fn    func()
 	index int    // position in the heap, -1 once removed
 	gen   uint64 // bumped on every recycle; stale Handles detect the mismatch
+	tag   Tag    // attribution subsystem (tags.go), stamped at schedule time
+	owner int32  // owning node, or NoOwner
 }
 
 // Handle identifies a scheduled event. The zero Handle is valid and inert:
@@ -53,9 +55,10 @@ func (h Handle) At() time.Duration {
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; simulations are deterministic single-goroutine programs.
 //
-// Exception: the virtual clock and the fired-event count are stored
-// atomically, so Now and EventsFired may be read from other goroutines (the
-// live observability plane scrapes both mid-run). All scheduling and
+// Exception: the virtual clock, the fired-event count and the amortized
+// queue/pool mirrors are stored atomically, so Now, EventsFired,
+// LivePending and LivePoolSize may be read from other goroutines (the live
+// observability plane scrapes all of them mid-run). All scheduling and
 // mutation must still happen on the simulation goroutine.
 type Engine struct {
 	now     atomic.Int64 // virtual time in nanoseconds
@@ -66,11 +69,23 @@ type Engine struct {
 	halted  bool
 	free    []*Event // recycled event slots
 	pending int      // queue length, maintained incrementally
+
+	// Attribution context (tags.go): the tag/owner stamped on newly
+	// scheduled events. Dispatch sets it from the firing event so derived
+	// events inherit their scheduler's subsystem.
+	curTag   Tag
+	curOwner int32
+	obs      Observer
+
+	// Amortized mirrors of pending / len(free) for concurrent scrapers
+	// (tags.go).
+	livePending atomic.Int64
+	livePool    atomic.Int64
 }
 
 // New returns an engine with its clock at zero, seeded with seed.
 func New(seed int64) *Engine {
-	return &Engine{seed: seed}
+	return &Engine{seed: seed, curOwner: NoOwner}
 }
 
 // Now returns the current virtual time. Safe for concurrent readers.
@@ -98,6 +113,7 @@ func (e *Engine) Schedule(at time.Duration, fn func()) Handle {
 	} else {
 		ev = &Event{at: at, seq: e.seq, fn: fn}
 	}
+	ev.tag, ev.owner = e.curTag, e.curOwner
 	e.seq++
 	heap.Push(&e.queue, ev)
 	e.pending++
@@ -143,9 +159,16 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.pending--
 	fn := ev.fn
-	e.now.Store(int64(ev.at))
+	at, tag, owner := ev.at, ev.tag, ev.owner
+	e.curTag, e.curOwner = tag, owner
+	e.now.Store(int64(at))
 	e.recycle(ev)
-	e.fired.Add(1)
+	if e.fired.Add(1)&livePublishMask == 0 {
+		e.publishLive()
+	}
+	if e.obs != nil {
+		e.obs.OnEvent(at, tag, owner)
+	}
 	fn()
 	return true
 }
@@ -161,6 +184,7 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 	if !e.halted && e.Now() < deadline {
 		e.now.Store(int64(deadline))
 	}
+	e.publishLive()
 }
 
 // Run executes every pending event (including ones scheduled by other
@@ -169,6 +193,7 @@ func (e *Engine) Run() {
 	e.halted = false
 	for !e.halted && e.Step() {
 	}
+	e.publishLive()
 }
 
 // Halt stops Run/RunUntil after the currently executing event returns.

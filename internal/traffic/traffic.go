@@ -108,7 +108,7 @@ func (p *Peer) StartCBR(dst frame.NodeID, payloadFn func() int, bitsPerSec float
 }
 
 func (p *Peer) scheduleCredit(s *source) {
-	s.creditEv = p.eng.After(creditInterval, func() {
+	s.creditEv = p.eng.AfterTagged(creditInterval, sim.TagTraffic, int32(p.m.ID()), func() {
 		*s.credit += s.rateBps / 8 * creditInterval.Seconds()
 		if bucketCap := s.rateBps / 8; *s.credit > bucketCap {
 			*s.credit = bucketCap
@@ -129,10 +129,10 @@ func (p *Peer) StartPoisson(dst frame.NodeID, payloadFn func() int, framesPerSec
 		seq++
 		_ = p.m.Enqueue(f)
 		gap := rng.ExpFloat64() / framesPerSec
-		p.eng.After(time.Duration(gap*float64(time.Second)), arrive)
+		p.eng.AfterTagged(time.Duration(gap*float64(time.Second)), sim.TagTraffic, int32(p.m.ID()), arrive)
 	}
 	gap := rng.ExpFloat64() / framesPerSec
-	p.eng.After(time.Duration(gap*float64(time.Second)), arrive)
+	p.eng.AfterTagged(time.Duration(gap*float64(time.Second)), sim.TagTraffic, int32(p.m.ID()), arrive)
 }
 
 // Stop halts all sources; queued frames drain normally.
