@@ -1,0 +1,276 @@
+// Command comap-audit records, verifies, compares and bisects determinism
+// ledgers (internal/audit).
+//
+//	comap-audit record -scenario chh-comap [-seed 7] [-o ledger.jsonl]
+//	comap-audit verify golden.jsonl
+//	comap-audit compare a.jsonl b.jsonl
+//	comap-audit bisect -scenario chh-comap [-inject-nondet]
+//	comap-audit list
+//
+// verify re-runs the golden ledger's scenario (resolved by manifest name
+// from the shared goldenscn registry) and compares semantically; compare
+// diffs two recorded ledgers and names the first divergent slice plus the
+// subsystem digests that split; bisect runs scenario pairs until they
+// diverge, then re-runs with per-slice deep digests and event capture to
+// name the first divergent event by tag, sim-time and owner.
+//
+// Exit codes: 0 no divergence, 1 operational error, 2 divergence found
+// (compare/bisect) or verification failure (verify) — so CI can gate on
+// ledger equivalence directly.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/goldenscn"
+	"repro/internal/netsim"
+)
+
+// exitCodeError carries a process exit code through the run() error path
+// without printing anything: the subcommand has already written its report.
+type exitCodeError int
+
+func (e exitCodeError) Error() string { return fmt.Sprintf("exit code %d", int(e)) }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var code exitCodeError
+		if errors.As(err, &code) {
+			os.Exit(int(code))
+		}
+		fmt.Fprintln(os.Stderr, "comap-audit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		usage(w)
+		return exitCodeError(1)
+	}
+	switch args[0] {
+	case "record":
+		return runRecord(args[1:], w)
+	case "verify":
+		return runVerify(args[1:], w)
+	case "compare":
+		return runCompare(args[1:], w)
+	case "bisect":
+		return runBisect(args[1:], w)
+	case "list":
+		return runList(w)
+	case "help", "-h", "--help":
+		usage(w)
+		return nil
+	default:
+		usage(w)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: comap-audit <subcommand> [flags]
+
+subcommands:
+  record   -scenario NAME [-seed N] [-duration D] [-slice D] [-deep-every N] [-o FILE]
+           run a golden scenario and write its determinism ledger (default stdout)
+  verify   GOLDEN.jsonl
+           re-run the ledger's scenario and compare semantically (exit 2 on mismatch)
+  compare  A.jsonl B.jsonl
+           first divergent slice + which subsystem digests split (exit 2 on divergence)
+  bisect   -scenario NAME [-seed N] [-duration D] [-attempts N] [-inject-nondet]
+           run pairs until they diverge, then localize the first divergent event
+  list     print the registered golden scenario names
+`)
+}
+
+// scenarioFlags is the flag set shared by record and bisect.
+type scenarioFlags struct {
+	scenario  string
+	seed      int64
+	duration  time.Duration
+	slice     time.Duration
+	deepEvery int
+	inject    bool
+}
+
+func (sf *scenarioFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&sf.scenario, "scenario", "", "golden scenario name (see comap-audit list)")
+	fs.Int64Var(&sf.seed, "seed", 0, "override the scenario's seed (0 keeps the default)")
+	fs.DurationVar(&sf.duration, "duration", 0, "override the scenario's duration (0 keeps the default)")
+	fs.DurationVar(&sf.slice, "slice", 0, "ledger slice interval (0 = default 100ms)")
+	fs.IntVar(&sf.deepEvery, "deep-every", 0, "deep digest every Nth slice (0 = default 8)")
+	fs.BoolVar(&sf.inject, "inject-nondet", false,
+		"test hook: inject map-iteration nondeterminism into the run")
+}
+
+func (sf *scenarioFlags) resolve() (goldenscn.Scenario, error) {
+	if sf.scenario == "" {
+		return goldenscn.Scenario{}, fmt.Errorf("missing -scenario (one of: %s)",
+			strings.Join(goldenscn.Names(), ", "))
+	}
+	sc, ok := goldenscn.Get(sf.scenario)
+	if !ok {
+		return goldenscn.Scenario{}, fmt.Errorf("unknown scenario %q (one of: %s)",
+			sf.scenario, strings.Join(goldenscn.Names(), ", "))
+	}
+	if sf.seed != 0 {
+		sc.Opts.Seed = sf.seed
+	}
+	if sf.duration > 0 {
+		sc.Opts.Duration = sf.duration
+	}
+	return sc, nil
+}
+
+func (sf *scenarioFlags) config() audit.Config {
+	return audit.Config{
+		SliceInterval: sf.slice,
+		DeepEvery:     sf.deepEvery,
+		InjectNondet:  sf.inject,
+	}
+}
+
+// runLedger builds and runs the scenario with a ledger attached, streaming
+// JSONL to sink when non-nil, and returns the in-memory ledger.
+func runLedger(sc goldenscn.Scenario, cfg audit.Config, sink io.Writer) (*audit.LedgerFile, error) {
+	opts := sc.Opts
+	cfg.Sink = sink
+	opts.Audit = &netsim.AuditConfig{Scenario: sc.Name, Config: cfg}
+	n, err := netsim.Build(sc.Top, opts)
+	if err != nil {
+		return nil, err
+	}
+	n.Run()
+	if err := n.Audit.Err(); err != nil {
+		return nil, fmt.Errorf("ledger write: %w", err)
+	}
+	return n.Audit.File(), nil
+}
+
+func runRecord(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	var sf scenarioFlags
+	sf.register(fs)
+	out := fs.String("o", "", "output ledger path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := sf.resolve()
+	if err != nil {
+		return err
+	}
+	sink := w
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		sink = f
+	}
+	_, err = runLedger(sc, sf.config(), sink)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(w, "wrote ledger for %s (seed %d) to %s\n", sc.Name, sc.Opts.Seed, *out)
+	}
+	return nil
+}
+
+func runVerify(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify: want exactly one golden ledger path")
+	}
+	golden, err := audit.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m := golden.Manifest
+	sc, ok := goldenscn.Get(m.Scenario)
+	if !ok {
+		return fmt.Errorf("golden ledger names unknown scenario %q (one of: %s)",
+			m.Scenario, strings.Join(goldenscn.Names(), ", "))
+	}
+	sc.Opts.Seed = m.Seed
+	// Config drift — the scenario registry no longer matches the golden —
+	// is a verification failure with its own explanation, not a crash.
+	cur := netsim.ManifestFor(sc.Name, sc.Top, sc.Opts)
+	if cur.OptionsFP != m.OptionsFP || cur.TopologyHash != m.TopologyHash {
+		fmt.Fprintf(w, "verify FAILED: %s: scenario configuration drifted from golden\n", m.Scenario)
+		fmt.Fprintf(w, "  options fingerprint: golden %s, current %s\n", m.OptionsFP, cur.OptionsFP)
+		fmt.Fprintf(w, "  topology hash:       golden %s, current %s\n", m.TopologyHash, cur.TopologyHash)
+		fmt.Fprintln(w, "  (regenerate the golden if the configuration change is intended)")
+		return exitCodeError(2)
+	}
+	cfg := audit.Config{
+		SliceInterval: time.Duration(m.SliceUs) * time.Microsecond,
+		DeepEvery:     m.DeepEvery,
+	}
+	got, err := runLedger(sc, cfg, nil)
+	if err != nil {
+		return err
+	}
+	if d := audit.Compare(got, golden); d != nil {
+		fmt.Fprintf(w, "verify FAILED: %s (seed %d) diverged from %s\n", m.Scenario, m.Seed, fs.Arg(0))
+		fmt.Fprintln(w, d)
+		return exitCodeError(2)
+	}
+	fmt.Fprintf(w, "verify OK: %s (seed %d): %d slices, %d events, head %s\n",
+		m.Scenario, m.Seed, golden.End.Slices, golden.End.Events, golden.End.Head)
+	return nil
+}
+
+func runCompare(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare: want exactly two ledger paths")
+	}
+	a, err := audit.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := audit.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if d := audit.Compare(a, b); d != nil {
+		fmt.Fprintf(w, "ledgers diverge: %s vs %s\n", fs.Arg(0), fs.Arg(1))
+		fmt.Fprintln(w, d)
+		return exitCodeError(2)
+	}
+	head := "(no end record)"
+	if a.End != nil {
+		head = a.End.Head
+	}
+	fmt.Fprintf(w, "ledgers equal: %d slices, head %s\n", len(a.Slices), head)
+	return nil
+}
+
+func runList(w io.Writer) error {
+	for _, sc := range goldenscn.All() {
+		fmt.Fprintf(w, "%-20s %s, %s, seed %d, %s\n",
+			sc.Name, sc.Top.Name, sc.Opts.Protocol, sc.Opts.Seed, sc.Opts.Duration)
+	}
+	return nil
+}

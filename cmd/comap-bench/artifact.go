@@ -9,20 +9,22 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/prof"
 )
 
 // artifactSchema versions the BENCH_*.json layout; diff refuses artifacts
 // with an unknown schema rather than comparing incompatible numbers.
-// Version 2 added the attribution block; version-1 artifacts are still read
-// (the ns/op contract is unchanged), so diffs against pre-attribution
-// baselines keep working.
-const artifactSchema = "comap-bench/2"
+// Version 2 added the attribution block and version 3 the run manifest;
+// older artifacts are still read (the ns/op contract is unchanged), so
+// diffs against pre-attribution and pre-manifest baselines keep working.
+const artifactSchema = "comap-bench/3"
 
 // compatibleSchemas lists every schema readArtifact accepts.
 var compatibleSchemas = map[string]bool{
 	"comap-bench/1": true,
 	"comap-bench/2": true,
+	"comap-bench/3": true,
 }
 
 // artifact is one machine-readable benchmark run. encoding/json sorts the
@@ -41,6 +43,11 @@ type artifact struct {
 	// profiled reference run (schema 2; absent in version-1 artifacts and
 	// with -noattr).
 	Attribution *prof.Attribution `json:"attribution,omitempty"`
+	// Manifest identifies the attribution reference run — seed, options
+	// fingerprint, topology hash, environment — in the same layout a
+	// determinism ledger starts with (schema 3; absent in older artifacts).
+	// A diff can then distinguish a perf regression from a scenario change.
+	Manifest *audit.Manifest `json:"manifest,omitempty"`
 }
 
 type benchResult struct {

@@ -39,6 +39,16 @@ func runDiff(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Manifest drift (schema 3+): the numbers still compare — the ns/op
+	// contract is unchanged — but a fingerprint mismatch means the reference
+	// scenario itself moved, which reframes any delta below.
+	if om, nm := oldArt.Manifest, newArt.Manifest; om != nil && nm != nil {
+		if om.OptionsFP != nm.OptionsFP || om.TopologyHash != nm.TopologyHash {
+			fmt.Fprintf(stdout, "note: reference-run manifests differ (options %s vs %s, topology %s vs %s) — deltas may reflect scenario drift, not code\n",
+				om.OptionsFP, nm.OptionsFP, om.TopologyHash, nm.TopologyHash)
+		}
+	}
+
 	oldByName := make(map[string]benchResult, len(oldArt.Results))
 	for _, r := range oldArt.Results {
 		oldByName[r.Name] = r

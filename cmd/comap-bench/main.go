@@ -138,6 +138,13 @@ func runBench(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "%8d events across %d tags\n", a.Events, len(a.Tags))
 	}
 
+	// Stamp the reference-run manifest (same provenance block a determinism
+	// ledger starts with) so diffs can separate code regressions from
+	// scenario drift. Cheap — pure hashing, no simulation.
+	m := benchscn.ReferenceManifest(scale)
+	m.FillEnv()
+	art.Manifest = &m
+
 	path := *out
 	if path == "" {
 		ts := time.Now().UTC().Format("20060102T150405Z")

@@ -108,6 +108,10 @@ func TestBenchEmitsValidArtifact(t *testing.T) {
 	if a.Attribution == nil || a.Attribution.Events == 0 || len(a.Attribution.Tags) == 0 {
 		t.Fatalf("attribution block missing or empty: %+v", a.Attribution)
 	}
+	if a.Manifest == nil || a.Manifest.OptionsFP == "" || a.Manifest.TopologyHash == "" ||
+		a.Manifest.Version == "" || a.Manifest.GoVersion == "" {
+		t.Fatalf("manifest block missing or incomplete: %+v", a.Manifest)
+	}
 	if len(a.Results) != 1 || a.Results[0].Name != "bianchi-goodput" {
 		t.Fatalf("results = %+v", a.Results)
 	}

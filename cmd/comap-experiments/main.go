@@ -31,6 +31,7 @@ func main() {
 	svg := flag.String("svg", "", "also render each figure as an SVG into this directory")
 	jsonOut := flag.String("json", "results", "write per-figure JSON artifacts into this directory (empty = off)")
 	traceDir := flag.String("trace-dir", "", "write per-run JSONL lifecycle traces into this directory (see comap-trace)")
+	auditDir := flag.String("audit-dir", "", "write per-run determinism ledgers into this directory (see comap-audit)")
 	httpAddr := flag.String("http", "", `serve per-figure progress and pprof on this address, e.g. ":8080"`)
 	flag.Parse()
 	svgDir = *svg
@@ -55,6 +56,7 @@ func main() {
 		opts.Topologies = *topologies
 	}
 	opts.TraceDir = *traceDir
+	opts.AuditDir = *auditDir
 
 	var admin *obs.Server
 	if *httpAddr != "" {

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/bianchi"
 	"repro/internal/faults"
 	"repro/internal/frame"
@@ -62,6 +63,7 @@ func run() error {
 		profile     = flag.Bool("profile", false, "attach the subsystem profiler and print per-tag attribution after the run")
 		flightN     = flag.Int("flight", 0, "with -profile: flight-recorder ring capacity, rounded up to a power of two (0 = default 4096, negative disables)")
 		profileOut  = flag.String("profile-out", "", "with -profile: also write the attribution JSON to this file")
+		auditPath   = flag.String("audit", "", "write a determinism-ledger JSONL (run manifest + per-slice state hashes) to this file")
 	)
 	flag.Parse()
 
@@ -120,6 +122,24 @@ func run() error {
 	}
 
 	var (
+		auditFile *os.File
+		auditBuf  *bufio.Writer
+	)
+	if *auditPath != "" {
+		auditFile, err = os.Create(*auditPath)
+		if err != nil {
+			return err
+		}
+		// Like traces, ledgers are written one JSON line per slice; buffer so
+		// the sink never stalls the event loop on small writes.
+		auditBuf = bufio.NewWriterSize(auditFile, 1<<20)
+		opts.Audit = &netsim.AuditConfig{
+			Scenario: fmt.Sprintf("%s/%s", *topoName, *protocol),
+			Config:   audit.Config{Sink: auditBuf},
+		}
+	}
+
+	var (
 		traceFile *os.File
 		traceBuf  *bufio.Writer
 		traceW    *trace.Writer
@@ -156,6 +176,19 @@ func run() error {
 	}
 
 	res := n.Run()
+	if auditFile != nil {
+		if err := n.Audit.Err(); err != nil {
+			auditFile.Close()
+			return fmt.Errorf("writing audit ledger %s: %w", *auditPath, err)
+		}
+		if err := auditBuf.Flush(); err != nil {
+			auditFile.Close()
+			return fmt.Errorf("flushing audit ledger %s: %w", *auditPath, err)
+		}
+		if err := auditFile.Close(); err != nil {
+			return fmt.Errorf("closing audit ledger %s: %w", *auditPath, err)
+		}
+	}
 	if traceW != nil {
 		// Surface buffered-write, flush and close failures instead of
 		// silently reporting a truncated trace as success.
@@ -210,6 +243,10 @@ func run() error {
 
 	if traceW != nil {
 		fmt.Printf("wrote %d trace events to %s\n", traceW.Count(), *tracePath)
+	}
+	if auditFile != nil {
+		head := n.Audit.Head()
+		fmt.Printf("wrote audit ledger to %s (%d slices, head %s)\n", *auditPath, head.Slices, head.Head)
 	}
 	if *reportPath != "" {
 		f, err := os.Create(*reportPath)

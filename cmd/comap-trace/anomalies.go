@@ -36,6 +36,11 @@ func runAnomalies(args []string, w io.Writer) error {
 	}
 	rep := findAnomalies(events, *guard, *storm)
 	rep.print(w)
+	// CI gate: any pathology signature makes the process exit 2, so a
+	// pipeline can fail a build on a trace that should have been clean.
+	if len(rep.ht)+len(rep.storms)+len(rep.etFails) > 0 {
+		return exitCodeError(2)
+	}
 	return nil
 }
 

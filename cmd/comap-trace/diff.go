@@ -18,11 +18,15 @@ func runDiff(args []string, w io.Writer) error {
 	fs.SetOutput(w)
 	guard := fs.Int64("guard-us", 20, "slot guard (µs) for the anomaly comparison")
 	storm := fs.Int("storm", 3, "retry-storm threshold for the anomaly comparison")
+	failDrop := fs.Float64("fail-drop", 0,
+		"exit 2 when B's total goodput is more than this many percent below A's (0 disables; for CI gating)")
+	failGrowth := fs.Bool("fail-anomaly-growth", false,
+		"exit 2 when B shows more HT signatures, retry storms or failed ET grants than A (for CI gating)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: comap-trace diff a.jsonl b.jsonl")
+		return fmt.Errorf("usage: comap-trace diff [-fail-drop pct] [-fail-anomaly-growth] a.jsonl b.jsonl")
 	}
 	pathA, pathB := fs.Arg(0), fs.Arg(1)
 	evA, err := loadEventsFile(pathA)
@@ -33,7 +37,30 @@ func runDiff(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	printDiff(w, pathA, pathB, evA, evB, *guard, *storm)
+	a := buildSide(evA, *guard, *storm)
+	b := buildSide(evB, *guard, *storm)
+	printDiff(w, pathA, pathB, a, b)
+
+	// CI gates: report what tripped on the normal output stream, then carry
+	// the exit code out through the sentinel.
+	failed := false
+	if *failDrop > 0 {
+		if delta := relDelta(a.totalMbps, b.totalMbps); delta < -*failDrop {
+			fmt.Fprintf(w, "\nFAIL: total goodput dropped %.1f%% (gate: -fail-drop %.1f)\n", -delta, *failDrop)
+			failed = true
+		}
+	}
+	if *failGrowth {
+		na := a.ht + a.storms + a.etFails
+		nb := b.ht + b.storms + b.etFails
+		if nb > na {
+			fmt.Fprintf(w, "\nFAIL: anomaly signatures grew %d -> %d (gate: -fail-anomaly-growth)\n", na, nb)
+			failed = true
+		}
+	}
+	if failed {
+		return exitCodeError(2)
+	}
 	return nil
 }
 
@@ -99,10 +126,7 @@ func buildSide(events []trace.Event, guardUs int64, stormLen int) *sideReport {
 	return side
 }
 
-func printDiff(w io.Writer, pathA, pathB string, evA, evB []trace.Event, guardUs int64, stormLen int) {
-	a := buildSide(evA, guardUs, stormLen)
-	b := buildSide(evB, guardUs, stormLen)
-
+func printDiff(w io.Writer, pathA, pathB string, a, b *sideReport) {
 	fmt.Fprintf(w, "A: %s (%.3f s)\n", pathA, float64(a.spanUs)/1e6)
 	fmt.Fprintf(w, "B: %s (%.3f s)\n\n", pathB, float64(b.spanUs)/1e6)
 

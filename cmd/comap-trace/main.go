@@ -22,6 +22,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -29,8 +30,20 @@ import (
 	"repro/internal/trace"
 )
 
+// exitCodeError carries a process exit code through the run() error path
+// without printing anything: the subcommand has already written its report.
+// anomalies exits 2 when it finds protocol-pathology signatures, and diff
+// exits 2 when a -fail-* gate trips, so CI can gate on trace analysis.
+type exitCodeError int
+
+func (e exitCodeError) Error() string { return fmt.Sprintf("exit code %d", int(e)) }
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var code exitCodeError
+		if errors.As(err, &code) {
+			os.Exit(int(code))
+		}
 		fmt.Fprintln(os.Stderr, "comap-trace:", err)
 		os.Exit(1)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,14 +61,29 @@ func TestAnalyzeRejectsGarbage(t *testing.T) {
 	}
 }
 
-// runOut invokes the CLI dispatcher and returns its output.
+// runOut invokes the CLI dispatcher and returns its output. Exit-code
+// sentinels (the CI gates of anomalies and diff) are not failures — tests
+// that assert on codes use runCode.
 func runOut(t *testing.T, args ...string) string {
+	out, _ := runCode(t, args...)
+	return out
+}
+
+// runCode invokes the CLI dispatcher and returns its output plus the exit
+// code it would produce (0 ok, 2 gated). Operational errors fail the test.
+func runCode(t *testing.T, args ...string) (string, int) {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(args, &buf); err != nil {
-		t.Fatalf("run(%v): %v", args, err)
+	err := run(args, &buf)
+	if err == nil {
+		return buf.String(), 0
 	}
-	return buf.String()
+	var code exitCodeError
+	if errors.As(err, &code) {
+		return buf.String(), int(code)
+	}
+	t.Fatalf("run(%v): %v", args, err)
+	return "", 0
 }
 
 // TestGoldenOutputs runs every subcommand against the checked-in hidden-
@@ -204,6 +220,56 @@ func TestAnomaliesNoFaultSectionOnCleanTrace(t *testing.T) {
 	out := runOut(t, "anomalies", filepath.Join("testdata", "ht-dcf.jsonl"))
 	if strings.Contains(out, "injected faults") {
 		t.Errorf("fault section present on a fault-free trace:\n%s", out)
+	}
+}
+
+// TestAnomaliesExitCode pins the CI gate: a trace with pathology signatures
+// exits 2 (the DCF fixture has HT collisions, the CO-MAP fixture retry
+// storms), a signature-free trace exits 0.
+func TestAnomaliesExitCode(t *testing.T) {
+	if _, code := runCode(t, "anomalies", filepath.Join("testdata", "ht-dcf.jsonl")); code != 2 {
+		t.Errorf("anomalies on the HT-ridden DCF trace exited %d, want 2", code)
+	}
+	if _, code := runCode(t, "anomalies", filepath.Join("testdata", "ht-comap.jsonl")); code != 2 {
+		t.Errorf("anomalies on the storm-carrying CO-MAP trace exited %d, want 2", code)
+	}
+	clean := filepath.Join(t.TempDir(), "clean.jsonl")
+	if err := os.WriteFile(clean, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := runCode(t, "anomalies", clean); code != 0 {
+		t.Errorf("anomalies on a signature-free trace exited %d, want 0", code)
+	}
+}
+
+// TestDiffGates pins the diff CI gates: without gate flags diff always exits
+// 0; -fail-drop trips on a goodput regression (CO-MAP -> DCF) but not an
+// improvement, and -fail-anomaly-growth trips when signatures grow.
+func TestDiffGates(t *testing.T) {
+	dcf := filepath.Join("testdata", "ht-dcf.jsonl")
+	comap := filepath.Join("testdata", "ht-comap.jsonl")
+	if _, code := runCode(t, "diff", comap, dcf); code != 0 {
+		t.Errorf("ungated diff exited %d, want 0", code)
+	}
+	if _, code := runCode(t, "diff", "-fail-drop", "10", dcf, comap); code != 0 {
+		t.Errorf("diff with improving goodput exited %d, want 0", code)
+	}
+	out, code := runCode(t, "diff", "-fail-drop", "10", comap, dcf)
+	if code != 2 {
+		t.Errorf("diff with regressing goodput exited %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL: total goodput dropped") {
+		t.Errorf("gate did not explain itself:\n%s", out)
+	}
+	out, code = runCode(t, "diff", "-fail-anomaly-growth", comap, dcf)
+	if code != 2 {
+		t.Errorf("diff with growing anomalies exited %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL: anomaly signatures grew") {
+		t.Errorf("gate did not explain itself:\n%s", out)
+	}
+	if _, code = runCode(t, "diff", "-fail-anomaly-growth", dcf, comap); code != 0 {
+		t.Errorf("diff with shrinking anomalies exited %d, want 0", code)
 	}
 }
 

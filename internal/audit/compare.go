@@ -1,0 +1,214 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EventDiff pinpoints the first divergent captured event. One side is nil
+// when that ledger's capture stream ended early.
+type EventDiff struct {
+	Seq uint64 // dispatch sequence where the streams split (min of the two)
+	A   *EventRecord
+	B   *EventRecord
+}
+
+// Divergence describes the first point where two ledgers split. Kind is one
+// of "manifest", "event", "slice", "end", "length".
+type Divergence struct {
+	Kind   string
+	Reason string // populated for manifest/end/length kinds
+
+	// Slice-level localization (kind "slice", and "event" when the event
+	// falls inside a recorded slice).
+	SliceIdx     int64
+	SliceStartUs int64
+	SliceEndUs   int64
+	Tags         []string // per-tag chains that split in that slice
+	Deep         []string // deep digests that split in that slice
+
+	Event *EventDiff // kind "event" only
+}
+
+// String renders the divergence as the one-line-per-fact report the CLI
+// prints.
+func (d *Divergence) String() string {
+	var b strings.Builder
+	switch d.Kind {
+	case "manifest":
+		fmt.Fprintf(&b, "manifests differ: %s", d.Reason)
+	case "event":
+		fmt.Fprintf(&b, "first divergent event at dispatch seq %d", d.Event.Seq)
+		if d.SliceEndUs > d.SliceStartUs {
+			fmt.Fprintf(&b, " (slice %d, [%dus, %dus))", d.SliceIdx, d.SliceStartUs, d.SliceEndUs)
+		}
+		b.WriteString("\n")
+		describe := func(side string, e *EventRecord) {
+			if e == nil {
+				fmt.Fprintf(&b, "  %s: <no event — stream ended>\n", side)
+				return
+			}
+			fmt.Fprintf(&b, "  %s: tag=%s sim-time=%dns owner=%d\n", side, e.Tag, e.AtNs, e.Owner)
+		}
+		describe("A", d.Event.A)
+		describe("B", d.Event.B)
+	case "slice":
+		fmt.Fprintf(&b, "first divergent slice: %d [%dus, %dus)\n", d.SliceIdx, d.SliceStartUs, d.SliceEndUs)
+		if len(d.Tags) > 0 {
+			fmt.Fprintf(&b, "  subsystem chains split: %s\n", strings.Join(d.Tags, ", "))
+		}
+		if len(d.Deep) > 0 {
+			fmt.Fprintf(&b, "  deep digests split: %s\n", strings.Join(d.Deep, ", "))
+		}
+		if len(d.Tags) == 0 && len(d.Deep) == 0 {
+			b.WriteString("  event counts differ with identical chains (slice bookkeeping)\n")
+		}
+	case "length", "end":
+		fmt.Fprintf(&b, "%s mismatch: %s", d.Kind, d.Reason)
+	default:
+		fmt.Fprintf(&b, "%s: %s", d.Kind, d.Reason)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Compare returns the first divergence between two ledgers, or nil when
+// they are semantically equal. Environment manifest fields (host, go
+// version, timestamps) are ignored; everything causal — configuration keys,
+// captured events, every slice's chains and deep digests, the end record —
+// must match.
+func Compare(a, b *LedgerFile) *Divergence {
+	if reason, ok := a.Manifest.Comparable(&b.Manifest); !ok {
+		return &Divergence{Kind: "manifest", Reason: reason}
+	}
+	// Captured events are the finest-grained stream: when both ledgers
+	// recorded a capture window, the first split there precedes (and
+	// explains) any slice split inside the window.
+	if len(a.Events) > 0 || len(b.Events) > 0 {
+		if d := compareEvents(a, b); d != nil {
+			return d
+		}
+	}
+	if d := compareSlices(a, b); d != nil {
+		return d
+	}
+	switch {
+	case a.End == nil && b.End == nil:
+		return nil
+	case a.End == nil || b.End == nil:
+		side := "A"
+		if b.End == nil {
+			side = "B"
+		}
+		return &Divergence{Kind: "end", Reason: fmt.Sprintf("ledger %s has no end record (truncated run?)", side)}
+	case a.End.Events != b.End.Events:
+		return &Divergence{Kind: "end", Reason: fmt.Sprintf("total events %d vs %d", a.End.Events, b.End.Events)}
+	case a.End.Head != b.End.Head:
+		return &Divergence{Kind: "end", Reason: fmt.Sprintf("head digest %s vs %s", a.End.Head, b.End.Head)}
+	}
+	return nil
+}
+
+func compareEvents(a, b *LedgerFile) *Divergence {
+	n := len(a.Events)
+	if len(b.Events) < n {
+		n = len(b.Events)
+	}
+	for i := 0; i < n; i++ {
+		ea, eb := a.Events[i], b.Events[i]
+		if ea.Seq == eb.Seq && ea.AtNs == eb.AtNs && ea.Tag == eb.Tag && ea.Owner == eb.Owner {
+			continue
+		}
+		return eventDivergence(a, &ea, &eb)
+	}
+	if len(a.Events) != len(b.Events) {
+		var ea, eb *EventRecord
+		if n < len(a.Events) {
+			ea = &a.Events[n]
+		}
+		if n < len(b.Events) {
+			eb = &b.Events[n]
+		}
+		return eventDivergence(a, ea, eb)
+	}
+	return nil
+}
+
+// eventDivergence wraps the first split pair, locating it in ledger A's
+// slice grid for context.
+func eventDivergence(a *LedgerFile, ea, eb *EventRecord) *Divergence {
+	d := &Divergence{Kind: "event", Event: &EventDiff{A: ea, B: eb}}
+	switch {
+	case ea != nil && eb != nil:
+		d.Event.Seq = ea.Seq
+		if eb.Seq < ea.Seq {
+			d.Event.Seq = eb.Seq
+		}
+	case ea != nil:
+		d.Event.Seq = ea.Seq
+	case eb != nil:
+		d.Event.Seq = eb.Seq
+	}
+	atNs := int64(-1)
+	if ea != nil {
+		atNs = ea.AtNs
+	} else if eb != nil {
+		atNs = eb.AtNs
+	}
+	if atNs >= 0 {
+		atUs := atNs / 1e3
+		for _, s := range a.Slices {
+			if atUs >= s.StartUs && atUs < s.EndUs {
+				d.SliceIdx, d.SliceStartUs, d.SliceEndUs = s.Idx, s.StartUs, s.EndUs
+				break
+			}
+		}
+	}
+	return d
+}
+
+func compareSlices(a, b *LedgerFile) *Divergence {
+	n := len(a.Slices)
+	if len(b.Slices) < n {
+		n = len(b.Slices)
+	}
+	for i := 0; i < n; i++ {
+		sa, sb := &a.Slices[i], &b.Slices[i]
+		if sa.Idx != sb.Idx || sa.StartUs != sb.StartUs || sa.EndUs != sb.EndUs {
+			return &Divergence{Kind: "length", Reason: fmt.Sprintf(
+				"slice grids misaligned at record %d: A slice %d [%dus,%dus) vs B slice %d [%dus,%dus)",
+				i, sa.Idx, sa.StartUs, sa.EndUs, sb.Idx, sb.StartUs, sb.EndUs)}
+		}
+		tags := mapDiffKeys(sa.Chains, sb.Chains)
+		deep := mapDiffKeys(sa.Deep, sb.Deep)
+		if len(tags) > 0 || len(deep) > 0 || sa.Events != sb.Events {
+			return &Divergence{
+				Kind: "slice", SliceIdx: sa.Idx,
+				SliceStartUs: sa.StartUs, SliceEndUs: sa.EndUs,
+				Tags: tags, Deep: deep,
+			}
+		}
+	}
+	if len(a.Slices) != len(b.Slices) {
+		return &Divergence{Kind: "length", Reason: fmt.Sprintf("slice count %d vs %d", len(a.Slices), len(b.Slices))}
+	}
+	return nil
+}
+
+// mapDiffKeys returns the sorted union of keys whose values differ (missing
+// counts as different).
+func mapDiffKeys(a, b map[string]string) []string {
+	var out []string
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || vb != va {
+			out = append(out, k)
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

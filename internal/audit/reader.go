@@ -1,0 +1,85 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadFile parses a JSONL ledger from disk.
+func ReadFile(path string) (*LedgerFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lf, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return lf, nil
+}
+
+// Read parses a JSONL ledger: a manifest line followed by typed slice /
+// event / end records. A missing end record is not an error (the run may
+// have crashed mid-flight — comparing a truncated ledger is exactly how a
+// crash site gets localized); an unknown record type is.
+func Read(r io.Reader) (*LedgerFile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lf := &LedgerFile{}
+	line := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		line++
+		if len(raw) == 0 {
+			continue
+		}
+		if line == 1 {
+			if err := json.Unmarshal(raw, &lf.Manifest); err != nil {
+				return nil, fmt.Errorf("line 1: manifest: %w", err)
+			}
+			if lf.Manifest.Version != ManifestVersion {
+				return nil, fmt.Errorf("line 1: unsupported ledger version %q (want %q)", lf.Manifest.Version, ManifestVersion)
+			}
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		switch probe.Type {
+		case "slice":
+			var rec SliceRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("line %d: slice: %w", line, err)
+			}
+			lf.Slices = append(lf.Slices, rec)
+		case "event":
+			var rec EventRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("line %d: event: %w", line, err)
+			}
+			lf.Events = append(lf.Events, rec)
+		case "end":
+			var rec EndRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("line %d: end: %w", line, err)
+			}
+			lf.End = &rec
+		default:
+			return nil, fmt.Errorf("line %d: unknown record type %q", line, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("empty ledger")
+	}
+	return lf, nil
+}

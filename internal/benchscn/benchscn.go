@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/bianchi"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
@@ -112,6 +113,19 @@ func AttributionRun(sc Scale) (prof.Attribution, error) {
 	}
 	n.Run()
 	return n.Prof.Attribution(), nil
+}
+
+// ReferenceManifest identifies the attribution reference run the same way a
+// determinism ledger would: scenario name, seed, options fingerprint and
+// topology hash (see internal/audit). comap-bench embeds it in BENCH_*.json
+// artifacts, so a benchmark diff can tell "the code got slower" apart from
+// "the reference scenario changed" without re-running anything.
+func ReferenceManifest(sc Scale) audit.Manifest {
+	opts := netsim.TestbedOptions()
+	opts.Protocol = netsim.ProtocolComap
+	opts.Seed = 7
+	opts.Duration = sc.ETDuration
+	return netsim.ManifestFor("bench-attribution-et30", topology.ETSweep(30), opts)
 }
 
 // Scenarios returns the canonical list, figures first, in stable order.

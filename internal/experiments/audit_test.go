@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// TestAuditDirWritesLedgersWithoutPerturbingResults mirrors the TraceDir
+// contract: auditing a run must not change its results, and the ledger
+// filenames must carry the options fingerprint so distinct grid cells never
+// collide.
+func TestAuditDirWritesLedgersWithoutPerturbingResults(t *testing.T) {
+	top := topology.ETSweep(30)
+	base := netsim.TestbedOptions()
+	base.Protocol = netsim.ProtocolComap
+	o := tinyOpts()
+
+	plain, err := meanGoodput(top, base, o, top.Flows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.AuditDir = filepath.Join(t.TempDir(), "ledgers")
+	audited, err := meanGoodput(top, base, o, top.Flows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audited != plain {
+		t.Errorf("auditing perturbed the run: %.3f vs %.3f bps", audited, plain)
+	}
+
+	names, err := filepath.Glob(filepath.Join(o.AuditDir, "audit-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != o.Seeds {
+		t.Fatalf("ledger files = %v, want %d", names, o.Seeds)
+	}
+	f, err := audit.ReadFile(names[0])
+	if err != nil {
+		t.Fatalf("ledger unreadable: %v", err)
+	}
+	if f.End == nil || f.End.Events == 0 {
+		t.Fatalf("ledger has no end record: %+v", f.End)
+	}
+	// The filename embeds the manifest's own fingerprint.
+	base.Seed, base.Duration = 7, o.Duration // runSeed's formula for seed 0
+	m := netsim.ManifestFor("", top, base)
+	want := filepath.Join(o.AuditDir, "audit-et-sweep-30m-co-map-o"+m.OptionsFP+"-seed0.jsonl")
+	if names[0] != want {
+		t.Errorf("ledger name = %s, want %s", names[0], want)
+	}
+	if f.Manifest.OptionsFP != m.OptionsFP {
+		t.Errorf("manifest fingerprint %s != expected %s", f.Manifest.OptionsFP, m.OptionsFP)
+	}
+}
+
+// TestAuditLedgersEqualAcrossWorkers is the satellite's parallel-equivalence
+// gate: the ledgers written by a sequential run and a workers=N run of the
+// same grid must be semantically identical, slice hashes and all — the
+// per-run engines are independent, so worker scheduling must never leak into
+// causal state. It also pins that AuditDir, unlike TraceDir, keeps the
+// worker pool parallel.
+func TestAuditLedgersEqualAcrossWorkers(t *testing.T) {
+	if got := (Opts{Workers: 8, AuditDir: "x"}).workerCount(); got != 8 {
+		t.Fatalf("AuditDir must not force sequential execution, got %d workers", got)
+	}
+
+	top := topology.ETSweep(30)
+	base := netsim.TestbedOptions()
+	base.Protocol = netsim.ProtocolComap
+	o1 := Opts{Seeds: 2, Duration: 300 * time.Millisecond, Workers: 1}
+	o4 := o1
+	o4.Workers = 4
+
+	o1.AuditDir = filepath.Join(t.TempDir(), "w1")
+	o4.AuditDir = filepath.Join(t.TempDir(), "w4")
+
+	// Two cells sharing topology/protocol/seed but differing in options, so
+	// the fingerprint component of the filename is load-bearing.
+	cellA := gridCell{top: top, opts: base}
+	cellB := gridCell{top: top, opts: base}
+	cellB.opts.PayloadBytes = 512
+
+	g1, err := runGrid(o1, []gridCell{cellA, cellB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := runGrid(o4, []gridCell{cellA, cellB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range g1 {
+		for s := range g1[c] {
+			if g1[c][s].Goodput(top.Flows[0]) != g4[c][s].Goodput(top.Flows[0]) {
+				t.Fatalf("cell %d seed %d: results differ across worker counts", c, s)
+			}
+		}
+	}
+
+	names1, err := filepath.Glob(filepath.Join(o1.AuditDir, "audit-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * o1.Seeds; len(names1) != want {
+		t.Fatalf("sequential run wrote %d ledgers, want %d: %v", len(names1), want, names1)
+	}
+	for _, p1 := range names1 {
+		p4 := filepath.Join(o4.AuditDir, filepath.Base(p1))
+		a, err := audit.ReadFile(p1)
+		if err != nil {
+			t.Fatalf("%s: %v", p1, err)
+		}
+		b, err := audit.ReadFile(p4)
+		if err != nil {
+			t.Fatalf("%s: %v", p4, err)
+		}
+		if d := audit.Compare(a, b); d != nil {
+			t.Errorf("%s diverges across worker counts: %s", filepath.Base(p1), d)
+		}
+	}
+}

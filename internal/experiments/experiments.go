@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -41,6 +42,18 @@ type Opts struct {
 	// stay bit-identical to untraced ones. Setting TraceDir forces
 	// single-worker execution (see Workers).
 	TraceDir string
+	// AuditDir, when non-empty, writes one determinism ledger (run manifest
+	// plus per-slice state hashes, see internal/audit) per run into this
+	// directory, named audit-<topology>-<protocol>-o<fp>-seed<N>.jsonl. Like
+	// TraceDir, it covers the runs driven through the shared per-seed
+	// goodput loops (Figs. 1, 2, 7, 9 and the RTS comparison). The
+	// <fp> component is the options fingerprint: grid cells of one figure can
+	// share topology, protocol and seed while differing only in options (the
+	// Fig. 2 payload sweep), and the fingerprint keeps their filenames
+	// distinct — so unlike TraceDir, auditing does NOT force single-worker
+	// execution. Ledgers never alter results: runs stay bit-identical to
+	// unaudited ones.
+	AuditDir string
 	// Workers is the number of goroutines the replication runner uses to
 	// execute independent (figure point, seed) simulations. 0 uses one
 	// worker per CPU; 1 runs sequentially. Every run is a self-contained
@@ -114,34 +127,90 @@ func PrintCDFs(w io.Writer, unit string, cdfs ...CDF) {
 }
 
 // runSeed executes one seeded scenario run, attaching a buffered JSONL
-// lifecycle trace when o.TraceDir is set.
+// lifecycle trace when o.TraceDir is set and a determinism ledger when
+// o.AuditDir is set.
 func runSeed(top topology.Topology, base netsim.Options, o Opts, seed int) (*netsim.Results, error) {
 	base.Seed = int64(1000*seed + 7)
 	base.Duration = o.Duration
-	if o.TraceDir == "" {
+	if o.TraceDir == "" && o.AuditDir == "" {
 		return netsim.RunScenario(top, base)
 	}
-	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
-		return nil, err
+
+	// sinkFile is one buffered JSONL attachment; closers run after the run
+	// and surface buffered-write, flush and close failures in order.
+	type sinkFile struct {
+		path string
+		f    *os.File
+		buf  *bufio.Writer
 	}
-	path := filepath.Join(o.TraceDir,
-		fmt.Sprintf("%s-%s-seed%d.jsonl", slug(top.Name), slug(base.Protocol.String()), seed))
-	f, err := os.Create(path)
+	open := func(dir, name string) (*sinkFile, error) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		return &sinkFile{path: path, f: f, buf: bufio.NewWriterSize(f, 1<<20)}, nil
+	}
+	finish := func(s *sinkFile, kind string, sinkErr error, runErr error) error {
+		if sinkErr != nil && runErr == nil {
+			runErr = fmt.Errorf("%s %s: %w", kind, s.path, sinkErr)
+		}
+		if err := s.buf.Flush(); runErr == nil && err != nil {
+			runErr = fmt.Errorf("%s %s: %w", kind, s.path, err)
+		}
+		if err := s.f.Close(); runErr == nil && err != nil {
+			runErr = fmt.Errorf("%s %s: %w", kind, s.path, err)
+		}
+		return runErr
+	}
+
+	cell := fmt.Sprintf("%s-%s", slug(top.Name), slug(base.Protocol.String()))
+	var tw *trace.Writer
+	var traceSink *sinkFile
+	if o.TraceDir != "" {
+		var err error
+		traceSink, err = open(o.TraceDir, fmt.Sprintf("%s-seed%d.jsonl", cell, seed))
+		if err != nil {
+			return nil, err
+		}
+		tw = trace.NewWriter(traceSink.buf)
+		base.Trace = tw
+	}
+	var auditSink *sinkFile
+	if o.AuditDir != "" {
+		scenario := fmt.Sprintf("%s/%s", top.Name, base.Protocol)
+		m := netsim.ManifestFor(scenario, top, base)
+		var err error
+		auditSink, err = open(o.AuditDir,
+			fmt.Sprintf("audit-%s-o%s-seed%d.jsonl", cell, m.OptionsFP, seed))
+		if err != nil {
+			if traceSink != nil {
+				traceSink.f.Close()
+			}
+			return nil, err
+		}
+		base.Audit = &netsim.AuditConfig{Scenario: scenario, Config: audit.Config{Sink: auditSink.buf}}
+	}
+
+	n, err := netsim.Build(top, base)
 	if err != nil {
+		for _, s := range []*sinkFile{traceSink, auditSink} {
+			if s != nil {
+				s.f.Close()
+			}
+		}
 		return nil, err
 	}
-	buf := bufio.NewWriterSize(f, 1<<20)
-	tw := trace.NewWriter(buf)
-	base.Trace = tw
-	res, runErr := netsim.RunScenario(top, base)
-	if err := tw.Err(); runErr == nil && err != nil {
-		runErr = fmt.Errorf("trace %s: %w", path, err)
+	res := n.Run()
+	var runErr error
+	if auditSink != nil {
+		runErr = finish(auditSink, "audit ledger", n.Audit.Err(), runErr)
 	}
-	if err := buf.Flush(); runErr == nil && err != nil {
-		runErr = fmt.Errorf("trace %s: %w", path, err)
-	}
-	if err := f.Close(); runErr == nil && err != nil {
-		runErr = fmt.Errorf("trace %s: %w", path, err)
+	if traceSink != nil {
+		runErr = finish(traceSink, "trace", tw.Err(), runErr)
 	}
 	return res, runErr
 }

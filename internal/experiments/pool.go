@@ -13,6 +13,8 @@ import (
 // forces a single worker because distinct grid points of one figure can share
 // a trace filename (e.g. the Fig. 2 payload sweep reuses <topology>-<protocol>-
 // seed<N>.jsonl across payloads), which concurrent runs would corrupt.
+// AuditDir does not force sequential execution: ledger filenames embed the
+// options fingerprint, so no two grid cells can collide.
 func (o Opts) workerCount() int {
 	if o.TraceDir != "" {
 		return 1

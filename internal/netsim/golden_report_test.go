@@ -7,13 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-	"time"
 
-	"repro/internal/bianchi"
-	"repro/internal/faults"
+	"repro/internal/goldenscn"
 	"repro/internal/netsim"
 	"repro/internal/prof"
-	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -26,59 +23,21 @@ import (
 // parallel replication) must reproduce these reports byte for byte.
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden run reports")
 
-// goldenScenario is one fixed (topology, options) run whose full report is
-// pinned. The chh role string (one contender, two hidden terminals) is the
-// same fixture scenario the trace analyzer's goldens are built on.
-type goldenScenario struct {
-	name string
-	top  topology.Topology
-	opts netsim.Options
-}
-
-func goldenScenarios() []goldenScenario {
-	chh := topology.HTRoles([]topology.Role{
-		topology.RoleContender, topology.RoleHidden, topology.RoleHidden,
-	})
-
-	dcf := netsim.NS2Options()
-	dcf.Protocol = netsim.ProtocolDCF
-	dcf.Seed = 7
-	dcf.Duration = time.Second
-
-	cm := netsim.NS2Options()
-	cm.Protocol = netsim.ProtocolComap
-	base := bianchi.FromPHY(cm.PHY, cm.PHY.LowestRate())
-	cm.AdaptTable = bianchi.NewAdaptationTable(base, 5, 8, nil, nil)
-	cm.Seed = 7
-	cm.Duration = time.Second
-
-	spec, err := faults.Parse("locloss:p=0.3;outage:node=2,at=300ms,dur=200ms")
-	if err != nil {
-		panic(err)
-	}
-	faulted := cm
-	faulted.Faults = spec
-
-	et := netsim.TestbedOptions()
-	et.Protocol = netsim.ProtocolComap
-	et.Seed = 11
-	et.Duration = time.Second
-
-	return []goldenScenario{
-		{name: "chh-dcf", top: chh, opts: dcf},
-		{name: "chh-comap", top: chh, opts: cm},
-		{name: "chh-comap-faulted", top: chh, opts: faulted},
-		{name: "et30-comap", top: topology.ETSweep(30), opts: et},
-	}
+// goldenScenarios returns the fixed (topology, options) runs whose full
+// reports are pinned. The list lives in internal/goldenscn so the
+// determinism-audit tooling (cmd/comap-audit verify/bisect) re-runs the
+// exact same scenarios by name.
+func goldenScenarios() []goldenscn.Scenario {
+	return goldenscn.All()
 }
 
 // reportBytes runs the scenario and renders its report with the wall-clock
 // self-profiling fields zeroed (they are the only non-deterministic fields).
-func reportBytes(t *testing.T, sc goldenScenario) []byte {
+func reportBytes(t *testing.T, sc goldenscn.Scenario) []byte {
 	t.Helper()
-	n, err := netsim.Build(sc.top, sc.opts)
+	n, err := netsim.Build(sc.Top, sc.Opts)
 	if err != nil {
-		t.Fatalf("%s: build: %v", sc.name, err)
+		t.Fatalf("%s: build: %v", sc.Name, err)
 	}
 	res := n.Run()
 	rep := n.Report(res)
@@ -86,7 +45,7 @@ func reportBytes(t *testing.T, sc goldenScenario) []byte {
 	rep.Engine.EventsPerSec = 0
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
-		t.Fatalf("%s: encode: %v", sc.name, err)
+		t.Fatalf("%s: encode: %v", sc.Name, err)
 	}
 	return buf.Bytes()
 }
@@ -100,9 +59,9 @@ func goldenPath(name string) string {
 func TestGoldenReports(t *testing.T) {
 	for _, sc := range goldenScenarios() {
 		sc := sc
-		t.Run(sc.name, func(t *testing.T) {
+		t.Run(sc.Name, func(t *testing.T) {
 			got := reportBytes(t, sc)
-			path := goldenPath(sc.name)
+			path := goldenPath(sc.Name)
 			if *updateGolden {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
@@ -133,14 +92,14 @@ func TestGoldenReports(t *testing.T) {
 func TestGoldenReportsProfiled(t *testing.T) {
 	for _, sc := range goldenScenarios() {
 		sc := sc
-		t.Run(sc.name, func(t *testing.T) {
-			want, err := os.ReadFile(goldenPath(sc.name))
+		t.Run(sc.Name, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(sc.Name))
 			if err != nil {
 				t.Skipf("missing golden (run TestGoldenReports -update-golden first): %v", err)
 			}
-			opts := sc.opts
+			opts := sc.Opts
 			opts.Profile = &prof.Config{SampleEvery: 8, Dir: t.TempDir()}
-			n, err := netsim.Build(sc.top, opts)
+			n, err := netsim.Build(sc.Top, opts)
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
@@ -176,7 +135,7 @@ func TestGoldenReportsProfiled(t *testing.T) {
 				t.Fatalf("encode: %v", err)
 			}
 			if !bytes.Equal(buf.Bytes(), want) {
-				t.Fatalf("profiled run diverged from golden %s", goldenPath(sc.name))
+				t.Fatalf("profiled run diverged from golden %s", goldenPath(sc.Name))
 			}
 			a := n.Prof.Attribution()
 			if a.Events == 0 {
@@ -202,14 +161,14 @@ func TestGoldenReportsProfiled(t *testing.T) {
 func TestGoldenReportsTraced(t *testing.T) {
 	for _, sc := range goldenScenarios() {
 		sc := sc
-		t.Run(sc.name, func(t *testing.T) {
-			want, err := os.ReadFile(goldenPath(sc.name))
+		t.Run(sc.Name, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(sc.Name))
 			if err != nil {
 				t.Skipf("missing golden (run TestGoldenReports -update-golden first): %v", err)
 			}
-			opts := sc.opts
+			opts := sc.Opts
 			opts.Trace = trace.NewWriter(io.Discard)
-			n, err := netsim.Build(sc.top, opts)
+			n, err := netsim.Build(sc.Top, opts)
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
@@ -239,7 +198,7 @@ func TestGoldenReportsTraced(t *testing.T) {
 				t.Fatalf("encode: %v", err)
 			}
 			if !bytes.Equal(buf.Bytes(), want) {
-				t.Fatalf("traced+scraped run diverged from golden %s", goldenPath(sc.name))
+				t.Fatalf("traced+scraped run diverged from golden %s", goldenPath(sc.Name))
 			}
 		})
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/bianchi"
 	"repro/internal/channel"
 	"repro/internal/comap"
@@ -148,8 +149,26 @@ type Options struct {
 	// ones (asserted by the golden-report suite).
 	Profile *prof.Config
 
+	// Audit, when set, attaches the determinism ledger (internal/audit):
+	// per-time-slice digest chains over the dispatch stream attributed by
+	// subsystem tag, periodic deep digests of channel/MAC/CO-MAP state and
+	// RNG stream cursors, headed by a run manifest. Auditing is purely
+	// observational — audited runs are bit-identical to unaudited ones
+	// (asserted by the golden-ledger suite). Call Network.Audit.Finish via
+	// Run (automatic) and check Network.Audit.Err after the run when a
+	// sink is configured.
+	Audit *AuditConfig
+
 	// Duration of the measured run.
 	Duration time.Duration
+}
+
+// AuditConfig parameterises the determinism ledger attached by Build.
+type AuditConfig struct {
+	audit.Config
+	// Scenario names the run in the ledger manifest; comparisons refuse
+	// ledgers whose scenario names differ.
+	Scenario string
 }
 
 // TestbedOptions returns the paper's testbed configuration (§VI-A):
@@ -267,6 +286,8 @@ type Network struct {
 	MediumMetrics *metrics.Registry
 	// Prof is the attribution profiler (nil unless Options.Profile is set).
 	Prof *prof.Profiler
+	// Audit is the determinism ledger (nil unless Options.Audit is set).
+	Audit *audit.Ledger
 
 	providers map[frame.NodeID]*providerRef
 
@@ -324,10 +345,27 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 	}
 
 	eng := sim.New(opts.Seed)
+	var ledger *audit.Ledger
+	if opts.Audit != nil {
+		// RNG accounting must be armed before the first stream is created
+		// (the medium draws "channel.shadowing" a few lines down), so every
+		// stream's cursor lands in the deep digests.
+		eng.EnableRNGAccounting()
+		ledger = audit.NewLedger(opts.Audit.Config, ManifestFor(opts.Audit.Scenario, top, opts))
+	}
 	var profiler *prof.Profiler
 	if opts.Profile != nil {
 		profiler = prof.New(*opts.Profile)
+	}
+	// Compose dispatch observers without ever storing a typed nil in the
+	// Observer interface.
+	switch {
+	case profiler != nil && ledger != nil:
+		eng.SetObserver(sim.TeeObservers(profiler, ledger))
+	case profiler != nil:
 		eng.SetObserver(profiler)
+	case ledger != nil:
+		eng.SetObserver(ledger)
 	}
 	medium := channel.NewMedium(eng, opts.Prop, opts.PHY.NoiseFloorDBm)
 	if opts.Protocol == ProtocolComap && opts.Header == HeaderEmbedded {
@@ -547,6 +585,18 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		}
 		n.injector.Start()
 	}
+
+	// Determinism ledger: register the deep protocol-state digest sources
+	// in a fixed, sorted order and (tests only) the nondeterminism
+	// injection tick. Registration happens last so every subsystem the
+	// digests read exists.
+	if ledger != nil {
+		n.Audit = ledger
+		n.registerAuditSources(ledger)
+		if opts.Audit.InjectNondet {
+			n.startNondetInjection()
+		}
+	}
 	return n, nil
 }
 
@@ -704,6 +754,9 @@ func (n *Network) Run() *Results {
 	}
 	n.Eng.RunUntil(n.Opts.Duration)
 	n.markDone(time.Since(start))
+	if n.Audit != nil {
+		n.Audit.Finish(n.Opts.Duration)
+	}
 	if n.Opts.Trace != nil {
 		n.Opts.Trace.Record(trace.Event{
 			AtMicros: int64(n.Opts.Duration / time.Microsecond),

@@ -3,6 +3,7 @@ package netsim
 import (
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/comap"
 	"repro/internal/faults"
 	"repro/internal/frame"
@@ -154,6 +155,9 @@ type HealthStatus struct {
 	// counters (see Summary).
 	FallbackDCF   int64 `json:"fallback_dcf"`
 	FallbackAdapt int64 `json:"fallback_adapt"`
+	// Audit carries the determinism ledger's head digest when auditing is
+	// on; a ledger write error degrades the run's health.
+	Audit *audit.Head `json:"audit,omitempty"`
 }
 
 // HealthPolicyStatus is the JSON rendering of comap.HealthPolicy.
@@ -196,6 +200,13 @@ func (n *Network) HealthStatus() HealthStatus {
 	}
 	if h.FallbackDCF > 0 || h.FallbackAdapt > 0 {
 		h.Status = "degraded"
+	}
+	if n.Audit != nil {
+		head := n.Audit.Head()
+		h.Audit = &head
+		if head.Err != "" {
+			h.Status = "degraded"
+		}
 	}
 	return h
 }

@@ -40,4 +40,7 @@ func AttachNetwork(s *Server, name string, n *netsim.Network) {
 	if n.Prof != nil {
 		s.AddProfiler(name, n.Prof)
 	}
+	if n.Audit != nil {
+		s.AddLedger(name, n.Audit)
+	}
 }

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func buildAudited(t *testing.T, sink *bytes.Buffer) *netsim.Network {
+	t.Helper()
+	opts := netsim.TestbedOptions()
+	opts.Protocol = netsim.ProtocolComap
+	opts.Seed = 7
+	opts.Duration = 400 * time.Millisecond
+	opts.Audit = &netsim.AuditConfig{
+		Scenario: "et30",
+		Config:   audit.Config{Sink: sink},
+	}
+	n, err := netsim.Build(topology.ETSweep(30), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestAuditEndpoint runs an audited network while a goroutine hammers
+// /audit, /audit?format=prom and /healthz (the -race build validates that
+// the ledger's head snapshot is safely scrapeable mid-run), then checks the
+// JSON and Prometheus payloads against the finished ledger.
+func TestAuditEndpoint(t *testing.T) {
+	var sink bytes.Buffer
+	n := buildAudited(t, &sink)
+	s := NewServer(Options{})
+	AttachNetwork(s, "et30", n)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, ep := range []string{"/audit", "/audit?format=prom", "/healthz"} {
+				if code, _ := get(t, client, ts.URL+ep); code != http.StatusOK {
+					panic("scrape failed: " + ep)
+				}
+			}
+		}
+	}()
+	n.Run()
+	close(done)
+	<-finished
+
+	// /audit JSON: one head keyed by source, finished and internally
+	// consistent with the ledger the run serialized.
+	_, body := get(t, client, ts.URL+"/audit")
+	var heads map[string]audit.Head
+	if err := json.Unmarshal(body, &heads); err != nil {
+		t.Fatalf("/audit: %v\n%s", err, body)
+	}
+	h, ok := heads["et30"]
+	if !ok {
+		t.Fatalf("/audit missing source et30: %s", body)
+	}
+	if !h.Finished || h.Events == 0 || h.Slices == 0 || h.Head == "" {
+		t.Fatalf("head = %+v", h)
+	}
+	if h.Chains["mac"] == "" || h.Chains["channel"] == "" {
+		t.Fatalf("head chains incomplete: %+v", h.Chains)
+	}
+	if h.Err != "" {
+		t.Fatalf("ledger error surfaced: %s", h.Err)
+	}
+	want := n.Audit.Head()
+	if h.Head != want.Head || h.Events != want.Events {
+		t.Fatalf("served head %+v != ledger head %+v", h, want)
+	}
+
+	// /audit?format=prom: the comap_audit_* families with the head digest
+	// carried as an info-metric label.
+	_, body = get(t, client, ts.URL+"/audit?format=prom")
+	promOut := string(body)
+	for _, wantLine := range []string{
+		"# TYPE comap_audit_events_total counter",
+		`comap_audit_events_total{source="et30"}`,
+		"# TYPE comap_audit_slices_total counter",
+		"# TYPE comap_audit_deep_slices_total counter",
+		"# TYPE comap_audit_head_info gauge",
+		`head="` + want.Head + `"`,
+	} {
+		if !strings.Contains(promOut, wantLine) {
+			t.Errorf("prom exposition missing %q:\n%.800s", wantLine, promOut)
+		}
+	}
+
+	// /healthz carries the ledger head alongside the fault summary.
+	_, body = get(t, client, ts.URL+"/healthz")
+	if !strings.Contains(string(body), `"audit"`) {
+		t.Fatalf("/healthz does not embed the audit head:\n%s", body)
+	}
+}
+
+// TestAuditEndpointWithoutLedger locks in the empty-state payload and the
+// nil-safety of AddLedger on both sides.
+func TestAuditEndpointWithoutLedger(t *testing.T) {
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := get(t, ts.Client(), ts.URL+"/audit")
+	if code != http.StatusOK {
+		t.Fatalf("GET /audit: status %d", code)
+	}
+	if got := strings.TrimSpace(string(body)); got != "{}" {
+		t.Fatalf("GET /audit = %q, want empty object", got)
+	}
+	s.AddLedger("x", nil)
+	var nilServer *Server
+	nilServer.AddLedger("x", audit.NewLedger(audit.Config{}, audit.Manifest{Scenario: "x"}))
+}

@@ -11,6 +11,9 @@
 //     sampled wall time (JSON, or comap_prof_* families with ?format=prom),
 //   - /flight   — the flight recorder's ring of recent events (?dump=1 also
 //     writes it to the profile dir),
+//   - /audit    — the determinism ledger's live head digest, per-subsystem
+//     hash chains and slice/event totals (JSON, or comap_audit_* families
+//     with ?format=prom),
 //   - /debug/pprof/ — the standard Go profiling endpoints, plus
 //     /debug/profile/{cpu,heap} capturing profiles into a results dir.
 //
@@ -37,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/metrics"
 	"repro/internal/prof"
 )
@@ -70,6 +74,7 @@ type Server struct {
 	runs      map[string]RunFunc
 	health    map[string]HealthFunc
 	profilers map[string]*prof.Profiler
+	ledgers   map[string]*audit.Ledger
 
 	srv *http.Server
 	ln  net.Listener
@@ -89,6 +94,7 @@ func NewServer(opts Options) *Server {
 		runs:      make(map[string]RunFunc),
 		health:    make(map[string]HealthFunc),
 		profilers: make(map[string]*prof.Profiler),
+		ledgers:   make(map[string]*audit.Ledger),
 	}
 }
 
@@ -154,6 +160,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/audit", s.handleAudit)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -224,6 +231,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /runs               live run progress (speedup, events/s, sliced goodput)")
 	fmt.Fprintln(w, "  /profile            per-subsystem event/wall-time attribution (JSON; ?format=prom)")
 	fmt.Fprintln(w, "  /flight             flight-recorder ring of recent events (?dump=1 writes a file)")
+	fmt.Fprintln(w, "  /audit              determinism-ledger head digest and per-tag chains (JSON; ?format=prom)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go profiling endpoints")
 	fmt.Fprintln(w, "  /debug/profile/cpu  capture a CPU profile to the results dir (?seconds=N)")
 	fmt.Fprintln(w, "  /debug/profile/heap capture a heap profile to the results dir")

@@ -124,9 +124,11 @@ type FlightDump struct {
 }
 
 // DumpTo writes the ring's contents as JSON into dir (created if needed)
-// and returns the file path. The file name carries the reason and the
-// total-record count, so successive dumps of one run never collide.
-func (f *Flight) DumpTo(dir, reason string) (string, error) {
+// and returns the file path. The file name carries the run id (when given),
+// the reason and the total-record count, so successive dumps of one run —
+// and same-reason dumps of different runs sharing a directory — never
+// collide.
+func (f *Flight) DumpTo(dir, runID, reason string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("prof: flight dump dir: %w", err)
 	}
@@ -135,20 +137,25 @@ func (f *Flight) DumpTo(dir, reason string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("flight-%s-%d.json", sanitizeReason(reason), d.Total))
+	name := fmt.Sprintf("flight-%s-%d.json", sanitizeReason(reason), d.Total)
+	if runID != "" {
+		name = fmt.Sprintf("flight-%s-%s-%d.json", sanitizeReason(runID), sanitizeReason(reason), d.Total)
+	}
+	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return "", fmt.Errorf("prof: flight dump: %w", err)
 	}
 	return path, nil
 }
 
-// DumpFlight dumps the profiler's flight ring into its configured dir.
-// No-op ("" path, nil error) when the recorder is disabled.
+// DumpFlight dumps the profiler's flight ring into its configured dir,
+// namespaced by the profiler's run id. No-op ("" path, nil error) when the
+// recorder is disabled.
 func (p *Profiler) DumpFlight(reason string) (string, error) {
 	if p == nil || p.flight == nil {
 		return "", nil
 	}
-	return p.flight.DumpTo(p.cfg.Dir, reason)
+	return p.flight.DumpTo(p.cfg.Dir, p.cfg.RunID, reason)
 }
 
 // sanitizeReason keeps dump file names portable.

@@ -18,6 +18,7 @@
 package prof
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -35,7 +36,16 @@ type Config struct {
 	FlightEvents int
 	// Dir is where flight dumps land (default "results/profiles").
 	Dir string
+	// RunID namespaces this profiler's flight-dump filenames
+	// (flight-<runid>-<reason>-<total>.json). Several runs in one process —
+	// a comap-experiments grid — can dump the same reason and total into
+	// one directory, which used to overwrite silently; a per-run id keeps
+	// the files apart. Empty defaults to a process-unique "runN".
+	RunID string
 }
+
+// runSeq numbers profilers process-wide for the RunID default.
+var runSeq atomic.Uint64
 
 func (c *Config) applyDefaults() {
 	if c.SampleEvery <= 0 {
@@ -46,6 +56,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Dir == "" {
 		c.Dir = "results/profiles"
+	}
+	if c.RunID == "" {
+		c.RunID = fmt.Sprintf("run%d", runSeq.Add(1))
 	}
 }
 

@@ -164,7 +164,7 @@ func TestDumpToWritesJSON(t *testing.T) {
 	f := NewFlight(16)
 	f.Record(3*time.Millisecond, sim.TagMAC, 2)
 	f.Record(4*time.Millisecond, sim.TagFaults, sim.NoOwner)
-	path, err := f.DumpTo(filepath.Join(dir, "sub"), "fault outage/1")
+	path, err := f.DumpTo(filepath.Join(dir, "sub"), "", "fault outage/1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,6 +187,38 @@ func TestDumpToWritesJSON(t *testing.T) {
 	}
 	if !strings.HasSuffix(string(data), "\n") {
 		t.Error("dump file must end with a newline")
+	}
+}
+
+// TestDumpFlightRunIDNamespacing pins the fix for same-process collisions:
+// two profilers dumping the same reason and record count into one directory
+// must produce two files, and an explicit RunID lands in the name.
+func TestDumpFlightRunIDNamespacing(t *testing.T) {
+	dir := t.TempDir()
+	dump := func(cfg Config) string {
+		cfg.FlightEvents = 16
+		cfg.Dir = dir
+		p := New(cfg)
+		p.OnEvent(time.Millisecond, sim.TagMAC, 1)
+		path, err := p.DumpFlight("fault-outage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := dump(Config{})
+	b := dump(Config{})
+	if a == b {
+		t.Fatalf("default run ids collided: both dumps landed at %s", a)
+	}
+	for _, p := range []string{a, b} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("dump missing: %v", err)
+		}
+	}
+	c := dump(Config{RunID: "seed 42"})
+	if base := filepath.Base(c); base != "flight-seed_42-fault-outage-1.json" {
+		t.Errorf("explicit RunID dump name = %q (run id must be sanitized into the name)", base)
 	}
 }
 

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RNG stream accounting for the determinism audit plane (internal/audit):
+// when enabled, every named stream handed out by Engine.RNG is wrapped in a
+// draw-counting source, and the per-stream cursors (source-level draws
+// consumed so far) become part of the ledger's deep digests. Two runs that
+// have consumed a different number of draws from any stream have already
+// diverged, even if their event chains happen to still agree — the cursor
+// digest catches RNG-consuming divergences at the slice they occur.
+
+// EnableRNGAccounting turns on draw counting for all subsequently created
+// RNG streams. It must be called before the first RNG() call (stream
+// construction order is part of the deterministic contract, so retrofitting
+// existing streams is deliberately unsupported). Counters are maintained
+// and read on the simulation goroutine only.
+func (e *Engine) EnableRNGAccounting() {
+	if e.rngCounts == nil {
+		e.rngCounts = make(map[string]*uint64)
+	}
+}
+
+// RNGCursors returns a snapshot of per-stream draw counts (source-level
+// draws, which rand.Rand consumes deterministically per call). Empty unless
+// EnableRNGAccounting was called. Simulation goroutine only.
+func (e *Engine) RNGCursors() map[string]uint64 {
+	out := make(map[string]uint64, len(e.rngCounts))
+	for name, n := range e.rngCounts {
+		out[name] = *n
+	}
+	return out
+}
+
+// wrapCounting wraps src so every source-level draw bumps *n. The wrapper
+// preserves the Source64 fast path when the underlying source has one:
+// rand.Rand draws differently from a plain Source (two Int63 calls per
+// Uint64) than from a Source64, so dropping the interface would change the
+// stream and break bit-compatibility with unaudited runs.
+func wrapCounting(src rand.Source, n *uint64) rand.Source {
+	if s64, ok := src.(rand.Source64); ok {
+		return &countingSource64{src: s64, n: n}
+	}
+	return &countingSource{src: src, n: n}
+}
+
+type countingSource struct {
+	src rand.Source
+	n   *uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	*c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+type countingSource64 struct {
+	src rand.Source64
+	n   *uint64
+}
+
+func (c *countingSource64) Int63() int64 {
+	*c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource64) Uint64() uint64 {
+	*c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource64) Seed(seed int64) { c.src.Seed(seed) }
+
+// TeeObservers composes dispatch observers: each OnEvent fans out in
+// argument order. Nil interface entries are dropped (note: a typed nil
+// pointer stored in an Observer is NOT nil here — callers must only pass
+// concrete observers they have nil-checked). Returns nil when nothing
+// remains — safe to hand to SetObserver either way.
+func TeeObservers(obs ...Observer) Observer {
+	live := obs[:0:0]
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeObserver(live)
+}
+
+type teeObserver []Observer
+
+func (t teeObserver) OnEvent(at time.Duration, tag Tag, owner int32) {
+	for _, o := range t {
+		o.OnEvent(at, tag, owner)
+	}
+}

@@ -81,6 +81,10 @@ type Engine struct {
 	// (tags.go).
 	livePending atomic.Int64
 	livePool    atomic.Int64
+
+	// Per-stream RNG draw counters for the audit plane (rngaudit.go);
+	// nil unless EnableRNGAccounting was called before stream creation.
+	rngCounts map[string]*uint64
 }
 
 // New returns an engine with its clock at zero, seeded with seed.
@@ -209,7 +213,16 @@ func (e *Engine) Pending() int { return e.pending }
 func (e *Engine) RNG(name string) *rand.Rand {
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	return rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+	src := rand.NewSource(e.seed ^ int64(h.Sum64()))
+	if e.rngCounts != nil {
+		n := e.rngCounts[name]
+		if n == nil {
+			n = new(uint64)
+			e.rngCounts[name] = n
+		}
+		src = wrapCounting(src, n)
+	}
+	return rand.New(src)
 }
 
 // eventQueue is a min-heap ordered by (at, seq).
