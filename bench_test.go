@@ -99,3 +99,9 @@ func BenchmarkBianchiGoodput(b *testing.B) {
 func BenchmarkSimulatorSecond(b *testing.B) {
 	benchScenario(b, "simulator-second")
 }
+
+// --- control-plane service load -------------------------------------------
+
+func BenchmarkMapsvcIngest(b *testing.B) {
+	benchScenario(b, "mapsvc-ingest")
+}

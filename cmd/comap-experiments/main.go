@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -33,6 +34,8 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "write per-run JSONL lifecycle traces into this directory (see comap-trace)")
 	auditDir := flag.String("audit-dir", "", "write per-run determinism ledgers into this directory (see comap-audit)")
 	httpAddr := flag.String("http", "", `serve per-figure progress and pprof on this address, e.g. ":8080"`)
+	comapRemote := flag.Bool("comap-remote", false, "route CO-MAP cells' verdicts through the mapsvc control plane (bit-identical without -rpc-faults)")
+	rpcFaults := flag.String("rpc-faults", "", `control-plane RPC fault spec for CO-MAP cells (requires -comap-remote), e.g. "rpcloss:p=0.2,at=1s,dur=500ms"`)
 	flag.Parse()
 	svgDir = *svg
 	jsonDir = *jsonOut
@@ -57,6 +60,23 @@ func main() {
 	}
 	opts.TraceDir = *traceDir
 	opts.AuditDir = *auditDir
+	opts.ComapRemote = *comapRemote
+	if *rpcFaults != "" {
+		if !*comapRemote {
+			fmt.Fprintln(os.Stderr, "comap-experiments: -rpc-faults requires -comap-remote (there is no control plane to fault)")
+			os.Exit(2)
+		}
+		spec, err := faults.Parse(*rpcFaults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comap-experiments: bad -rpc-faults spec: %v\n", err)
+			os.Exit(2)
+		}
+		if spec.HasNonRPC() {
+			fmt.Fprintln(os.Stderr, "comap-experiments: -rpc-faults accepts only rpc fault kinds (rpcloss, rpcdelay, rpcpartition, rpcrestart)")
+			os.Exit(2)
+		}
+		opts.RPCFaults = spec
+	}
 
 	var admin *obs.Server
 	if *httpAddr != "" {

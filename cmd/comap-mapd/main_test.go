@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/loc"
+	"repro/internal/mapsvc"
+)
+
+// buildMapd compiles the comap-mapd binary once into a temp dir.
+func buildMapd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "comap-mapd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// chaosDataDir returns the daemon's data directory for a test: a throwaway
+// TempDir normally, or a kept directory under $MAPD_CHAOS_DIR so CI can
+// archive the snapshot/WAL files of a failed run.
+func chaosDataDir(t *testing.T) string {
+	t.Helper()
+	parent := os.Getenv("MAPD_CHAOS_DIR")
+	if parent == "" {
+		return t.TempDir()
+	}
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp(parent, strings.ReplaceAll(t.Name(), "/", "-")+"-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// mapd is one running comap-mapd process and its parsed listen address.
+type mapd struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startMapd launches the daemon on an ephemeral port and waits for the
+// "serving on" line to learn the bound address.
+func startMapd(t *testing.T, bin, dataDir string) *mapd {
+	t.Helper()
+	cmd := exec.Command(bin, "-data", dataDir, "-http", "127.0.0.1:0")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "comap-mapd: serving on http://"); ok {
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &mapd{cmd: cmd, addr: addr}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("comap-mapd did not report its listen address")
+		return nil
+	}
+}
+
+func (m *mapd) url(path string) string { return "http://" + m.addr + path }
+
+func (m *mapd) status(t *testing.T) mapsvc.ServiceStatus {
+	t.Helper()
+	resp, err := http.Get(m.url("/v1/status"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/status = %s", resp.Status)
+	}
+	var st mapsvc.ServiceStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// testRecords is a small topology: four stations with committed fixes.
+func testRecords() []mapsvc.IngestRecord {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 10), geom.Pt(300, 0), geom.Pt(300, 10), geom.Pt(150, 5)}
+	recs := make([]mapsvc.IngestRecord, 0, len(pts))
+	for i, p := range pts {
+		recs = append(recs, mapsvc.IngestRecord{
+			Op:   mapsvc.RecReport,
+			Node: frame.NodeID(i + 1),
+			Fix:  loc.Fix{Pos: p, ReportedAt: time.Second, ErrorRadiusMeters: 1},
+		})
+	}
+	return recs
+}
+
+// TestKillRestartRecovers is the crash-safety contract end to end: ingest
+// into a live daemon, SIGKILL it (no graceful snapshot), restart on the same
+// data directory, and require the registry back via WAL replay with verdicts
+// served from the recovered state.
+func TestKillRestartRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildMapd(t)
+	dataDir := chaosDataDir(t)
+	recs := testRecords()
+
+	m := startMapd(t, bin, dataDir)
+	resp, err := http.Post(m.url("/v1/ingest"), "application/octet-stream",
+		bytes.NewReader(mapsvc.EncodeRecords(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/ingest = %s", resp.Status)
+	}
+	st := m.status(t)
+	if st.Fixes != int64(len(recs)) || st.WALRecords != int64(len(recs)) {
+		t.Fatalf("pre-kill status: fixes=%d wal_records=%d, want %d", st.Fixes, st.WALRecords, len(recs))
+	}
+
+	// SIGKILL: no snapshot, no WAL truncation — the durable state is
+	// exactly the appended log.
+	if err := m.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	m.cmd.Wait()
+
+	m2 := startMapd(t, bin, dataDir)
+	defer func() {
+		m2.cmd.Process.Kill()
+		m2.cmd.Wait()
+	}()
+	st2 := m2.status(t)
+	if st2.Fixes != int64(len(recs)) {
+		t.Errorf("post-restart fixes = %d, want %d", st2.Fixes, len(recs))
+	}
+	if st2.WALReplayed != int64(len(recs)) {
+		t.Errorf("post-restart wal_replayed = %d, want %d", st2.WALReplayed, len(recs))
+	}
+	if st2.Recoveries != 1 {
+		t.Errorf("post-restart recoveries = %d, want 1", st2.Recoveries)
+	}
+
+	// The recovered registry must serve verdicts immediately.
+	vr, err := http.Get(m2.url("/v1/verdict?obs=3&src=1&dst=2&mydst=4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vr.Body.Close()
+	if vr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/verdict = %s", vr.Status)
+	}
+	var vres struct {
+		Verdict mapsvc.Verdict `json:"verdict"`
+		Epoch   uint64         `json:"epoch"`
+	}
+	if err := json.NewDecoder(vr.Body).Decode(&vres); err != nil {
+		t.Fatal(err)
+	}
+	if vres.Epoch != st2.Epoch {
+		t.Errorf("verdict epoch = %d, status epoch = %d", vres.Epoch, st2.Epoch)
+	}
+	if vres.Verdict.Unhealthy {
+		t.Error("verdict unhealthy with all fixes present and health gating off")
+	}
+
+	// Health plane reflects the service.
+	hr, err := http.Get(m2.url("/healthz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %s", hr.Status)
+	}
+}
+
+// TestGracefulShutdownSnapshots checks SIGTERM takes a final snapshot and
+// truncates the WAL, so the next start replays zero WAL records.
+func TestGracefulShutdownSnapshots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildMapd(t)
+	dataDir := chaosDataDir(t)
+	recs := testRecords()
+
+	m := startMapd(t, bin, dataDir)
+	resp, err := http.Post(m.url("/v1/ingest"), "application/octet-stream",
+		bytes.NewReader(mapsvc.EncodeRecords(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := m.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exit: %v", err)
+	}
+	snap, err := os.Stat(filepath.Join(dataDir, "snapshot.dat"))
+	if err != nil {
+		t.Fatalf("no snapshot after SIGTERM: %v", err)
+	}
+	if snap.Size() == 0 {
+		t.Error("empty snapshot")
+	}
+
+	m2 := startMapd(t, bin, dataDir)
+	defer func() {
+		m2.cmd.Process.Kill()
+		m2.cmd.Wait()
+	}()
+	st := m2.status(t)
+	if st.Fixes != int64(len(recs)) {
+		t.Errorf("post-restart fixes = %d, want %d", st.Fixes, len(recs))
+	}
+	if st.WALReplayed != 0 {
+		t.Errorf("post-restart wal_replayed = %d, want 0 (snapshot covers all)", st.WALReplayed)
+	}
+}
+
+// TestBadRegimeFails locks the fail-fast flag contract of the daemon.
+func TestBadRegimeFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildMapd(t)
+	out, err := exec.Command(bin, "-regime", "bogus").CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad -regime accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-regime") && !strings.Contains(string(out), "regime") {
+		t.Errorf("error does not name the flag: %s", out)
+	}
+}

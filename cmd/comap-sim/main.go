@@ -59,6 +59,8 @@ func run() error {
 		reportPath  = flag.String("report", "", "write a JSON run report to this file")
 		slice       = flag.Duration("slice", 0, "goodput time-slice interval for the report (0 = no slicing)")
 		faultSpec   = flag.String("faults", "", `fault-injection spec, e.g. "locloss:p=0.3;outage:node=2,at=1s,dur=500ms"`)
+		comapRemote = flag.Bool("comap-remote", false, "comap: route verdicts through the mapsvc control plane (deterministic in-process transport)")
+		rpcFaults   = flag.String("rpc-faults", "", `control-plane RPC fault spec (requires -comap-remote), e.g. "rpcloss:p=0.2,at=1s,dur=500ms;rpcrestart:at=2s,dur=300ms"`)
 		httpAddr    = flag.String("http", "", `serve the live observability plane on this address, e.g. ":8080" (metrics, health, runs, pprof)`)
 		profile     = flag.Bool("profile", false, "attach the subsystem profiler and print per-tag attribution after the run")
 		flightN     = flag.Int("flight", 0, "with -profile: flight-recorder ring capacity, rounded up to a power of two (0 = default 4096, negative disables)")
@@ -72,6 +74,10 @@ func run() error {
 		return err
 	}
 	if err := validateProfileFlags(*profile, *flightN, *profileOut); err != nil {
+		return err
+	}
+	rpcSpec, err := validateRemoteFlags(*protocol, *comapRemote, *rpcFaults, spec)
+	if err != nil {
 		return err
 	}
 
@@ -109,6 +115,8 @@ func run() error {
 	opts.Seed = *seed
 	opts.Duration = *duration
 	opts.Faults = spec
+	opts.ComapRemote = *comapRemote
+	opts.RPCFaults = rpcSpec
 	opts.CBRBitsPerSec = *cbr
 	opts.PositionErrorMeters = *posErr
 	if *payload > 0 {
@@ -296,6 +304,34 @@ func validateFlags(duration, slice time.Duration, posErr, cbr float64, payload, 
 	spec, err := faults.Parse(faultSpec)
 	if err != nil {
 		return nil, fmt.Errorf("bad -faults spec: %w", err)
+	}
+	return spec, nil
+}
+
+// validateRemoteFlags checks the control-plane knobs: -comap-remote only
+// makes sense under the CO-MAP protocol, -rpc-faults only with a control
+// plane to fault, and the two fault flags partition the fault kinds — rpc
+// kinds target the control-plane transport, everything else targets
+// stations. Each violation names the flag to fix.
+func validateRemoteFlags(protocol string, remote bool, rpcFaultSpec string, faultSpec *faults.Spec) (*faults.Spec, error) {
+	if faultSpec.HasRPC() {
+		return nil, fmt.Errorf("-faults contains rpc fault kinds; control-plane faults belong in -rpc-faults")
+	}
+	if remote && protocol != "comap" {
+		return nil, fmt.Errorf("-comap-remote requires -protocol comap (got %q)", protocol)
+	}
+	if rpcFaultSpec == "" {
+		return nil, nil
+	}
+	if !remote {
+		return nil, fmt.Errorf("-rpc-faults requires -comap-remote (there is no control plane to fault)")
+	}
+	spec, err := faults.Parse(rpcFaultSpec)
+	if err != nil {
+		return nil, fmt.Errorf("bad -rpc-faults spec: %w", err)
+	}
+	if spec.HasNonRPC() {
+		return nil, fmt.Errorf("-rpc-faults accepts only rpc fault kinds (rpcloss, rpcdelay, rpcpartition, rpcrestart); station faults belong in -faults")
 	}
 	return spec, nil
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // TestValidateFlagsHTTPAddr locks in fail-fast -http validation: the flag
@@ -44,6 +46,59 @@ func TestValidateFlagsExisting(t *testing.T) {
 	spec, err := validateFlags(time.Second, 0, 0, 0, 0, 0, "locloss:p=0.5", "")
 	if err != nil || spec == nil {
 		t.Errorf("valid fault spec rejected: %v", err)
+	}
+}
+
+// TestValidateRemoteFlags pins the control-plane flag contract: every
+// invalid combination fails fast with an error naming the flag to fix, and
+// the two fault flags partition the fault kinds.
+func TestValidateRemoteFlags(t *testing.T) {
+	parse := func(s string) *faults.Spec {
+		t.Helper()
+		spec, err := faults.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	cases := []struct {
+		name      string
+		protocol  string
+		remote    bool
+		rpcSpec   string
+		faultSpec *faults.Spec
+		wantErr   string // empty = ok
+	}{
+		{"plain-comap", "comap", false, "", nil, ""},
+		{"remote-no-faults", "comap", true, "", nil, ""},
+		{"remote-with-rpc-faults", "comap", true, "rpcloss:p=0.2", nil, ""},
+		{"remote-full-chaos", "comap", true,
+			"rpcdelay:d=2ms,at=1s,dur=500ms;rpcrestart:at=2s,dur=300ms", parse("churn:node=2,at=1s,dur=300ms"), ""},
+		{"remote-on-dcf", "dcf", true, "", nil, "-comap-remote requires -protocol comap"},
+		{"rpc-faults-without-remote", "comap", false, "rpcloss:p=0.2", nil, "-rpc-faults requires -comap-remote"},
+		{"rpc-kind-in-faults", "comap", true, "", parse("rpcloss:p=0.2"), "belong in -rpc-faults"},
+		{"station-kind-in-rpc-faults", "comap", true, "locloss:p=0.2", nil, "only rpc fault kinds"},
+		{"garbage-rpc-spec", "comap", true, "bogus-kind:", nil, "bad -rpc-faults spec"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := validateRemoteFlags(c.protocol, c.remote, c.rpcSpec, c.faultSpec)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if (spec != nil) != (c.rpcSpec != "") {
+					t.Fatalf("spec = %v for rpc flag %q", spec, c.rpcSpec)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid combination accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
 	}
 }
 

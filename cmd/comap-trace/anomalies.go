@@ -112,6 +112,17 @@ type anomalyReport struct {
 	fallbacks int
 	byReason  map[string]int
 	meanBps   float64 // whole-run delivered goodput, the dip baseline
+
+	// Control-plane degradation-ladder transitions ("co.ladder" events,
+	// remote CO-MAP runs only), on the same timeline as the fault windows.
+	ladder []ladderStep
+}
+
+// ladderStep is one degradation-ladder transition of the control-plane
+// client, e.g. "fresh->dcf".
+type ladderStep struct {
+	atUs   int64
+	change string
 }
 
 // findAnomalies runs all detectors over a decoded trace.
@@ -287,6 +298,8 @@ func (rep *anomalyReport) scanFaults(events []trace.Event, spans []*span.Span) {
 				rep.byReason = make(map[string]int)
 			}
 			rep.byReason[e.Reason]++
+		case trace.KindCoLadder:
+			rep.ladder = append(rep.ladder, ladderStep{atUs: e.AtMicros, change: e.Reason})
 		}
 	}
 	if len(rep.faults) == 0 && rep.fallbacks == 0 {
@@ -406,6 +419,13 @@ func (rep *anomalyReport) print(w io.Writer) {
 	for _, f := range rep.etFails {
 		fmt.Fprintf(w, "  t=%9.3fms %-12s dropped (%s) after %d retries\n",
 			ms(f.atUs), f.link, f.reason, f.retries)
+	}
+
+	if len(rep.ladder) > 0 {
+		fmt.Fprintf(w, "\ncontrol-plane ladder transitions: %d\n", len(rep.ladder))
+		for _, l := range rep.ladder {
+			fmt.Fprintf(w, "  t=%9.3fms %s\n", ms(l.atUs), l.change)
+		}
 	}
 
 	if len(rep.faults) == 0 && rep.fallbacks == 0 {

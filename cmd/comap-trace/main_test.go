@@ -214,6 +214,34 @@ func TestAnomaliesAttributesFaults(t *testing.T) {
 	}
 }
 
+const ladderTrace = `{"at_us":100,"node":1,"kind":"mac.enqueue","frame":"DATA","src":1,"dst":2,"seq":0,"payload":1000}
+{"at_us":200000,"node":1,"kind":"mac.ack","frame":"DATA","src":1,"dst":2,"seq":0}
+{"at_us":500000,"node":0,"kind":"fault","src":0,"reason":"rpcpartition","dur_us":800000}
+{"at_us":918011,"node":0,"kind":"co.ladder","reason":"fresh->dcf"}
+{"at_us":1541986,"node":0,"kind":"co.ladder","reason":"dcf->fresh"}
+`
+
+// TestAnomaliesListsLadderTransitions checks the control-plane ladder
+// section: every co.ladder event lands on the timeline next to the injected
+// RPC fault windows.
+func TestAnomaliesListsLadderTransitions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ladder.jsonl")
+	if err := os.WriteFile(path, []byte(ladderTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOut(t, "anomalies", path)
+	for _, want := range []string{
+		"control-plane ladder transitions: 2",
+		"fresh->dcf",
+		"dcf->fresh",
+		"rpcpartition",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("anomalies output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestAnomaliesNoFaultSectionOnCleanTrace keeps fault-free traces free of
 // the fault section (and the golden outputs stable).
 func TestAnomaliesNoFaultSectionOnCleanTrace(t *testing.T) {

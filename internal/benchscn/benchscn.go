@@ -255,6 +255,7 @@ func Scenarios() []Scenario {
 			Quick:   true,
 			Prepare: ablation(true, func(o *netsim.Options) { o.Protocol = netsim.ProtocolDCF }),
 		},
+		mapsvcIngest(),
 		{
 			Name:  "bianchi-goodput",
 			Desc:  "hot path: one Bianchi goodput evaluation",

@@ -113,6 +113,14 @@ type Agent struct {
 	health HealthPolicy
 	now    func() time.Duration
 
+	// fixFn is the agent's provider view as a FixFunc (bound once so the
+	// hot path does not allocate a method-value closure per decision).
+	fixFn FixFunc
+
+	// remote, when set, answers co-occurrence-map misses through the mapsvc
+	// control plane instead of computing in-process (see SetRemote).
+	remote RemoteVerdicts
+
 	// Telemetry (nil-safe; see SetMetrics).
 	mHeaders       *metrics.Counter
 	mHit           *metrics.Counter
@@ -134,13 +142,21 @@ type Agent struct {
 // NewAgent builds an agent for node id over the given analysis model and
 // location provider.
 func NewAgent(id frame.NodeID, model Model, locs loc.Provider) *Agent {
-	return &Agent{
+	a := &Agent{
 		id:    id,
 		model: model,
 		locs:  locs,
 		cmap:  NewCoOccurrenceMap(),
 		seen:  make(map[Link]time.Duration),
 	}
+	a.fixFn = a.fixOf
+	return a
+}
+
+// judgeView snapshots the agent's decision inputs as a Judge. It is a cheap
+// value construction; the Judge shares the agent's rate slice and clock.
+func (a *Agent) judgeView() Judge {
+	return Judge{Model: a.model, Rates: a.rates, Health: a.health, Now: a.now}
 }
 
 // SetMetrics attaches a telemetry registry: discovery-header observations
@@ -300,15 +316,16 @@ func (a *Agent) Allowed(ongoingSrc, ongoingDst, myDst frame.NodeID) bool {
 			return false
 		}
 	}
+	if a.remote != nil {
+		return a.remoteAllowed(ongoing, myDst)
+	}
 	if allowed, found := a.cmap.Lookup(ongoing, myDst); found {
 		a.mHit.Inc()
 		a.emitVerdict(ongoing, myDst, allowed, "cached")
 		return allowed
 	}
 	a.mMiss.Inc()
-	allowed := a.model.Coexist(a.locs, ongoingSrc, ongoingDst, a.id, myDst) &&
-		a.rateEconomical(a.id, myDst, ongoingSrc) &&
-		a.rateEconomical(ongoingSrc, ongoingDst, a.id)
+	allowed := a.judgeView().Decide(a.fixFn, a.id, ongoing, myDst)
 	a.cmap.Insert(ongoing, myDst, allowed)
 	if allowed {
 		a.mAllow.Inc()
@@ -322,69 +339,15 @@ func (a *Agent) Allowed(ongoingSrc, ongoingDst, myDst frame.NodeID) bool {
 
 // rateEconomical reports whether the link src→dst, under interference from
 // interferer, still supports at least concurrencyFloorFactor of the bitrate
-// it would sustain alone. With no rate set installed the check is skipped.
+// it would sustain alone (the computation lives on Judge so the mapsvc
+// control plane runs the identical code).
 func (a *Agent) rateEconomical(src, dst, interferer frame.NodeID) bool {
-	if len(a.rates) == 0 {
-		return true
-	}
-	fs, ok1 := a.fixOf(src)
-	fd, ok2 := a.fixOf(dst)
-	fi, ok3 := a.fixOf(interferer)
-	if !ok1 || !ok2 || !ok3 {
-		return false
-	}
-	d := fs.Pos.DistanceTo(fd.Pos)
-	r := fi.Pos.DistanceTo(fd.Pos)
-	if a.useWorstCaseGeometry() {
-		// Worst case within the reported error radii: own link longer,
-		// interferer closer to the receiver.
-		d += fs.ErrorRadiusMeters + fd.ErrorRadiusMeters
-		r -= fi.ErrorRadiusMeters + fd.ErrorRadiusMeters
-		if r < minWorstCaseMeters {
-			r = minWorstCaseMeters
-		}
-	}
-	age, _, healthy := a.fixHealth(src, dst, interferer)
-	if !healthy {
-		return false
-	}
-	sir := a.model.Prop.PathLossDB(r) - a.model.Prop.PathLossDB(d)
-	margin := math.Sqrt2*a.model.Prop.SigmaDB + a.stalenessMarginDB(age)
-	capped, ok := a.fastestForSIR(sir - margin)
-	if !ok {
-		return false
-	}
-	alone := a.fastestAlone(d)
-	return capped.BitsPerSec >= concurrencyFloorFactor*alone.BitsPerSec
+	return a.judgeView().rateEconomical(a.fixFn, src, dst, interferer)
 }
 
 // minWorstCaseMeters floors worst-case interferer distance so error radii
 // larger than the separation cannot produce a non-positive distance.
 const minWorstCaseMeters = 1.0
-
-// fastestForSIR returns the fastest rate decodable at the given SIR margin.
-func (a *Agent) fastestForSIR(sirDB float64) (phy.Rate, bool) {
-	var best phy.Rate
-	for _, r := range a.rates {
-		if r.MinSIRdB <= sirDB && r.BitsPerSec > best.BitsPerSec {
-			best = r
-		}
-	}
-	return best, !best.IsZero()
-}
-
-// fastestAlone returns the fastest rate the link supports without
-// interference, one shadowing deviation below the mean received power.
-func (a *Agent) fastestAlone(d float64) phy.Rate {
-	rx := a.model.TxPowerDBm - a.model.Prop.PathLossDB(d) - a.model.Prop.SigmaDB
-	best := a.slowestRate()
-	for _, r := range a.rates {
-		if r.SensitivityDBm <= rx && r.BitsPerSec > best.BitsPerSec {
-			best = r
-		}
-	}
-	return best
-}
 
 // OnPositionsChanged invalidates cached verdicts after location updates.
 func (a *Agent) OnPositionsChanged() {

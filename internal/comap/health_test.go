@@ -200,6 +200,50 @@ func TestCountEnvironmentFallsBackOnUnhealthyLink(t *testing.T) {
 	}
 }
 
+// TestChurnRejoinWithinTTLRecomputesVerdict races per-node invalidation
+// against churn: a peer leaves and rejoins at a new position within one fix
+// TTL, so every fix involved still passes the health gate's age bound. Only
+// the OnStationChanged invalidation stands between the agent and serving the
+// pre-churn cached verdict — which the new geometry has made wrong.
+func TestChurnRejoinWithinTTLRecomputesVerdict(t *testing.T) {
+	now := 10 * time.Second
+	fixes := separatedFixes(now)
+	a := healthAgent(fixes, func() time.Duration { return now })
+	reg := metrics.NewRegistry()
+	a.SetMetrics(reg)
+
+	if !a.Allowed(1, 10, 11) {
+		t.Fatal("separated links should be allowed")
+	}
+	if a.Map().Len() != 1 {
+		t.Fatal("verdict not cached")
+	}
+
+	// Node 10 leaves the network...
+	delete(fixes, 10)
+	a.OnStationChanged(10)
+	if a.Map().Len() != 0 {
+		t.Fatal("cached verdicts involving the departed node survived")
+	}
+
+	// ...and rejoins 200 ms later — well inside the 1 s MaxFixAge — right
+	// next to the observer, so the ongoing link's receiver would now be
+	// crushed by the observer's transmission.
+	now += 200 * time.Millisecond
+	fixes[10] = loc.Fix{Pos: geom.Pt(51, 0), ReportedAt: now}
+	a.OnStationChanged(10)
+
+	if a.Allowed(1, 10, 11) {
+		t.Error("pre-churn cached allow served after rejoin: invalidation lost the race")
+	}
+	if hits, misses := a.Map().Hits(), a.Map().Misses(); hits != 0 || misses != 2 {
+		t.Errorf("map hits/misses = %d/%d, want 0/2 (both decisions recomputed)", hits, misses)
+	}
+	if got := reg.Counter("comap.map.invalidate").Value(); got != 2 {
+		t.Errorf("comap.map.invalidate = %d, want 2 (leave and rejoin)", got)
+	}
+}
+
 func TestInvalidateNode(t *testing.T) {
 	c := NewCoOccurrenceMap()
 	c.Insert(Link{Src: 1, Dst: 2}, 5, true)  // survives

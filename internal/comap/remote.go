@@ -1,0 +1,92 @@
+package comap
+
+import "repro/internal/frame"
+
+// RemoteSource tells the agent which degradation-ladder rung produced a
+// remote verdict, so it can update the right counters and trace provenance.
+type RemoteSource int
+
+// The ladder rungs a remote verdict can come from, healthiest first.
+const (
+	// RemoteCachedFresh: the agent's local co-occurrence map had the
+	// verdict and the control plane is healthy — identical to a local hit.
+	RemoteCachedFresh RemoteSource = iota
+	// RemoteValidated: the control plane computed a fresh verdict within
+	// the call deadline — identical to a local miss+validate.
+	RemoteValidated
+	// RemoteStale: the control plane is degraded; the client served its
+	// cached-but-stale verdict computed with widened error-radius margins.
+	RemoteStale
+	// RemoteCoarse: no usable cache entry; the client fell back to coarse
+	// registry-only geometry over its local fix view.
+	RemoteCoarse
+	// RemoteUnavailable: the ladder bottomed out — behave like plain DCF.
+	RemoteUnavailable
+)
+
+// RemoteVerdict is one control-plane answer.
+type RemoteVerdict struct {
+	Source RemoteSource
+	// Allowed is the concurrency verdict (meaningless for
+	// RemoteUnavailable, and for RemoteValidated with Unhealthy set).
+	Allowed bool
+	// Unhealthy marks a Validated answer where the service's health gate
+	// tripped: the agent falls back to DCF without caching, mirroring the
+	// local unhealthy_fix path.
+	Unhealthy bool
+}
+
+// RemoteVerdicts is the control-plane client interface (mapsvc.Client).
+// cached exposes the agent's local co-occurrence map lookup to the client;
+// the client MUST call it exactly once per Verdict — the lookup mutates the
+// map's hit/miss counters, which are part of the deterministic state digest.
+type RemoteVerdicts interface {
+	Verdict(observer frame.NodeID, ongoing Link, myDst frame.NodeID, cached func() (allowed, found bool)) RemoteVerdict
+}
+
+// SetRemote routes co-occurrence-map misses through the mapsvc control
+// plane. The local map stays authoritative for hits (it is part of the
+// agent's digested state); the remote service is consulted only when the
+// local map has no verdict, and its answer is inserted exactly like a local
+// validation. Nil restores fully in-process operation.
+func (a *Agent) SetRemote(r RemoteVerdicts) { a.remote = r }
+
+// remoteAllowed is the remote-mode decision path. At a zero-fault spec the
+// client answers only CachedFresh/Validated, making counters, trace events
+// and map state byte-identical to the in-process oracle; the degraded
+// sources only appear once RPC faults push the client down the ladder.
+func (a *Agent) remoteAllowed(ongoing Link, myDst frame.NodeID) bool {
+	v := a.remote.Verdict(a.id, ongoing, myDst, func() (bool, bool) {
+		return a.cmap.Lookup(ongoing, myDst)
+	})
+	switch v.Source {
+	case RemoteCachedFresh:
+		a.mHit.Inc()
+		a.emitVerdict(ongoing, myDst, v.Allowed, "cached")
+		return v.Allowed
+	case RemoteValidated:
+		a.mMiss.Inc()
+		if v.Unhealthy {
+			a.fallbackToDCF(ongoing, myDst, "unhealthy_fix")
+			return false
+		}
+		a.cmap.Insert(ongoing, myDst, v.Allowed)
+		if v.Allowed {
+			a.mAllow.Inc()
+		} else {
+			a.mDeny.Inc()
+		}
+		a.mMapSize.Set(float64(a.cmap.Len()))
+		a.emitVerdict(ongoing, myDst, v.Allowed, "validated")
+		return v.Allowed
+	case RemoteStale:
+		a.emitVerdict(ongoing, myDst, v.Allowed, "stale")
+		return v.Allowed
+	case RemoteCoarse:
+		a.emitVerdict(ongoing, myDst, v.Allowed, "coarse")
+		return v.Allowed
+	default:
+		a.fallbackToDCF(ongoing, myDst, "control_plane_down")
+		return false
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -60,6 +61,15 @@ type Opts struct {
 	// deterministic engine and results are committed in index order, so the
 	// output is bit-identical for any worker count.
 	Workers int
+	// ComapRemote routes every CO-MAP cell's verdicts through the mapsvc
+	// control plane over the deterministic in-process transport. DCF cells
+	// and in-band-location variants (which have no oracle registry to
+	// mirror) are unaffected. With no RPCFaults the results are
+	// bit-identical to in-process CO-MAP.
+	ComapRemote bool
+	// RPCFaults injects control-plane RPC faults (loss, delay, partition,
+	// restart) into the remoted CO-MAP cells; requires ComapRemote.
+	RPCFaults *faults.Spec
 }
 
 // Quick returns a fast configuration for tests and benchmarks.
@@ -132,6 +142,10 @@ func PrintCDFs(w io.Writer, unit string, cdfs ...CDF) {
 func runSeed(top topology.Topology, base netsim.Options, o Opts, seed int) (*netsim.Results, error) {
 	base.Seed = int64(1000*seed + 7)
 	base.Duration = o.Duration
+	if o.ComapRemote && base.Protocol == netsim.ProtocolComap && !base.InBandLocation {
+		base.ComapRemote = true
+		base.RPCFaults = o.RPCFaults
+	}
 	if o.TraceDir == "" && o.AuditDir == "" {
 		return netsim.RunScenario(top, base)
 	}

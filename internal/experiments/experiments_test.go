@@ -197,6 +197,33 @@ func valueAt(s Series, x float64) float64 {
 	return 0
 }
 
+// TestComapRemoteEquivalentInExperiments extends the remote-equivalence
+// oracle to the experiments layer: a grid cell run with ComapRemote (no RPC
+// faults) must produce exactly the goodput of the in-process run, and the
+// knob must leave DCF cells untouched.
+func TestComapRemoteEquivalentInExperiments(t *testing.T) {
+	top := topology.ETSweep(30)
+	o := tinyOpts()
+
+	for _, proto := range []netsim.Protocol{netsim.ProtocolComap, netsim.ProtocolDCF} {
+		base := netsim.TestbedOptions()
+		base.Protocol = proto
+		plain, err := meanGoodput(top, base, o, top.Flows[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		or := o
+		or.ComapRemote = true
+		remoted, err := meanGoodput(top, base, or, top.Flows[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remoted != plain {
+			t.Errorf("%v: ComapRemote perturbed the cell: %.3f vs %.3f bps", proto, remoted, plain)
+		}
+	}
+}
+
 func TestTraceDirWritesTracesWithoutPerturbingResults(t *testing.T) {
 	top := topology.ETSweep(30)
 	base := netsim.TestbedOptions()

@@ -33,6 +33,34 @@ type BeaconLossSink interface {
 	SetLossFn(func() bool)
 }
 
+// RPCFate is the fault verdict for one control-plane call at the moment it
+// is issued.
+type RPCFate struct {
+	// Lost marks the request silently dropped: no response and no error —
+	// the caller's per-call deadline is the only way out.
+	Lost bool
+	// Partitioned black-holes the call like Lost, but as a window state
+	// rather than a per-call probability draw.
+	Partitioned bool
+	// Down reports the service process is crashed: the call fails fast.
+	Down bool
+	// Delay is the added round-trip latency.
+	Delay time.Duration
+}
+
+// RPCSink is the control-plane transport the injector drives
+// (mapsvc.SimTransport in the simulator).
+type RPCSink interface {
+	// SetFateFn installs the per-call fate oracle. The transport must call
+	// it exactly once per issued request: active rpcloss processes consume
+	// one RNG draw per call, so the call count is part of the deterministic
+	// replay surface.
+	SetFateFn(func() RPCFate)
+	// SetDown crashes (true) or recovers (false) the service process behind
+	// the transport; recovery replays the snapshot + WAL.
+	SetDown(down bool)
+}
+
 // Targets are the subsystems the injector drives. Any field may be nil/empty;
 // processes without a target are simply inert.
 type Targets struct {
@@ -49,6 +77,8 @@ type Targets struct {
 	// Nodes are all station IDs, in ID order, for processes that apply to
 	// every station (bias with no node=).
 	Nodes []frame.NodeID
+	// RPC is the control-plane transport; the rpc* fault kinds drive it.
+	RPC RPCSink
 }
 
 // Injector schedules a Spec's fault processes on a simulation engine. All
@@ -190,6 +220,7 @@ func (in *Injector) Start() {
 		in.baseNoiseDBm = in.t.Medium.NoiseFloorDBm()
 	}
 	needPipeline := false
+	needRPC := false
 	for i, p := range in.spec.Procs {
 		switch p.Kind {
 		case LocLoss, LocDelay:
@@ -200,6 +231,22 @@ func (in *Injector) Start() {
 				in.active[i].Store(true)
 				in.record(p) // armed for the whole run
 			}
+		case RPCLoss, RPCDelay:
+			needRPC = true
+			if p.windowed() {
+				in.scheduleWindows(i, p, nil, nil)
+			} else {
+				in.active[i].Store(true)
+				in.record(p) // armed for the whole run
+			}
+		case RPCPartition:
+			needRPC = true
+			in.scheduleWindows(i, p, nil, nil)
+		case RPCRestart:
+			needRPC = true
+			in.scheduleWindows(i, p,
+				func() { in.setRPCDown(true) },
+				func() { in.setRPCDown(false) })
 		case Outage:
 			in.scheduleWindows(i, p,
 				func() { in.setFrozen(p.Node, true) },
@@ -230,6 +277,43 @@ func (in *Injector) Start() {
 		for _, b := range in.t.Beacons {
 			b.SetLossFn(in.beaconLost)
 		}
+	}
+	if needRPC && in.t.RPC != nil {
+		in.t.RPC.SetFateFn(in.rpcFate)
+	}
+}
+
+// rpcFate composes every active rpc* window into the fate of one
+// control-plane call. Each active rpcloss process draws exactly once per
+// call regardless of earlier verdicts, so the per-process streams advance
+// identically on every seeded replay.
+func (in *Injector) rpcFate() RPCFate {
+	var f RPCFate
+	for i, p := range in.spec.Procs {
+		if !in.active[i].Load() {
+			continue
+		}
+		switch p.Kind {
+		case RPCLoss:
+			if in.rngs[i].Float64() < p.P {
+				f.Lost = true
+			}
+		case RPCDelay:
+			if p.D > f.Delay {
+				f.Delay = p.D
+			}
+		case RPCPartition:
+			f.Partitioned = true
+		case RPCRestart:
+			f.Down = true
+		}
+	}
+	return f
+}
+
+func (in *Injector) setRPCDown(down bool) {
+	if in.t.RPC != nil {
+		in.t.RPC.SetDown(down)
 	}
 }
 

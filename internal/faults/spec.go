@@ -16,9 +16,14 @@
 //	churn:node=3,at=1s,dur=2s          node 3 leaves at 1 s, re-joins at 3 s
 //	fade:at=2s,dur=300ms,db=10         10 dB extra path loss on all links
 //	noise:at=2s,dur=300ms,db=15        noise floor jumps +15 dB
+//	rpcloss:p=0.3                      30% of control-plane calls vanish
+//	rpcdelay:d=5ms,at=1s,dur=500ms     control-plane RTT +5 ms in a window
+//	rpcpartition:at=1s,dur=300ms       control plane unreachable for 300 ms
+//	rpcrestart:at=1s,dur=300ms         control plane crashes, recovers at 1.3 s
 //
 // Windowed processes accept "every=" to recur (the window re-opens each
-// period until the run ends).
+// period until the run ends). The rpc* kinds drive the mapsvc control-plane
+// transport and are only legal in a -rpc-faults spec alongside -comap-remote.
 package faults
 
 import (
@@ -41,7 +46,34 @@ const (
 	Churn    Kind = "churn"    // a station leaves and later re-joins
 	Fade     Kind = "fade"     // burst fading: db extra path loss, all links
 	Noise    Kind = "noise"    // noise floor jumps by db
+
+	// The RPC fault classes target the CO-MAP control-plane transport (the
+	// mapsvc client/server boundary) rather than the location pipeline.
+	// They are global — the control plane serves every station — so node=
+	// is rejected.
+
+	// RPCLoss silently drops control-plane requests with probability p; the
+	// caller's per-call deadline is the only way out.
+	RPCLoss Kind = "rpcloss"
+	// RPCDelay adds d of round-trip latency to every control-plane call.
+	RPCDelay Kind = "rpcdelay"
+	// RPCPartition black-holes the control plane for the window (requests
+	// vanish like rpcloss p=1, but as a window state, not per-call draws).
+	RPCPartition Kind = "rpcpartition"
+	// RPCRestart crashes the control-plane service at the window open (calls
+	// fail fast, in-memory state is lost) and recovers it — snapshot + WAL
+	// replay — at the window close.
+	RPCRestart Kind = "rpcrestart"
 )
+
+// IsRPC reports whether the kind targets the control-plane transport.
+func (k Kind) IsRPC() bool {
+	switch k {
+	case RPCLoss, RPCDelay, RPCPartition, RPCRestart:
+		return true
+	}
+	return false
+}
 
 // Process is one parsed fault process.
 type Process struct {
@@ -79,6 +111,49 @@ func (s *Spec) String() string {
 	return s.raw
 }
 
+// HasRPC reports whether any process targets the control-plane transport.
+func (s *Spec) HasRPC() bool {
+	if s == nil {
+		return false
+	}
+	for _, p := range s.Procs {
+		if p.Kind.IsRPC() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNonRPC reports whether any process targets the location/channel planes.
+func (s *Spec) HasNonRPC() bool {
+	if s == nil {
+		return false
+	}
+	for _, p := range s.Procs {
+		if !p.Kind.IsRPC() {
+			return true
+		}
+	}
+	return false
+}
+
+// Merge combines two specs into one injector input, appending b's processes
+// after a's so a's per-process RNG stream names ("faults.<idx>.<kind>") are
+// unchanged. When either side is nil the other is returned as-is (pointer
+// identity preserved, so callers comparing against the original spec — e.g.
+// report blocks — see no difference).
+func Merge(a, b *Spec) *Spec {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		return b
+	}
+	m := &Spec{raw: a.raw + ";" + b.raw}
+	m.Procs = append(append([]Process{}, a.Procs...), b.Procs...)
+	return m
+}
+
 // Parse parses and validates a fault spec. An empty string yields a nil
 // Spec (no faults).
 func Parse(text string) (*Spec, error) {
@@ -108,7 +183,8 @@ func parseProcess(text string) (Process, error) {
 	kindStr, params, _ := strings.Cut(text, ":")
 	p := Process{Kind: Kind(strings.TrimSpace(kindStr))}
 	switch p.Kind {
-	case LocLoss, LocDelay, Outage, Bias, Churn, Fade, Noise:
+	case LocLoss, LocDelay, Outage, Bias, Churn, Fade, Noise,
+		RPCLoss, RPCDelay, RPCPartition, RPCRestart:
 	default:
 		return p, fmt.Errorf("unknown fault kind %q (want one of %s)", p.Kind, kindList())
 	}
@@ -127,7 +203,8 @@ func parseProcess(text string) (Process, error) {
 }
 
 func kindList() string {
-	kinds := []string{string(LocLoss), string(LocDelay), string(Outage), string(Bias), string(Churn), string(Fade), string(Noise)}
+	kinds := []string{string(LocLoss), string(LocDelay), string(Outage), string(Bias), string(Churn), string(Fade), string(Noise),
+		string(RPCLoss), string(RPCDelay), string(RPCPartition), string(RPCRestart)}
 	sort.Strings(kinds)
 	return strings.Join(kinds, "/")
 }
@@ -223,6 +300,21 @@ func (p *Process) validate() error {
 		if !p.windowed() {
 			return fmt.Errorf("noise needs dur > 0")
 		}
+	case RPCLoss:
+		if p.P <= 0 || p.P > 1 {
+			return fmt.Errorf("rpcloss needs p in (0,1], got %v", p.P)
+		}
+	case RPCDelay:
+		if p.D <= 0 {
+			return fmt.Errorf("rpcdelay needs d > 0, got %v", p.D)
+		}
+	case RPCPartition, RPCRestart:
+		if !p.windowed() {
+			return fmt.Errorf("%s needs dur > 0", p.Kind)
+		}
+	}
+	if p.Kind.IsRPC() && p.HasNode {
+		return fmt.Errorf("%s is global (the control plane serves every station); node= is not allowed", p.Kind)
 	}
 	if p.Every > 0 && p.Every <= p.Dur {
 		return fmt.Errorf("every=%v must exceed dur=%v (windows would overlap)", p.Every, p.Dur)

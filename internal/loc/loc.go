@@ -92,6 +92,12 @@ type Registry struct {
 	bias     map[frame.NodeID]geom.Vector
 	dropped  int
 	delayed  int
+
+	// Ingest hooks (optional): onCommit fires after every committed fix and
+	// onDeregister after every successful deregistration, so a control-plane
+	// client can mirror the registry's committed state as a change stream.
+	onCommit     func(id frame.NodeID, fix Fix)
+	onDeregister func(id frame.NodeID)
 }
 
 var _ FixProvider = (*Registry)(nil)
@@ -188,6 +194,9 @@ func (r *Registry) Deregister(id frame.NodeID) bool {
 	}
 	if r.bias != nil {
 		delete(r.bias, id)
+	}
+	if r.onDeregister != nil {
+		r.onDeregister(id)
 	}
 	return true
 }
@@ -291,7 +300,19 @@ func (r *Registry) commit(id frame.NodeID, fix Fix) {
 		return
 	}
 	r.reported[id] = fix
+	if r.onCommit != nil {
+		r.onCommit(id, fix)
+	}
 }
+
+// SetOnCommit installs a hook invoked after every committed fix (not for
+// reports dropped, superseded, or voided by deregistration). The hook sees
+// exactly the registry's committed-state change stream.
+func (r *Registry) SetOnCommit(fn func(id frame.NodeID, fix Fix)) { r.onCommit = fn }
+
+// SetOnDeregister installs a hook invoked after every successful
+// deregistration.
+func (r *Registry) SetOnDeregister(fn func(id frame.NodeID)) { r.onDeregister = fn }
 
 // addError perturbs p by a uniform sample from the disc of radius errorRange.
 func (r *Registry) addError(p geom.Point) geom.Point {

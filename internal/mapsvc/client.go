@@ -1,0 +1,716 @@
+package mapsvc
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/comap"
+	"repro/internal/frame"
+	"repro/internal/loc"
+	"repro/internal/trace"
+)
+
+// Rung is a degradation-ladder position.
+type Rung int
+
+// The ladder, healthiest first.
+const (
+	// RungFresh serves full verdicts: local map hits while the breaker is
+	// closed, and synchronous round trips to the service.
+	RungFresh Rung = iota
+	// RungStale serves the client's cached conservative (widened-margin)
+	// verdicts while they are younger than StaleFor.
+	RungStale
+	// RungCoarse computes worst-case geometry over the local registry view
+	// only — no rate economy, no service.
+	RungCoarse
+	// RungDCF is the floor: behave like plain DCF (deny concurrency).
+	RungDCF
+)
+
+// String names the rung for status endpoints and trace reasons.
+func (r Rung) String() string {
+	switch r {
+	case RungFresh:
+		return "fresh"
+	case RungStale:
+		return "stale"
+	case RungCoarse:
+		return "coarse"
+	default:
+		return "dcf"
+	}
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func breakerName(s int) string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// ClientConfig tunes the control-plane client. Now and After abstract the
+// clock and timer plane: the simulator passes the engine's virtual clock so
+// deadlines, backoff and budget refill all run in sim-time; WallClock()
+// supplies real time for load tests against comap-mapd.
+type ClientConfig struct {
+	// Deadline bounds each call attempt.
+	Deadline time.Duration
+	// MaxRetries bounds retry attempts per decision (first attempt free).
+	MaxRetries int
+	// RetryBase is the first backoff; attempt k waits RetryBase<<(k-1),
+	// capped at RetryMax, jittered into [d/2, d] when Jitter is set.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryBudgetPerSec refills the retry token bucket; Burst caps it.
+	// First attempts are free — the budget only meters retries, so retry
+	// storms cannot amplify an outage.
+	RetryBudgetPerSec float64
+	Burst             float64
+	// BreakerFailures consecutive failures open the circuit breaker;
+	// BreakerCooldown later it half-opens and admits one probe.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// StaleFor bounds how old a cached verdict the stale rung may serve.
+	StaleFor time.Duration
+
+	Now    func() time.Duration
+	After  func(d time.Duration, fn func()) (cancel func())
+	Jitter *rand.Rand
+}
+
+// DefaultClientConfig returns the simulator's tuning: tight deadlines (the
+// control plane is co-located), a small bounded retry budget, and a breaker
+// that trips well inside one fault window.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		Deadline:          20 * time.Millisecond,
+		MaxRetries:        3,
+		RetryBase:         10 * time.Millisecond,
+		RetryMax:          160 * time.Millisecond,
+		RetryBudgetPerSec: 10,
+		Burst:             20,
+		BreakerFailures:   5,
+		BreakerCooldown:   250 * time.Millisecond,
+		StaleFor:          3 * time.Second,
+	}
+}
+
+// WallClock returns Now/After implementations over real time, for running
+// the client against comap-mapd outside the simulator.
+func WallClock() (now func() time.Duration, after func(time.Duration, func()) func()) {
+	start := time.Now()
+	now = func() time.Duration { return time.Since(start) }
+	after = func(d time.Duration, fn func()) func() {
+		t := time.AfterFunc(d, fn)
+		return func() { t.Stop() }
+	}
+	return now, after
+}
+
+type entry struct {
+	allowed bool
+	wide    bool
+	at      time.Duration
+}
+
+type call struct {
+	key       Key
+	attempt   int
+	completed bool
+	resp      *Response
+	err       error
+	cancel    func()
+}
+
+// fireCall tracks one fire-and-forget (ingest/invalidate) call.
+type fireCall struct {
+	completed bool
+	cancel    func()
+	onFail    func() // runs under the client mutex
+}
+
+// Client is the simulator-side control-plane client. It implements
+// comap.RemoteVerdicts: every co-occurrence-map miss becomes a control-plane
+// call wrapped in a deadline, bounded jittered retries metered by a token
+// budget, and a circuit breaker; when a fresh verdict cannot be had it walks
+// the degradation ladder (stale cache → coarse geometry → DCF). One client
+// serves every agent — control-plane health is global.
+//
+// All state is guarded by one mutex; the transport is always invoked with
+// the mutex released, so inline completions (the zero-fault fast path) and
+// status scrapes under load are both safe.
+type Client struct {
+	cfg       ClientConfig
+	transport Transport
+	judge     comap.Judge
+	fixes     comap.FixFunc
+	resyncFn  func() []IngestRecord
+	tr        *trace.Emitter
+	widen     float64
+
+	mu      sync.Mutex
+	entries map[Key]entry
+	pending map[Key]*call
+
+	breaker   int
+	probing   bool
+	failures  int // consecutive, closed-state
+	openUntil time.Duration
+
+	tokensMilli int64
+	lastRefill  time.Duration
+
+	rung          Rung
+	rungDecisions [4]int64
+	transitions   int64
+
+	lastEpoch       uint64
+	needResync      bool
+	resyncing       bool
+	pendingInval    map[frame.NodeID]bool
+	pendingInvalAll bool
+
+	calls           int64
+	failuresTotal   int64
+	timeouts        int64
+	retries         int64
+	budgetExhausted int64
+	resyncs         int64
+	ingestCalls     int64
+}
+
+var _ comap.RemoteVerdicts = (*Client)(nil)
+
+// NewClient builds a client over the given transport. widenMeters inflates
+// the coarse-geometry rung (DefaultWidenMeters when 0).
+func NewClient(transport Transport, cfg ClientConfig, widenMeters float64) *Client {
+	if widenMeters == 0 {
+		widenMeters = DefaultWidenMeters
+	}
+	c := &Client{
+		cfg:          cfg,
+		transport:    transport,
+		widen:        widenMeters,
+		entries:      make(map[Key]entry),
+		pending:      make(map[Key]*call),
+		pendingInval: make(map[frame.NodeID]bool),
+		tokensMilli:  int64(cfg.Burst * 1000),
+		rung:         RungFresh,
+	}
+	if cfg.Now != nil {
+		c.lastRefill = cfg.Now()
+	}
+	return c
+}
+
+// SetJudge installs the local verdict calculator for the coarse rung.
+func (c *Client) SetJudge(j comap.Judge) { c.judge = j }
+
+// SetFixes installs the local registry view for the coarse rung; nil skips
+// the coarse rung entirely.
+func (c *Client) SetFixes(f comap.FixFunc) { c.fixes = f }
+
+// SetResync installs the full-state dump used to re-seed the service after
+// a detected restart (records must be in deterministic order).
+func (c *Client) SetResync(fn func() []IngestRecord) { c.resyncFn = fn }
+
+// SetTrace attaches an emitter for ladder-transition events ("co.ladder").
+func (c *Client) SetTrace(em *trace.Emitter) { c.tr = em }
+
+// AdoptEpoch primes the client's view of the service epoch so the first
+// successful call is not mistaken for a restart.
+func (c *Client) AdoptEpoch(epoch uint64) {
+	c.mu.Lock()
+	c.lastEpoch = epoch
+	c.mu.Unlock()
+}
+
+// Verdict implements comap.RemoteVerdicts. cached is called exactly once.
+func (c *Client) Verdict(observer frame.NodeID, ongoing comap.Link, myDst frame.NodeID, cached func() (allowed, found bool)) comap.RemoteVerdict {
+	cachedAllowed, found := cached()
+	key := Key{Observer: observer, Ongoing: ongoing, MyDst: myDst}
+	now := c.cfg.Now()
+
+	c.mu.Lock()
+	if c.breakerStateLocked(now) == breakerClosed && found {
+		c.serveRungLocked(RungFresh)
+		c.mu.Unlock()
+		return comap.RemoteVerdict{Source: comap.RemoteCachedFresh, Allowed: cachedAllowed}
+	}
+	var cl *call
+	if _, busy := c.pending[key]; !busy && c.allowCallLocked(now) {
+		cl = c.newCallLocked(key, 0)
+	}
+	c.mu.Unlock()
+
+	if cl != nil {
+		c.send(cl)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl != nil && cl.completed && cl.err == nil {
+		// Synchronous round trip: still the fresh rung.
+		c.serveRungLocked(RungFresh)
+		v := cl.resp.Verdict
+		if v.Unhealthy {
+			return comap.RemoteVerdict{Source: comap.RemoteValidated, Unhealthy: true}
+		}
+		return comap.RemoteVerdict{Source: comap.RemoteValidated, Allowed: v.Allowed}
+	}
+	// Degraded: the call is in flight, failed, or the breaker refused it.
+	// A degraded tier may only JUSTIFY concurrency — a conservative deny is
+	// served from the DCF floor, because denying concurrency is exactly what
+	// plain DCF does (the rung reflects the behaviour actually delivered).
+	if e, ok := c.entries[key]; ok && now-e.at <= c.cfg.StaleFor {
+		if e.wide {
+			c.serveRungLocked(RungStale)
+			return comap.RemoteVerdict{Source: comap.RemoteStale, Allowed: true}
+		}
+		c.serveRungLocked(RungDCF)
+		return comap.RemoteVerdict{Source: comap.RemoteUnavailable}
+	}
+	if c.fixes != nil {
+		if allowed, ok := c.judge.DecideWide(c.fixes, observer, ongoing, myDst, c.widen); ok && allowed {
+			c.serveRungLocked(RungCoarse)
+			return comap.RemoteVerdict{Source: comap.RemoteCoarse, Allowed: true}
+		}
+	}
+	c.serveRungLocked(RungDCF)
+	return comap.RemoteVerdict{Source: comap.RemoteUnavailable}
+}
+
+// serveRungLocked counts a decision served from the given rung and records
+// the transition when the rung changed.
+func (c *Client) serveRungLocked(r Rung) {
+	c.rungDecisions[r]++
+	if r != c.rung {
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind:   trace.KindCoLadder,
+				Reason: c.rung.String() + "->" + r.String(),
+			})
+		}
+		c.rung = r
+		c.transitions++
+	}
+}
+
+func (c *Client) newCallLocked(key Key, attempt int) *call {
+	cl := &call{key: key, attempt: attempt}
+	c.pending[key] = cl
+	c.calls++
+	if c.breaker == breakerHalfOpen {
+		c.probing = true
+	}
+	return cl
+}
+
+// send issues the call with the mutex released; done may run inline.
+func (c *Client) send(cl *call) {
+	completed := c.transport.Invoke(&Request{Op: OpVerdict, Key: cl.key}, func(r *Response, err error) {
+		c.onDone(cl, r, err)
+	})
+	if !completed {
+		c.mu.Lock()
+		if !cl.completed && c.pending[cl.key] == cl {
+			cl.cancel = c.cfg.After(c.cfg.Deadline, func() { c.onDeadline(cl) })
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Client) onDone(cl *call, r *Response, err error) {
+	doResync := false
+	c.mu.Lock()
+	if cl.completed || c.pending[cl.key] != cl {
+		c.mu.Unlock()
+		return // the deadline already ended this call
+	}
+	cl.completed = true
+	cl.resp, cl.err = r, err
+	if cl.cancel != nil {
+		cl.cancel()
+		cl.cancel = nil
+	}
+	delete(c.pending, cl.key)
+	now := c.cfg.Now()
+	if err != nil {
+		c.failuresTotal++
+		c.onFailureLocked(now)
+		c.maybeRetryLocked(cl, now)
+	} else {
+		doResync = c.onSuccessLocked(r)
+		if !r.Verdict.Unhealthy {
+			c.entries[cl.key] = entry{allowed: r.Verdict.Allowed, wide: r.Verdict.Wide, at: now}
+		}
+	}
+	c.mu.Unlock()
+	if doResync {
+		c.doResync()
+	}
+}
+
+func (c *Client) onDeadline(cl *call) {
+	c.mu.Lock()
+	if cl.completed || c.pending[cl.key] != cl {
+		c.mu.Unlock()
+		return
+	}
+	cl.completed = true
+	cl.err = ErrDeadline
+	delete(c.pending, cl.key)
+	now := c.cfg.Now()
+	c.timeouts++
+	c.failuresTotal++
+	c.onFailureLocked(now)
+	c.maybeRetryLocked(cl, now)
+	c.mu.Unlock()
+}
+
+func (c *Client) maybeRetryLocked(cl *call, now time.Duration) {
+	if cl.attempt >= c.cfg.MaxRetries || !c.allowCallLocked(now) {
+		return
+	}
+	if !c.takeTokenLocked(now) {
+		c.budgetExhausted++
+		return
+	}
+	c.retries++
+	attempt := cl.attempt + 1
+	key := cl.key
+	c.cfg.After(c.backoffLocked(attempt), func() { c.retryCall(key, attempt) })
+}
+
+func (c *Client) retryCall(key Key, attempt int) {
+	c.mu.Lock()
+	if _, busy := c.pending[key]; busy || !c.allowCallLocked(c.cfg.Now()) {
+		c.mu.Unlock()
+		return
+	}
+	cl := c.newCallLocked(key, attempt)
+	c.mu.Unlock()
+	c.send(cl)
+}
+
+// backoffLocked is exponential in the attempt number, capped, and jittered
+// into [d/2, d] when a jitter stream is installed (the simulator installs a
+// named engine stream only for fault-enabled runs, so zero-fault runs draw
+// no RNG).
+func (c *Client) backoffLocked(attempt int) time.Duration {
+	d := c.cfg.RetryBase << (attempt - 1)
+	if c.cfg.RetryMax > 0 && d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	if c.cfg.Jitter != nil && d > 1 {
+		half := int64(d) / 2
+		d = time.Duration(half + c.cfg.Jitter.Int63n(half+1))
+	}
+	return d
+}
+
+// breakerStateLocked returns the breaker state, lazily half-opening an
+// expired open circuit.
+func (c *Client) breakerStateLocked(now time.Duration) int {
+	if c.breaker == breakerOpen && now >= c.openUntil {
+		c.breaker = breakerHalfOpen
+		c.probing = false
+	}
+	return c.breaker
+}
+
+func (c *Client) allowCallLocked(now time.Duration) bool {
+	switch c.breakerStateLocked(now) {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		return !c.probing // one probe at a time
+	default:
+		return false
+	}
+}
+
+func (c *Client) onFailureLocked(now time.Duration) {
+	switch c.breaker {
+	case breakerClosed:
+		c.failures++
+		if c.failures >= c.cfg.BreakerFailures {
+			c.breaker = breakerOpen
+			c.openUntil = now + c.cfg.BreakerCooldown
+			c.failures = 0
+		}
+	case breakerHalfOpen:
+		c.breaker = breakerOpen
+		c.openUntil = now + c.cfg.BreakerCooldown
+		c.probing = false
+	}
+}
+
+// onSuccessLocked closes the breaker and reports whether a resync is due
+// (epoch change detected, or failed ingest traffic flagged one).
+func (c *Client) onSuccessLocked(r *Response) bool {
+	c.failures = 0
+	if c.breaker != breakerClosed {
+		c.breaker = breakerClosed
+		c.probing = false
+	}
+	doResync := false
+	if c.lastEpoch == 0 {
+		c.lastEpoch = r.Epoch
+	} else if r.Epoch != c.lastEpoch {
+		c.lastEpoch = r.Epoch
+		doResync = true
+	}
+	if c.needResync {
+		doResync = true
+	}
+	return doResync && !c.resyncing
+}
+
+// takeTokenLocked spends one retry token, refilling by elapsed time first.
+func (c *Client) takeTokenLocked(now time.Duration) bool {
+	if c.cfg.RetryBudgetPerSec <= 0 {
+		return true
+	}
+	elapsed := now - c.lastRefill
+	if elapsed > 0 {
+		c.tokensMilli += int64(elapsed.Seconds() * c.cfg.RetryBudgetPerSec * 1000)
+		if max := int64(c.cfg.Burst * 1000); c.tokensMilli > max {
+			c.tokensMilli = max
+		}
+		c.lastRefill = now
+	}
+	if c.tokensMilli < 1000 {
+		return false
+	}
+	c.tokensMilli -= 1000
+	return true
+}
+
+// IngestFix streams one committed registry fix to the service.
+func (c *Client) IngestFix(id frame.NodeID, fix loc.Fix) {
+	c.sendIngest([]IngestRecord{{Op: RecReport, Node: id, Fix: fix}}, nil)
+}
+
+// IngestDeregister streams one deregistration to the service.
+func (c *Client) IngestDeregister(id frame.NodeID) {
+	c.sendIngest([]IngestRecord{{Op: RecDeregister, Node: id}}, nil)
+}
+
+// InvalidateNode mirrors Agent.OnStationChanged on the control plane: the
+// client's own verdict entries involving id are dropped immediately, and
+// the service is told to do the same. A failed delivery queues the node for
+// replay at the next resync, so invalidations are never silently lost.
+func (c *Client) InvalidateNode(id frame.NodeID) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	for k := range c.entries {
+		if k.Ongoing.Src == id || k.Ongoing.Dst == id || k.MyDst == id {
+			delete(c.entries, k)
+		}
+	}
+	allowed := c.allowCallLocked(now)
+	if !allowed {
+		c.pendingInval[id] = true
+		c.needResync = true
+	}
+	c.mu.Unlock()
+	if allowed {
+		c.fire(&Request{Op: OpInvalidateNode, Node: id}, func() {
+			c.pendingInval[id] = true
+		})
+	}
+}
+
+// sendIngest fires an ingest batch; onFail (optional, runs locked) records
+// what to replay if delivery fails.
+func (c *Client) sendIngest(recs []IngestRecord, onFail func()) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	allowed := c.allowCallLocked(now)
+	if allowed {
+		c.ingestCalls++
+	} else {
+		// Breaker open: don't hammer a down service with the fix stream;
+		// the post-recovery resync replays the full registry instead.
+		c.needResync = true
+		if onFail != nil {
+			onFail()
+		}
+	}
+	c.mu.Unlock()
+	if allowed {
+		c.fire(&Request{Op: OpIngest, Recs: recs}, onFail)
+	}
+}
+
+// fire issues a fire-and-forget call with deadline tracking: failures and
+// timeouts feed the breaker and flag a resync, successes feed epoch-change
+// detection.
+func (c *Client) fire(req *Request, onFail func()) {
+	f := &fireCall{onFail: onFail}
+	completed := c.transport.Invoke(req, func(r *Response, err error) { c.onFireDone(f, r, err) })
+	if !completed {
+		c.mu.Lock()
+		if !f.completed {
+			f.cancel = c.cfg.After(c.cfg.Deadline, func() { c.onFireTimeout(f) })
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Client) onFireDone(f *fireCall, r *Response, err error) {
+	doResync := false
+	c.mu.Lock()
+	if f.completed {
+		c.mu.Unlock()
+		return
+	}
+	f.completed = true
+	if f.cancel != nil {
+		f.cancel()
+		f.cancel = nil
+	}
+	now := c.cfg.Now()
+	if err != nil {
+		c.failuresTotal++
+		c.onFailureLocked(now)
+		c.needResync = true
+		if f.onFail != nil {
+			f.onFail()
+		}
+	} else {
+		doResync = c.onSuccessLocked(r)
+	}
+	c.mu.Unlock()
+	if doResync {
+		c.doResync()
+	}
+}
+
+func (c *Client) onFireTimeout(f *fireCall) {
+	c.mu.Lock()
+	if f.completed {
+		c.mu.Unlock()
+		return
+	}
+	f.completed = true
+	c.timeouts++
+	c.failuresTotal++
+	c.onFailureLocked(c.cfg.Now())
+	c.needResync = true
+	if f.onFail != nil {
+		f.onFail()
+	}
+	c.mu.Unlock()
+}
+
+// doResync re-seeds a restarted (or missed-writes) service: pending
+// invalidations replay first in node order, then the full registry dump
+// re-ingests. Everything is deterministic — sorted replay over the
+// registry's ID-ordered state.
+func (c *Client) doResync() {
+	c.mu.Lock()
+	if c.resyncing {
+		c.mu.Unlock()
+		return
+	}
+	c.resyncing = true
+	c.needResync = false
+	c.resyncs++
+	var invals []frame.NodeID
+	for id := range c.pendingInval {
+		invals = append(invals, id)
+	}
+	c.pendingInval = make(map[frame.NodeID]bool)
+	all := c.pendingInvalAll
+	c.pendingInvalAll = false
+	fn := c.resyncFn
+	c.mu.Unlock()
+
+	sortNodeIDs(invals)
+	if all {
+		c.fire(&Request{Op: OpInvalidateAll}, func() { c.pendingInvalAll = true })
+	}
+	for _, id := range invals {
+		node := id
+		c.fire(&Request{Op: OpInvalidateNode, Node: node}, func() { c.pendingInval[node] = true })
+	}
+	if fn != nil {
+		if recs := fn(); len(recs) > 0 {
+			c.fire(&Request{Op: OpIngest, Recs: recs}, nil)
+		}
+	}
+	c.mu.Lock()
+	c.resyncing = false
+	c.mu.Unlock()
+}
+
+func sortNodeIDs(ids []frame.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// ClientStatus is a race-safe snapshot for /healthz.
+type ClientStatus struct {
+	Breaker string `json:"breaker"`
+	Rung    string `json:"rung"`
+	// RetryBudget is the remaining retry tokens.
+	RetryBudget float64 `json:"retry_budget"`
+	// RungDecisions counts decisions served per rung.
+	RungDecisions     map[string]int64 `json:"rung_decisions"`
+	LadderTransitions int64            `json:"ladder_transitions"`
+	Calls             int64            `json:"calls"`
+	IngestCalls       int64            `json:"ingest_calls"`
+	Failures          int64            `json:"failures"`
+	Timeouts          int64            `json:"timeouts"`
+	Retries           int64            `json:"retries"`
+	BudgetExhausted   int64            `json:"budget_exhausted"`
+	Resyncs           int64            `json:"resyncs"`
+	PendingCalls      int              `json:"pending_calls"`
+	Epoch             uint64           `json:"epoch"`
+}
+
+// Status snapshots the client. Safe for concurrent use with the sim.
+func (c *Client) Status() ClientStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ClientStatus{
+		Breaker:           breakerName(c.breaker),
+		Rung:              c.rung.String(),
+		RetryBudget:       float64(c.tokensMilli) / 1000,
+		LadderTransitions: c.transitions,
+		Calls:             c.calls,
+		IngestCalls:       c.ingestCalls,
+		Failures:          c.failuresTotal,
+		Timeouts:          c.timeouts,
+		Retries:           c.retries,
+		BudgetExhausted:   c.budgetExhausted,
+		Resyncs:           c.resyncs,
+		PendingCalls:      len(c.pending),
+		Epoch:             c.lastEpoch,
+	}
+	st.RungDecisions = map[string]int64{
+		RungFresh.String():  c.rungDecisions[RungFresh],
+		RungStale.String():  c.rungDecisions[RungStale],
+		RungCoarse.String(): c.rungDecisions[RungCoarse],
+		RungDCF.String():    c.rungDecisions[RungDCF],
+	}
+	return st
+}

@@ -1,0 +1,201 @@
+package mapsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/comap"
+	"repro/internal/frame"
+)
+
+// NewHTTPHandler exposes the service over HTTP for cmd/comap-mapd:
+//
+//	POST /v1/ingest      body: concatenated binary IngestRecords
+//	GET  /v1/verdict     ?obs=&src=&dst=&mydst=   → JSON verdict + epoch
+//	POST /v1/invalidate  ?node=N or ?all=1
+//	GET  /v1/status      → ServiceStatus JSON
+//
+// maxPendingIngest bounds concurrently admitted ingest requests: beyond it
+// the handler sheds with 503 before the batch is decoded, so verdict
+// traffic keeps its capacity under ingest overload (admission control
+// protects reads from writes, not the reverse).
+func NewHTTPHandler(svc *Service, maxPendingIngest int) http.Handler {
+	if maxPendingIngest <= 0 {
+		maxPendingIngest = 64
+	}
+	sem := make(chan struct{}, maxPendingIngest)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		default:
+			svc.noteShed(1)
+			http.Error(w, "ingest shed: admission control full", http.StatusServiceUnavailable)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		recs, err := DecodeRecords(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := svc.Apply(recs); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeHTTPJSON(w, map[string]any{"ingested": len(recs), "epoch": svc.Epoch()})
+	})
+	mux.HandleFunc("/v1/verdict", func(w http.ResponseWriter, r *http.Request) {
+		key, err := keyFromQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := svc.VerdictFor(key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeHTTPJSON(w, map[string]any{"verdict": v, "epoch": svc.Epoch()})
+	})
+	mux.HandleFunc("/v1/invalidate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if r.URL.Query().Get("all") != "" {
+			svc.InvalidateAll()
+		} else {
+			node, err := nodeParam(r, "node")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			svc.InvalidateNode(node)
+		}
+		writeHTTPJSON(w, map[string]any{"epoch": svc.Epoch()})
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeHTTPJSON(w, svc.Status())
+	})
+	return mux
+}
+
+func keyFromQuery(r *http.Request) (Key, error) {
+	obs, err1 := nodeParam(r, "obs")
+	src, err2 := nodeParam(r, "src")
+	dst, err3 := nodeParam(r, "dst")
+	myDst, err4 := nodeParam(r, "mydst")
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			return Key{}, err
+		}
+	}
+	return Key{Observer: obs, Ongoing: comap.Link{Src: src, Dst: dst}, MyDst: myDst}, nil
+}
+
+func nodeParam(r *http.Request, name string) (frame.NodeID, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	n, err := strconv.ParseUint(v, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: %v", name, v, err)
+	}
+	return frame.NodeID(n), nil
+}
+
+func writeHTTPJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// HTTPTransport runs the same Client against a real comap-mapd over HTTP.
+// Calls are synchronous (Invoke blocks and completes inline); the HTTP
+// client's own timeout doubles as the transport-level deadline.
+type HTTPTransport struct {
+	// Base is the server root, e.g. "http://127.0.0.1:9090".
+	Base string
+	// Client is the HTTP client (http.DefaultClient when nil); set its
+	// Timeout to bound calls.
+	Client *http.Client
+}
+
+// Invoke implements Transport over HTTP.
+func (t *HTTPTransport) Invoke(req *Request, done func(*Response, error)) bool {
+	resp, err := t.do(req)
+	done(resp, err)
+	return true
+}
+
+func (t *HTTPTransport) do(req *Request) (*Response, error) {
+	hc := t.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var (
+		httpResp *http.Response
+		err      error
+	)
+	switch req.Op {
+	case OpVerdict:
+		url := fmt.Sprintf("%s/v1/verdict?obs=%d&src=%d&dst=%d&mydst=%d",
+			t.Base, req.Key.Observer, req.Key.Ongoing.Src, req.Key.Ongoing.Dst, req.Key.MyDst)
+		httpResp, err = hc.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer httpResp.Body.Close()
+		if httpResp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("mapsvc: verdict: HTTP %d", httpResp.StatusCode)
+		}
+		var out struct {
+			Verdict Verdict `json:"verdict"`
+			Epoch   uint64  `json:"epoch"`
+		}
+		if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		return &Response{Verdict: out.Verdict, Epoch: out.Epoch}, nil
+	case OpIngest:
+		httpResp, err = hc.Post(t.Base+"/v1/ingest", "application/octet-stream",
+			bytes.NewReader(EncodeRecords(req.Recs)))
+	case OpInvalidateNode:
+		httpResp, err = hc.Post(fmt.Sprintf("%s/v1/invalidate?node=%d", t.Base, req.Node), "", nil)
+	case OpInvalidateAll:
+		httpResp, err = hc.Post(t.Base+"/v1/invalidate?all=1", "", nil)
+	default:
+		return nil, fmt.Errorf("mapsvc: unknown op %d", req.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, httpResp.Body)
+		return nil, fmt.Errorf("mapsvc: op %d: HTTP %d", req.Op, httpResp.StatusCode)
+	}
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &Response{Epoch: out.Epoch}, nil
+}

@@ -1,0 +1,787 @@
+package mapsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/comap"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/loc"
+	"repro/internal/phy"
+	"repro/internal/radio"
+)
+
+// ---------------------------------------------------------------------------
+// Codec
+
+func sampleRecords() []IngestRecord {
+	return []IngestRecord{
+		{Op: RecReport, Node: 1, Fix: loc.Fix{Pos: geom.Point{X: 1.5, Y: -2.25}, ReportedAt: 123 * time.Millisecond, ErrorRadiusMeters: 3}},
+		{Op: RecReport, Node: 300, Fix: loc.Fix{Pos: geom.Point{X: -7, Y: 0}, ReportedAt: 0, ErrorRadiusMeters: 0}},
+		{Op: RecDeregister, Node: 1},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	enc := EncodeRecords(recs)
+	if len(enc) != len(recs)*recordSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), len(recs)*recordSize)
+	}
+	dec, err := DecodeRecords(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(dec), len(recs))
+	}
+	for i := range recs {
+		if dec[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, dec[i], recs[i])
+		}
+	}
+}
+
+func TestCodecTornTailDropped(t *testing.T) {
+	recs := sampleRecords()
+	enc := EncodeRecords(recs)
+	// A crash mid-append leaves a partial last record; replay must keep the
+	// complete prefix and drop the tail.
+	torn := enc[:len(enc)-10]
+	dec, err := DecodeRecords(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(recs)-1 {
+		t.Fatalf("torn decode kept %d records, want %d", len(dec), len(recs)-1)
+	}
+}
+
+func TestCodecUnknownOpRejected(t *testing.T) {
+	enc := EncodeRecords(sampleRecords())
+	enc[0] = 99
+	if _, err := DecodeRecords(enc); err == nil {
+		t.Fatal("unknown op decoded without error")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stores
+
+func TestMemStoreSnapshotTruncatesWAL(t *testing.T) {
+	m := NewMemStore()
+	recs := sampleRecords()
+	if err := m.AppendWAL(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteSnapshot(recs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendWAL(recs[1:2]); err != nil {
+		t.Fatal(err)
+	}
+	snap, wal, err := m.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0] != recs[0] {
+		t.Errorf("snapshot = %+v, want just %+v", snap, recs[0])
+	}
+	if len(wal) != 1 || wal[0] != recs[1] {
+		t.Errorf("wal after snapshot = %+v, want just %+v", wal, recs[1])
+	}
+}
+
+func TestDirStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords()
+
+	d, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendWAL(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteSnapshot(recs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendWAL(recs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new store over the same directory is the post-SIGKILL restart.
+	d2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	snap, wal, err := d2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 2 || snap[0] != recs[0] || snap[1] != recs[1] {
+		t.Errorf("snapshot after reopen = %+v", snap)
+	}
+	if len(wal) != 1 || wal[0] != recs[2] {
+		t.Errorf("wal after reopen = %+v, want just %+v", wal, recs[2])
+	}
+}
+
+func TestDirStoreToleratesTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	if err := d.AppendWAL(recs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half, as a crash mid-write would.
+	path := filepath.Join(dir, "wal.dat")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-recordSize/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	snap, wal, err := d2.Load()
+	if err != nil {
+		t.Fatalf("torn WAL tail must load, got %v", err)
+	}
+	if len(snap) != 0 {
+		t.Errorf("unexpected snapshot %+v", snap)
+	}
+	if len(wal) != 1 || wal[0] != recs[0] {
+		t.Errorf("torn wal = %+v, want just the intact record %+v", wal, recs[0])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Service
+
+// testJudge returns a Judge over the paper's Table I model (NS2Options):
+// verdicts are pure geometry, so the tests below pick layouts that are
+// unambiguously allowed (links 300 m apart) or denied (interferer 1 m from
+// the receiver).
+func testJudge(health comap.HealthPolicy, now func() time.Duration) comap.Judge {
+	prop := radio.NewLogNormal2400(3.3, 5)
+	return comap.Judge{
+		Model: comap.Model{
+			Prop:           prop,
+			TxPowerDBm:     20,
+			TSIRdB:         10,
+			TPRR:           0.95,
+			TcsDBm:         -80,
+			CSMissProb:     0.9,
+			SensitivityDBm: -94,
+		},
+		Rates:  phy.NS2Table1().Rates,
+		Health: health,
+		Now:    now,
+	}
+}
+
+// testTopologyRecords lays out two 10 m links 300 m apart (a clear exposed-
+// terminal pairing) plus node 5 one meter from node 2 (a hopeless
+// interferer).
+func testTopologyRecords(at time.Duration) []IngestRecord {
+	fix := func(x, y float64) loc.Fix {
+		return loc.Fix{Pos: geom.Point{X: x, Y: y}, ReportedAt: at}
+	}
+	return []IngestRecord{
+		{Op: RecReport, Node: 1, Fix: fix(0, 0)},
+		{Op: RecReport, Node: 2, Fix: fix(0, 10)},
+		{Op: RecReport, Node: 3, Fix: fix(300, 0)},
+		{Op: RecReport, Node: 4, Fix: fix(300, 10)},
+		{Op: RecReport, Node: 5, Fix: fix(0, 11)},
+	}
+}
+
+var (
+	farKey  = Key{Observer: 3, Ongoing: comap.Link{Src: 1, Dst: 2}, MyDst: 4}
+	nearKey = Key{Observer: 5, Ongoing: comap.Link{Src: 1, Dst: 2}, MyDst: 4}
+)
+
+func TestServiceVerdictComputeCacheInvalidate(t *testing.T) {
+	svc := NewService(ServiceConfig{Judge: testJudge(comap.HealthPolicy{}, nil)})
+	if err := svc.Apply(testTopologyRecords(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := svc.VerdictFor(farKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Allowed || !v.Wide || v.Cached {
+		t.Fatalf("far ET verdict = %+v, want allowed+wide uncached", v)
+	}
+	v2, err := svc.VerdictFor(farKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Cached || v2.Allowed != v.Allowed || v2.Wide != v.Wide {
+		t.Fatalf("second verdict = %+v, want cached copy of %+v", v2, v)
+	}
+	vn, err := svc.VerdictFor(nearKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vn.Allowed || vn.Wide {
+		t.Fatalf("1m-from-receiver verdict = %+v, want denied", vn)
+	}
+
+	st := svc.Status()
+	if st.VerdictsServed != 3 || st.VerdictsComputed != 2 || st.CacheEntries != 2 {
+		t.Fatalf("served=%d computed=%d cache=%d, want 3/2/2",
+			st.VerdictsServed, st.VerdictsComputed, st.CacheEntries)
+	}
+
+	// Invalidating a link endpoint drops every verdict involving it; the
+	// next ask recomputes.
+	svc.InvalidateNode(2)
+	if st := svc.Status(); st.CacheEntries != 0 {
+		t.Fatalf("cache entries after InvalidateNode(2) = %d, want 0", st.CacheEntries)
+	}
+	v3, err := svc.VerdictFor(farKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Cached {
+		t.Fatal("verdict served from cache after invalidation")
+	}
+	if svc.Status().VerdictsComputed != 3 {
+		t.Fatalf("computed = %d after invalidation, want 3", svc.Status().VerdictsComputed)
+	}
+}
+
+func TestServiceUnhealthyVerdictsNeverCached(t *testing.T) {
+	now := time.Duration(0)
+	svc := NewService(ServiceConfig{
+		Judge: testJudge(comap.DefaultHealthPolicy(), func() time.Duration { return now }),
+	})
+	recs := testTopologyRecords(0)
+	// Leave node 4 (myDst) out: the health gate must refuse the verdict.
+	if err := svc.Apply(recs[:3]); err != nil {
+		t.Fatal(err)
+	}
+	v, err := svc.VerdictFor(farKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Unhealthy {
+		t.Fatalf("missing-fix verdict = %+v, want unhealthy", v)
+	}
+	if st := svc.Status(); st.VerdictsComputed != 0 || st.CacheEntries != 0 {
+		t.Fatalf("unhealthy verdict computed/cached: %+v", st)
+	}
+
+	// The fix arriving heals the key with no invalidation needed.
+	if err := svc.Apply(recs[3:4]); err != nil {
+		t.Fatal(err)
+	}
+	v, err = svc.VerdictFor(farKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Unhealthy || !v.Allowed {
+		t.Fatalf("healed verdict = %+v, want allowed", v)
+	}
+
+	// Ageing every fix past the confidence bound makes fresh keys unhealthy
+	// again — but the cached verdict for farKey still serves (staleness
+	// gating of cached entries is the client ladder's job, not the cache's).
+	now = comap.DefaultHealthPolicy().MaxFixAge + time.Second
+	v, err = svc.VerdictFor(nearKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Unhealthy {
+		t.Fatalf("aged-fix verdict = %+v, want unhealthy", v)
+	}
+}
+
+func TestServiceCrashRecoverReplaysWAL(t *testing.T) {
+	store := NewMemStore()
+	svc := NewService(ServiceConfig{
+		Judge:         testJudge(comap.HealthPolicy{}, nil),
+		Store:         store,
+		SnapshotEvery: 4,
+	})
+	recs := testTopologyRecords(0)
+	// First batch of 4 hits the snapshot cadence; the second lands in the
+	// WAL only.
+	if err := svc.Apply(recs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Apply(recs[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.VerdictFor(farKey); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Status()
+	if st.Snapshots != 1 || st.WALRecords != 5 || st.Fixes != 5 || st.Epoch != 1 {
+		t.Fatalf("pre-crash status %+v", st)
+	}
+
+	svc.Crash()
+	if !svc.Down() {
+		t.Fatal("service not down after Crash")
+	}
+	if err := svc.Apply(recs[:1]); err != ErrUnavailable {
+		t.Fatalf("Apply on crashed service = %v, want ErrUnavailable", err)
+	}
+	if _, err := svc.VerdictFor(farKey); err != ErrUnavailable {
+		t.Fatalf("VerdictFor on crashed service = %v, want ErrUnavailable", err)
+	}
+	if st := svc.Status(); st.Fixes != 0 || st.CacheEntries != 0 {
+		t.Fatalf("volatile state survived the crash: %+v", st)
+	}
+
+	if err := svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	st = svc.Status()
+	if st.Down || st.Epoch != 2 || st.Recoveries != 1 {
+		t.Fatalf("post-recover status %+v", st)
+	}
+	if st.Fixes != 5 || st.WALReplayed != 1 {
+		t.Fatalf("recovery rebuilt fixes=%d wal_replayed=%d, want 5 fixes via snapshot+1 WAL record",
+			st.Fixes, st.WALReplayed)
+	}
+	// The rebuilt table answers identically.
+	v, err := svc.VerdictFor(farKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Allowed || v.Cached {
+		t.Fatalf("post-recovery verdict = %+v, want recomputed allow", v)
+	}
+
+	// A deregistration round-trips through the persistence plane too.
+	if err := svc.Apply([]IngestRecord{{Op: RecDeregister, Node: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Crash()
+	if err := svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Status().Fixes; got != 4 {
+		t.Fatalf("fixes after deregister+crash+recover = %d, want 4", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// fakeClock is a manual sim clock for client tests: Now reads a variable,
+// After registers timers, advance fires them in time order (timers may arm
+// further timers while firing).
+type fakeClock struct {
+	now    time.Duration
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at    time.Duration
+	fn    func()
+	fired bool
+	dead  bool
+}
+
+func (fc *fakeClock) Now() time.Duration { return fc.now }
+
+func (fc *fakeClock) After(d time.Duration, fn func()) func() {
+	tm := &fakeTimer{at: fc.now + d, fn: fn}
+	fc.timers = append(fc.timers, tm)
+	return func() { tm.dead = true }
+}
+
+func (fc *fakeClock) advance(d time.Duration) {
+	target := fc.now + d
+	for {
+		var next *fakeTimer
+		for _, tm := range fc.timers {
+			if tm.fired || tm.dead || tm.at > target {
+				continue
+			}
+			if next == nil || tm.at < next.at {
+				next = tm
+			}
+		}
+		if next == nil {
+			break
+		}
+		fc.now = next.at
+		next.fired = true
+		next.fn()
+	}
+	fc.now = target
+}
+
+// scriptTransport answers calls per its mode: "ok" completes inline with the
+// scripted verdict, "err" fails inline, "lost" never completes.
+type scriptTransport struct {
+	mode    string
+	verdict Verdict
+	epoch   uint64
+	reqs    []Request
+}
+
+func (s *scriptTransport) Invoke(req *Request, done func(*Response, error)) bool {
+	cp := *req
+	cp.Recs = append([]IngestRecord(nil), req.Recs...)
+	s.reqs = append(s.reqs, cp)
+	switch s.mode {
+	case "ok":
+		done(&Response{Verdict: s.verdict, Epoch: s.epoch}, nil)
+		return true
+	case "err":
+		done(nil, ErrUnavailable)
+		return true
+	default: // lost
+		return false
+	}
+}
+
+func (s *scriptTransport) ops() []Op {
+	var out []Op
+	for _, r := range s.reqs {
+		out = append(out, r.Op)
+	}
+	return out
+}
+
+func clientHarness(cfg ClientConfig) (*Client, *scriptTransport, *fakeClock) {
+	fc := &fakeClock{}
+	cfg.Now = fc.Now
+	cfg.After = fc.After
+	tr := &scriptTransport{mode: "ok", epoch: 1}
+	c := NewClient(tr, cfg, 0)
+	c.AdoptEpoch(1)
+	return c, tr, fc
+}
+
+func notFound() (bool, bool) { return false, false }
+
+func verdictKey(obs frame.NodeID) Key {
+	return Key{Observer: obs, Ongoing: comap.Link{Src: 1, Dst: 2}, MyDst: frame.NodeID(obs + 1)}
+}
+
+func askRemote(c *Client, obs frame.NodeID) comap.RemoteVerdict {
+	k := verdictKey(obs)
+	return c.Verdict(k.Observer, k.Ongoing, k.MyDst, notFound)
+}
+
+func TestClientFreshInlineAndCachedFresh(t *testing.T) {
+	c, tr, _ := clientHarness(DefaultClientConfig())
+	tr.verdict = Verdict{Allowed: true, Wide: true}
+
+	v := askRemote(c, 3)
+	if v.Source != comap.RemoteValidated || !v.Allowed {
+		t.Fatalf("inline round trip = %+v, want validated allow", v)
+	}
+	// With the map hit present and the breaker closed, the client must not
+	// call the service again.
+	k := verdictKey(3)
+	v = c.Verdict(k.Observer, k.Ongoing, k.MyDst, func() (bool, bool) { return true, true })
+	if v.Source != comap.RemoteCachedFresh || !v.Allowed {
+		t.Fatalf("cached-fresh verdict = %+v", v)
+	}
+	st := c.Status()
+	if st.Calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cached-fresh must not re-call)", st.Calls)
+	}
+	if st.RungDecisions["fresh"] != 2 || st.LadderTransitions != 0 {
+		t.Fatalf("zero-fault client left fresh: %+v", st.RungDecisions)
+	}
+	if st.Breaker != "closed" || st.Rung != "fresh" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestClientUnhealthyVerdictPropagates(t *testing.T) {
+	c, tr, _ := clientHarness(DefaultClientConfig())
+	tr.verdict = Verdict{Unhealthy: true}
+	v := askRemote(c, 3)
+	if v.Source != comap.RemoteValidated || !v.Unhealthy {
+		t.Fatalf("unhealthy verdict = %+v, want validated+unhealthy", v)
+	}
+	// Unhealthy answers must not enter the stale cache: with the transport
+	// now failing, the same key lands on the DCF floor, not the stale rung.
+	tr.mode = "err"
+	v = askRemote(c, 3)
+	if v.Source != comap.RemoteUnavailable {
+		t.Fatalf("post-unhealthy degraded verdict = %+v, want unavailable", v)
+	}
+}
+
+func TestClientBreakerOpensAndRecovers(t *testing.T) {
+	cfg := DefaultClientConfig()
+	cfg.BreakerFailures = 2
+	cfg.BreakerCooldown = 100 * time.Millisecond
+	cfg.MaxRetries = 0
+	c, tr, fc := clientHarness(cfg)
+	tr.mode = "err"
+
+	askRemote(c, 3)
+	askRemote(c, 5)
+	if st := c.Status(); st.Breaker != "open" || st.Failures != 2 {
+		t.Fatalf("breaker after %d failures: %+v", cfg.BreakerFailures, st)
+	}
+	// Open breaker: fail fast, no transport traffic.
+	before := len(tr.reqs)
+	v := askRemote(c, 7)
+	if v.Source != comap.RemoteUnavailable {
+		t.Fatalf("open-breaker verdict = %+v, want unavailable", v)
+	}
+	if len(tr.reqs) != before {
+		t.Fatal("open breaker still sent a call")
+	}
+
+	// After the cooldown the breaker half-opens, admits one probe, and a
+	// success closes it.
+	fc.advance(cfg.BreakerCooldown)
+	tr.mode = "ok"
+	tr.verdict = Verdict{Allowed: true, Wide: true}
+	v = askRemote(c, 9)
+	if v.Source != comap.RemoteValidated || !v.Allowed {
+		t.Fatalf("probe verdict = %+v, want validated allow", v)
+	}
+	if st := c.Status(); st.Breaker != "closed" {
+		t.Fatalf("breaker after successful probe: %q", st.Breaker)
+	}
+}
+
+func TestClientDeadlineEndsLostCall(t *testing.T) {
+	cfg := DefaultClientConfig()
+	cfg.MaxRetries = 0
+	c, tr, fc := clientHarness(cfg)
+	tr.mode = "lost"
+
+	v := askRemote(c, 3)
+	if v.Source != comap.RemoteUnavailable {
+		t.Fatalf("in-flight verdict = %+v, want unavailable floor", v)
+	}
+	if st := c.Status(); st.PendingCalls != 1 || st.Timeouts != 0 {
+		t.Fatalf("pre-deadline status %+v", st)
+	}
+	fc.advance(cfg.Deadline)
+	st := c.Status()
+	if st.PendingCalls != 0 || st.Timeouts != 1 || st.Failures != 1 {
+		t.Fatalf("post-deadline status %+v, want the deadline to end the call", st)
+	}
+}
+
+func TestClientRetryBackoffAndBudget(t *testing.T) {
+	cfg := DefaultClientConfig()
+	cfg.MaxRetries = 3
+	cfg.BreakerFailures = 100 // keep the breaker out of this test
+	cfg.RetryBudgetPerSec = 0.0001
+	cfg.Burst = 1 // exactly one retry token, effectively no refill
+	c, tr, fc := clientHarness(cfg)
+	tr.mode = "err"
+
+	askRemote(c, 3)
+	if st := c.Status(); st.Retries != 1 {
+		t.Fatalf("retries after first failure = %d, want 1 scheduled", st.Retries)
+	}
+	if len(tr.reqs) != 1 {
+		t.Fatal("retry fired before its backoff elapsed")
+	}
+	fc.advance(cfg.RetryBase - time.Millisecond)
+	if len(tr.reqs) != 1 {
+		t.Fatal("retry fired early")
+	}
+	fc.advance(time.Millisecond)
+	if len(tr.reqs) != 2 {
+		t.Fatalf("retry did not fire at RetryBase; %d calls", len(tr.reqs))
+	}
+	// The retry failed too, but the token bucket is empty: no further
+	// attempts, and the exhaustion is counted.
+	fc.advance(time.Second)
+	st := c.Status()
+	if st.Calls != 2 || st.Retries != 1 || st.BudgetExhausted != 1 {
+		t.Fatalf("budget-exhausted status %+v, want calls=2 retries=1 budget_exhausted=1", st)
+	}
+}
+
+func TestClientLadderStaleCoarseDCF(t *testing.T) {
+	cfg := DefaultClientConfig()
+	cfg.BreakerFailures = 1
+	cfg.MaxRetries = 0
+	cfg.StaleFor = time.Second
+	c, tr, fc := clientHarness(cfg)
+
+	// Seed the stale cache with keys disjoint from the geometry keys below:
+	// observer 30 allowed wide, observer 50 allowed but narrow.
+	tr.verdict = Verdict{Allowed: true, Wide: true}
+	askRemote(c, 30)
+	tr.verdict = Verdict{Allowed: true, Wide: false}
+	askRemote(c, 50)
+
+	// Install the coarse tier over the far/near layout.
+	fixes := make(map[frame.NodeID]loc.Fix)
+	for _, r := range testTopologyRecords(0) {
+		fixes[r.Node] = r.Fix
+	}
+	c.SetJudge(testJudge(comap.HealthPolicy{}, nil))
+	c.SetFixes(func(id frame.NodeID) (loc.Fix, bool) {
+		f, ok := fixes[id]
+		return f, ok
+	})
+
+	// One failure trips the breaker; the ladder takes over.
+	tr.mode = "err"
+	askRemote(c, 7)
+
+	// Stale rung: the wide cached verdict still justifies concurrency.
+	v := askRemote(c, 30)
+	if v.Source != comap.RemoteStale || !v.Allowed {
+		t.Fatalf("stale verdict = %+v, want stale allow", v)
+	}
+	// A cached narrow verdict cannot: DCF floor.
+	v = askRemote(c, 50)
+	if v.Source != comap.RemoteUnavailable {
+		t.Fatalf("narrow-cached verdict = %+v, want the DCF floor", v)
+	}
+	// No cache entry, but coarse geometry over the local registry clears the
+	// far pairing.
+	v = c.Verdict(farKey.Observer, farKey.Ongoing, farKey.MyDst, notFound)
+	if v.Source != comap.RemoteCoarse || !v.Allowed {
+		t.Fatalf("coarse verdict = %+v, want coarse allow", v)
+	}
+	// The hopeless interferer is denied even at the coarse rung: DCF.
+	v = c.Verdict(nearKey.Observer, nearKey.Ongoing, nearKey.MyDst, notFound)
+	if v.Source != comap.RemoteUnavailable {
+		t.Fatalf("near coarse verdict = %+v, want the DCF floor", v)
+	}
+
+	// Past StaleFor the stale entry expires and observer 30 (no local fix)
+	// falls through the coarse tier to the DCF floor.
+	fc.advance(2 * time.Second)
+	v = askRemote(c, 30)
+	if v.Source != comap.RemoteUnavailable {
+		t.Fatalf("expired-entry verdict = %+v, want the DCF floor", v)
+	}
+
+	st := c.Status()
+	if st.RungDecisions["stale"] == 0 || st.RungDecisions["coarse"] == 0 || st.RungDecisions["dcf"] == 0 {
+		t.Fatalf("ladder rungs not all exercised: %+v", st.RungDecisions)
+	}
+	if st.LadderTransitions == 0 {
+		t.Fatal("no ladder transitions recorded")
+	}
+}
+
+func TestClientEpochChangeTriggersResync(t *testing.T) {
+	cfg := DefaultClientConfig()
+	cfg.BreakerFailures = 1
+	cfg.MaxRetries = 0
+	c, tr, fc := clientHarness(cfg)
+
+	resyncRecs := []IngestRecord{
+		{Op: RecReport, Node: 1, Fix: loc.Fix{Pos: geom.Point{X: 1}}},
+		{Op: RecReport, Node: 2, Fix: loc.Fix{Pos: geom.Point{X: 2}}},
+	}
+	c.SetResync(func() []IngestRecord { return resyncRecs })
+
+	// A failed invalidation must be queued, not lost: the breaker is closed
+	// so the fire happens, fails, and trips the breaker.
+	tr.mode = "err"
+	c.InvalidateNode(5)
+	if st := c.Status(); st.Breaker != "open" {
+		t.Fatalf("breaker after failed invalidation: %q", st.Breaker)
+	}
+	// While the breaker is open, ingest traffic is suppressed entirely.
+	before := len(tr.reqs)
+	c.IngestFix(6, loc.Fix{})
+	if len(tr.reqs) != before {
+		t.Fatal("open breaker still sent ingest traffic")
+	}
+
+	// Service restarts: epoch bumps. The next successful call must notice
+	// and resync — queued invalidations first, then the registry dump.
+	fc.advance(cfg.BreakerCooldown)
+	tr.mode = "ok"
+	tr.epoch = 2
+	tr.verdict = Verdict{Allowed: true, Wide: true}
+	askRemote(c, 3)
+
+	st := c.Status()
+	if st.Resyncs != 1 || st.Epoch != 2 {
+		t.Fatalf("resyncs=%d epoch=%d, want 1/2", st.Resyncs, st.Epoch)
+	}
+	ops := tr.ops()
+	// [failed OpInvalidateNode, probe OpVerdict, replayed OpInvalidateNode,
+	// resync OpIngest]
+	want := []Op{OpInvalidateNode, OpVerdict, OpInvalidateNode, OpIngest}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+	if last := tr.reqs[len(tr.reqs)-1]; len(last.Recs) != 2 || last.Recs[0].Node != 1 {
+		t.Fatalf("resync ingest = %+v, want the registry dump", last.Recs)
+	}
+	if tr.reqs[2].Node != 5 {
+		t.Fatalf("replayed invalidation for node %d, want 5", tr.reqs[2].Node)
+	}
+}
+
+func TestClientIngestStreams(t *testing.T) {
+	c, tr, _ := clientHarness(DefaultClientConfig())
+	c.IngestFix(7, loc.Fix{Pos: geom.Point{X: 3, Y: 4}})
+	c.IngestDeregister(7)
+	st := c.Status()
+	if st.IngestCalls != 2 {
+		t.Fatalf("ingest calls = %d, want 2", st.IngestCalls)
+	}
+	if len(tr.reqs) != 2 || tr.reqs[0].Op != OpIngest || tr.reqs[1].Op != OpIngest {
+		t.Fatalf("ops = %v", tr.ops())
+	}
+	if tr.reqs[0].Recs[0].Op != RecReport || tr.reqs[1].Recs[0].Op != RecDeregister {
+		t.Fatalf("record ops = %d,%d", tr.reqs[0].Recs[0].Op, tr.reqs[1].Recs[0].Op)
+	}
+}
+
+// TestClientStatusJSONStable pins that Status marshals (the /healthz
+// contract) without nil maps or surprises.
+func TestClientStatusJSONStable(t *testing.T) {
+	c, _, _ := clientHarness(DefaultClientConfig())
+	st := c.Status()
+	if st.RungDecisions == nil || len(st.RungDecisions) != 4 {
+		t.Fatalf("rung decisions map %+v, want all four rungs present", st.RungDecisions)
+	}
+	for _, r := range []Rung{RungFresh, RungStale, RungCoarse, RungDCF} {
+		if _, ok := st.RungDecisions[r.String()]; !ok {
+			t.Errorf("rung %q missing from status", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+}

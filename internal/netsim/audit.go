@@ -62,6 +62,13 @@ func optionsFingerprint(opts Options) uint64 {
 	if opts.LocationHealth != nil {
 		h.String(fmt.Sprintf("%+v", *opts.LocationHealth))
 	}
+	// ComapRemote is deliberately NOT hashed: a zero-RPC-fault remote run is
+	// observationally identical to the in-process run, and its ledger must
+	// stay comparable with (and equal to) the local golden. RPC fault
+	// processes do shape the event stream, so they fingerprint when present.
+	if opts.RPCFaults != nil {
+		h.String("rpc:" + opts.RPCFaults.String())
+	}
 	h.Int64(int64(opts.Duration))
 	return h.Sum()
 }

@@ -35,6 +35,12 @@ func (n *Network) StationLeave(id frame.NodeID) {
 		st.Locx.Stop()
 	}
 	n.Locs.Deregister(id)
+	if n.MapClient != nil {
+		// Mirror the per-node invalidation on the control plane: the
+		// service's verdict cache drops every entry involving the departed
+		// station, exactly like each agent's OnStationChanged below.
+		n.MapClient.InvalidateNode(id)
+	}
 
 	// Visit peers in topology order so churn transitions are deterministic.
 	for _, node := range n.Top.Nodes {
@@ -72,6 +78,12 @@ func (n *Network) StationRejoin(id frame.NodeID) {
 		// Deregistered while away: re-register at the radio's current true
 		// position (Register issues the fresh report).
 		n.Locs.Register(id, n.Medium.Node(id).Position())
+	}
+	if n.MapClient != nil {
+		// The station may have moved while away: drop its control-plane
+		// verdicts again (the re-registration above already streamed its
+		// fresh fix through the registry's commit hook).
+		n.MapClient.InvalidateNode(id)
 	}
 	if st.Locx != nil {
 		st.Locx.Start()

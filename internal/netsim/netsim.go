@@ -21,6 +21,7 @@ import (
 	"repro/internal/loc"
 	"repro/internal/locx"
 	"repro/internal/mac"
+	"repro/internal/mapsvc"
 	"repro/internal/metrics"
 	"repro/internal/phy"
 	"repro/internal/prof"
@@ -131,6 +132,20 @@ type Options struct {
 	// degraded-mode consumption by default) and disables health gating
 	// otherwise; a zero-valued policy explicitly disables it.
 	LocationHealth *comap.HealthPolicy
+	// ComapRemote routes every CO-MAP verdict miss through the mapsvc
+	// control plane (location ingest, sharded verdict cache, snapshot+WAL
+	// crash model) over the deterministic in-process transport. With a nil
+	// RPCFaults spec every call completes inline on the sim clock — no extra
+	// events, no extra RNG draws — so remote runs are bit-identical to
+	// in-process CO-MAP (asserted by the golden-report suite). Requires
+	// ProtocolComap and the oracle registry (not InBandLocation).
+	ComapRemote bool
+	// RPCFaults injects control-plane fault processes (rpcloss, rpcdelay,
+	// rpcpartition, rpcrestart) against the remote verdict path: calls gain
+	// fates drawn from seeded streams, restart windows crash and recover the
+	// service, and the client walks the degradation ladder. Requires
+	// ComapRemote; non-RPC kinds belong in Faults.
+	RPCFaults *faults.Spec
 
 	// Trace, when set, receives the full frame-lifecycle event stream of the
 	// run: PHY rx/txdone per node, channel txstart, MAC decision events
@@ -291,7 +306,12 @@ type Network struct {
 
 	providers map[frame.NodeID]*providerRef
 
-	// Fault-injection state (nil/empty without Options.Faults).
+	// Remote CO-MAP control-plane stack (nil unless Options.ComapRemote).
+	MapService   *mapsvc.Service
+	MapClient    *mapsvc.Client
+	mapTransport *mapsvc.SimTransport
+
+	// Fault-injection state (nil/empty without Options.Faults/RPCFaults).
 	injector *faults.Injector
 	departed map[frame.NodeID]bool
 
@@ -329,6 +349,25 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 				return nil, fmt.Errorf("netsim: fault %s targets unknown node %d", p.Kind, p.Node)
 			}
 		}
+		if opts.Faults.HasRPC() {
+			return nil, fmt.Errorf("netsim: rpc fault kinds belong in RPCFaults, not Faults")
+		}
+	}
+	if opts.RPCFaults != nil {
+		if opts.RPCFaults.HasNonRPC() {
+			return nil, fmt.Errorf("netsim: RPCFaults accepts only rpc fault kinds (rpcloss, rpcdelay, rpcpartition, rpcrestart)")
+		}
+		if !opts.ComapRemote {
+			return nil, fmt.Errorf("netsim: RPCFaults requires ComapRemote (there is no control plane to fault)")
+		}
+	}
+	if opts.ComapRemote {
+		if opts.Protocol != ProtocolComap {
+			return nil, fmt.Errorf("netsim: ComapRemote requires ProtocolComap")
+		}
+		if opts.InBandLocation {
+			return nil, fmt.Errorf("netsim: ComapRemote is incompatible with InBandLocation (the control plane mirrors the oracle registry)")
+		}
 	}
 
 	if opts.Header == 0 {
@@ -340,7 +379,7 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 	health := comap.HealthPolicy{}
 	if opts.LocationHealth != nil {
 		health = *opts.LocationHealth
-	} else if opts.Faults != nil {
+	} else if opts.Faults != nil || opts.RPCFaults != nil {
 		health = comap.DefaultHealthPolicy()
 	}
 
@@ -399,6 +438,52 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 	n.Locs.SetScheduler(func(d time.Duration, fn func()) {
 		eng.AfterTagged(d, sim.TagLocx, sim.NoOwner, fn)
 	})
+
+	// Remote CO-MAP control plane: service, deterministic transport and the
+	// shared client are assembled before the stations register, so the
+	// registry's commit hooks stream every fix — including the initial
+	// positions — into the service's WAL.
+	if opts.ComapRemote {
+		judge := comap.Judge{Model: opts.ComapModel, Rates: opts.PHY.Rates, Health: health, Now: eng.Now}
+		svc := mapsvc.NewService(mapsvc.ServiceConfig{
+			Judge: judge,
+			Store: mapsvc.NewMemStore(),
+			Now:   eng.Now,
+		})
+		n.mapTransport = mapsvc.NewSimTransport(eng, svc)
+		ccfg := mapsvc.DefaultClientConfig()
+		ccfg.Now = eng.Now
+		ccfg.After = func(d time.Duration, fn func()) func() {
+			h := eng.AfterTagged(d, sim.TagFaults, sim.NoOwner, fn)
+			return func() { eng.Cancel(h) }
+		}
+		if opts.RPCFaults != nil {
+			// The backoff-jitter stream exists only on fault-enabled runs, so
+			// a zero-fault remote run adds no stream to the audit digests.
+			ccfg.Jitter = eng.RNG("mapsvc.client")
+		}
+		client := mapsvc.NewClient(n.mapTransport, ccfg, 0)
+		client.SetJudge(judge)
+		client.SetFixes(func(id frame.NodeID) (loc.Fix, bool) { return n.Locs.Fix(id) })
+		client.SetTrace(trace.NewEmitter(eng, frame.Broadcast, opts.Trace))
+		client.SetResync(func() []mapsvc.IngestRecord {
+			// Full-registry dump in topology (ID) order: the deterministic
+			// re-seed after a detected service restart.
+			recs := make([]mapsvc.IngestRecord, 0, len(top.Nodes))
+			for _, node := range top.Nodes {
+				if fix, ok := n.Locs.Fix(node.ID); ok {
+					recs = append(recs, mapsvc.IngestRecord{Op: mapsvc.RecReport, Node: node.ID, Fix: fix})
+				}
+			}
+			return recs
+		})
+		client.AdoptEpoch(svc.Epoch())
+		n.Locs.SetOnCommit(client.IngestFix)
+		n.Locs.SetOnDeregister(client.IngestDeregister)
+		n.MapService = svc
+		n.MapClient = client
+	}
+
 	for _, node := range top.Nodes {
 		n.Locs.Register(node.ID, node.Pos)
 	}
@@ -439,6 +524,9 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 			}
 			agent.SetMetrics(st.Metrics)
 			agent.SetTrace(trace.NewEmitter(eng, node.ID, opts.Trace))
+			if n.MapClient != nil {
+				agent.SetRemote(n.MapClient)
+			}
 			cfg.SendDiscoveryHeader = opts.Header == HeaderFrame
 			cfg.NoRetransmit = true
 			cfg.Concurrency = agent
@@ -550,8 +638,10 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 
 	// Fault injection: schedule the spec's processes against the assembled
 	// subsystems. The injector draws only from its own named streams, so a
-	// fault-free spec never perturbs the run.
-	if opts.Faults != nil {
+	// fault-free spec never perturbs the run. Location/channel/churn
+	// processes (Faults) and control-plane RPC processes (RPCFaults) merge
+	// into one injector, preserving each process's stream index.
+	if merged := faults.Merge(opts.Faults, opts.RPCFaults); merged != nil {
 		n.departed = make(map[frame.NodeID]bool)
 		var beacons []faults.BeaconLossSink
 		ids := make([]frame.NodeID, 0, len(top.Nodes))
@@ -561,13 +651,17 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 				beacons = append(beacons, st.Locx)
 			}
 		}
-		n.injector = faults.NewInjector(eng, opts.Faults, faults.Targets{
+		targets := faults.Targets{
 			Loc:     n.Locs,
 			Medium:  medium,
 			Churn:   n,
 			Beacons: beacons,
 			Nodes:   ids,
-		})
+		}
+		if n.mapTransport != nil {
+			targets.RPC = n.mapTransport
+		}
+		n.injector = faults.NewInjector(eng, merged, targets)
 		n.injector.SetMetrics(n.MediumMetrics)
 		n.injector.SetTrace(trace.NewEmitter(eng, frame.Broadcast, opts.Trace))
 		if profiler != nil && profiler.Flight() != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/comap"
 	"repro/internal/faults"
 	"repro/internal/frame"
+	"repro/internal/mapsvc"
 )
 
 // Run states reported by Progress.
@@ -155,9 +156,21 @@ type HealthStatus struct {
 	// counters (see Summary).
 	FallbackDCF   int64 `json:"fallback_dcf"`
 	FallbackAdapt int64 `json:"fallback_adapt"`
+	// ControlPlane reports the remote CO-MAP stack (absent unless
+	// Options.ComapRemote): client breaker/rung/budget state and service
+	// ingest/WAL/recovery state. A rung below fresh or a down service
+	// degrades the run's health.
+	ControlPlane *ControlPlaneStatus `json:"control_plane,omitempty"`
 	// Audit carries the determinism ledger's head digest when auditing is
 	// on; a ledger write error degrades the run's health.
 	Audit *audit.Head `json:"audit,omitempty"`
+}
+
+// ControlPlaneStatus pairs the control-plane client and service snapshots
+// for the live health endpoint.
+type ControlPlaneStatus struct {
+	Client  mapsvc.ClientStatus  `json:"client"`
+	Service mapsvc.ServiceStatus `json:"service"`
 }
 
 // HealthPolicyStatus is the JSON rendering of comap.HealthPolicy.
@@ -201,6 +214,16 @@ func (n *Network) HealthStatus() HealthStatus {
 	if h.FallbackDCF > 0 || h.FallbackAdapt > 0 {
 		h.Status = "degraded"
 	}
+	if n.MapClient != nil {
+		cp := &ControlPlaneStatus{
+			Client:  n.MapClient.Status(),
+			Service: n.MapService.Status(),
+		}
+		h.ControlPlane = cp
+		if cp.Client.Rung != mapsvc.RungFresh.String() || cp.Service.Down {
+			h.Status = "degraded"
+		}
+	}
 	if n.Audit != nil {
 		head := n.Audit.Head()
 		h.Audit = &head
@@ -217,7 +240,7 @@ func (n *Network) healthPolicy() comap.HealthPolicy {
 	if n.Opts.LocationHealth != nil {
 		return *n.Opts.LocationHealth
 	}
-	if n.Opts.Faults != nil {
+	if n.Opts.Faults != nil || n.Opts.RPCFaults != nil {
 		return comap.DefaultHealthPolicy()
 	}
 	return comap.HealthPolicy{}

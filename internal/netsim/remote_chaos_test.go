@@ -1,0 +1,309 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/prof"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// rpcChaosSpec interleaves every RPC fault class on recurring windows: a
+// loss+delay window (calls vanish or come back too late to be fresh), then a
+// restart window that kills the service mid-run and recovers it via WAL
+// replay at window close. The gaps between windows give the breaker room to
+// probe, close, and serve fresh verdicts again — so a run walks the full
+// ladder down and back several times.
+const rpcChaosSpec = "rpcloss:p=0.25,at=150ms,dur=250ms,every=700ms;" +
+	"rpcdelay:d=4ms,at=150ms,dur=250ms,every=700ms;" +
+	"rpcrestart:at=450ms,dur=250ms,every=700ms"
+
+func remoteChaosOpts(t *testing.T, seed int64) Options {
+	t.Helper()
+	opts := TestbedOptions()
+	opts.Protocol = ProtocolComap
+	opts.Seed = seed
+	opts.Duration = 2 * time.Second
+	opts.ComapRemote = true
+	opts.RPCFaults = mustParse(t, rpcChaosSpec)
+	return opts
+}
+
+// TestRPCChaosLadderDescendsAndRecovers is the headline control-plane
+// robustness property: under seeded RPC chaos — loss, delay and the service
+// being killed and restarted mid-run — the client must walk the degradation
+// ladder down to plain-DCF decisions and back to fresh after WAL-replay
+// recovery, and CO-MAP's goodput must stay within a hair of the DCF
+// baseline: a dead control plane can cost the concurrency gain, never more.
+func TestRPCChaosLadderDescendsAndRecovers(t *testing.T) {
+	// Hidden-terminal fixture: ongoing-link verdicts for the hidden pairs
+	// are conservative denies, so during outage windows the degraded tiers
+	// cannot justify concurrency and the ladder must bottom out at DCF.
+	top := topology.HTRoles([]topology.Role{
+		topology.RoleContender, topology.RoleHidden, topology.RoleHidden,
+	})
+
+	var buf trace.Buffer
+	var transitions, dcfDecisions, freshDecisions int64
+	var recoveries, walReplayed, resyncs int64
+	const seeds = 3
+	for s := int64(0); s < seeds; s++ {
+		cm := NS2Options()
+		cm.Protocol = ProtocolComap
+		cm.Seed = 7 + s
+		cm.Duration = 2 * time.Second
+		cm.ComapRemote = true
+		cm.RPCFaults = mustParse(t, rpcChaosSpec)
+		// Station churn overlapping the control-plane outages: leave/rejoin
+		// invalidates cached verdicts on every peer AND on the control
+		// plane, so the re-decisions land while the service is down and the
+		// ladder actually has to serve them from the degraded tiers.
+		cm.Faults = mustParse(t, "churn:node=2,at=500ms,dur=300ms,every=700ms")
+		cm.Trace = &buf
+		n, err := Build(top, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := n.Run()
+		rep := n.Report(res)
+		if rep.ControlPlane == nil {
+			t.Fatal("RPC-faulted run report missing control_plane block")
+		}
+		cli, svc := rep.ControlPlane.Client, rep.ControlPlane.Service
+		transitions += cli.LadderTransitions
+		dcfDecisions += cli.RungDecisions["dcf"]
+		freshDecisions += cli.RungDecisions["fresh"]
+		recoveries += svc.Recoveries
+		walReplayed += svc.WALReplayed
+		resyncs += cli.Resyncs
+		if svc.Epoch < 2 {
+			t.Errorf("seed %d: service epoch %d after restart windows, want >= 2", 7+s, svc.Epoch)
+		}
+		if res.Total() <= 0 {
+			t.Errorf("seed %d: no goodput at all under RPC chaos", 7+s)
+		}
+	}
+
+	if transitions == 0 {
+		t.Error("no ladder transitions under RPC chaos")
+	}
+	if dcfDecisions == 0 {
+		t.Error("ladder never reached the DCF rung under outage windows")
+	}
+	if freshDecisions == 0 {
+		t.Error("no fresh-rung decisions in the clean gaps between windows")
+	}
+	if recoveries == 0 {
+		t.Error("service recorded zero crash recoveries under rpcrestart windows")
+	}
+	if walReplayed == 0 {
+		t.Error("recovery replayed zero WAL records (persistence plane inert)")
+	}
+	if resyncs == 0 {
+		t.Error("client never resynced after the epoch changes")
+	}
+
+	// The trace must carry the ladder walk: a descent to DCF and a recovery
+	// back to fresh.
+	var toDCF, toFresh bool
+	for _, e := range buf.Events {
+		if e.Kind != trace.KindCoLadder {
+			continue
+		}
+		if strings.HasSuffix(e.Reason, "->dcf") {
+			toDCF = true
+		}
+		if strings.HasSuffix(e.Reason, "->fresh") {
+			toFresh = true
+		}
+	}
+	if !toDCF {
+		t.Error("trace has no ladder transition into dcf")
+	}
+	if !toFresh {
+		t.Error("trace has no ladder transition back to fresh (recovery invisible)")
+	}
+}
+
+// TestRPCChaosGoodputNearDCF: on the exposed-terminal sweep — where CO-MAP's
+// whole win is granting concurrency — a chaotic control plane may cost the
+// concurrency gain but never materially more: total goodput stays within 5%
+// of the plain-DCF baseline on the same seeds.
+func TestRPCChaosGoodputNearDCF(t *testing.T) {
+	top := topology.ETSweep(30)
+	var dcfTotal, cmTotal float64
+	const seeds = 3
+	for s := int64(0); s < seeds; s++ {
+		dcf := TestbedOptions()
+		dcf.Protocol = ProtocolDCF
+		dcf.Seed = 7 + s
+		dcf.Duration = 2 * time.Second
+		dcfRes, err := RunScenario(top, dcf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcfTotal += dcfRes.Total()
+
+		cmRes, err := RunScenario(top, remoteChaosOpts(t, 7+s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmTotal += cmRes.Total()
+	}
+	if cmTotal < 0.95*dcfTotal {
+		t.Errorf("RPC-chaos CO-MAP total %.2f Mbps < 0.95x DCF %.2f Mbps",
+			cmTotal/1e6, dcfTotal/1e6)
+	}
+}
+
+// TestRPCChaosBitIdentical: identical (seed, rpc spec) must reproduce the
+// chaotic run bit for bit — report AND determinism ledger — because every
+// fate, backoff jitter draw, deadline and restart runs off the sim clock and
+// seeded streams.
+func TestRPCChaosBitIdentical(t *testing.T) {
+	top := topology.ETSweep(30)
+
+	run := func() ([]byte, *audit.Ledger) {
+		opts := remoteChaosOpts(t, 99)
+		var sink bytes.Buffer
+		opts.Audit = &AuditConfig{Scenario: "rpc-chaos", Config: audit.Config{Sink: &sink}}
+		n, err := Build(top, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := n.Run()
+		if err := n.Audit.Err(); err != nil {
+			t.Fatalf("ledger write: %v", err)
+		}
+		rep := n.Report(res)
+		rep.Engine.WallSec = 0
+		rep.Engine.EventsPerSec = 0
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, n.Audit
+	}
+
+	repA, ledA := run()
+	repB, ledB := run()
+	if !bytes.Equal(repA, repB) {
+		t.Fatalf("same-seed RPC-chaos reports diverged:\n%s\nvs\n%s", repA, repB)
+	}
+	if d := audit.Compare(ledA.File(), ledB.File()); d != nil {
+		t.Fatalf("same-seed RPC-chaos ledgers diverged:\n%s", d)
+	}
+
+	var rep Report
+	if err := json.Unmarshal(repA, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ControlPlane == nil {
+		t.Fatal("report missing control_plane block")
+	}
+	if rep.ControlPlane.Spec != rpcChaosSpec {
+		t.Errorf("control_plane.spec = %q, want %q", rep.ControlPlane.Spec, rpcChaosSpec)
+	}
+	if rep.ControlPlane.Client.Resyncs == 0 {
+		t.Error("client never resynced after detected restarts")
+	}
+	if rep.ControlPlane.Service.Recoveries == 0 {
+		t.Error("service recorded zero recoveries")
+	}
+}
+
+// TestRemoteOptionValidation pins the Build-time contract for the remote
+// knobs: every invalid combination is rejected with an actionable error, not
+// silently half-wired.
+func TestRemoteOptionValidation(t *testing.T) {
+	top := topology.ETSweep(30)
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"rpc-faults-without-remote", func(o *Options) {
+			o.Protocol = ProtocolComap
+			o.RPCFaults = mustParse(t, "rpcloss:p=0.5")
+		}, "RPCFaults requires ComapRemote"},
+		{"remote-on-dcf", func(o *Options) {
+			o.Protocol = ProtocolDCF
+			o.ComapRemote = true
+		}, "requires ProtocolComap"},
+		{"remote-with-inband", func(o *Options) {
+			o.Protocol = ProtocolComap
+			o.ComapRemote = true
+			o.InBandLocation = true
+		}, "incompatible with InBandLocation"},
+		{"rpc-kind-in-faults", func(o *Options) {
+			o.Protocol = ProtocolComap
+			o.ComapRemote = true
+			o.Faults = mustParse(t, "rpcloss:p=0.5")
+		}, "belong in RPCFaults"},
+		{"non-rpc-kind-in-rpc-faults", func(o *Options) {
+			o.Protocol = ProtocolComap
+			o.ComapRemote = true
+			o.RPCFaults = mustParse(t, "locloss:p=0.5")
+		}, "only rpc fault kinds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := TestbedOptions()
+			tc.mut(&opts)
+			_, err := Build(top, opts)
+			if err == nil {
+				t.Fatalf("Build accepted invalid options %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFaultFlightDumpCapPerReplication pins that the flight recorder's
+// fault-window dump cap (maxFaultFlightDumps) is per-Build — each
+// replication in a multi-worker experiment grid gets its own budget of 8
+// dumps, because the counter lives in the Build closure, not in a global.
+// A recurring window that opens ~19 times must leave exactly 8 dumps per
+// run, in each run's own directory.
+func TestFaultFlightDumpCapPerReplication(t *testing.T) {
+	top := topology.ETSweep(30)
+	countFaultDumps := func(dir string) int {
+		matches, err := filepath.Glob(filepath.Join(dir, "flight-*fault-*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(matches)
+	}
+	for rep := 0; rep < 2; rep++ {
+		dir := t.TempDir()
+		opts := TestbedOptions()
+		opts.Protocol = ProtocolComap
+		opts.Seed = 5
+		opts.Duration = 2 * time.Second
+		opts.Faults = mustParse(t, "outage:node=1,at=50ms,dur=40ms,every=100ms")
+		opts.Profile = &prof.Config{SampleEvery: 64, Dir: dir}
+		n, err := Build(top, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		if got := countFaultDumps(dir); got != maxFaultFlightDumps {
+			entries, _ := os.ReadDir(dir)
+			var names []string
+			for _, e := range entries {
+				names = append(names, e.Name())
+			}
+			t.Fatalf("replication %d: %d fault flight dumps, want exactly %d (cap must reset per Build); dir: %v",
+				rep, got, maxFaultFlightDumps, names)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/frame"
+	"repro/internal/mapsvc"
 	"repro/internal/metrics"
 	"repro/internal/topology"
 )
@@ -30,6 +31,27 @@ type Report struct {
 	Medium   metrics.Snapshot `json:"medium"`
 	// Faults is the degraded-mode block, present only on fault-injected runs.
 	Faults *FaultsReport `json:"faults,omitempty"`
+	// ControlPlane is the remote CO-MAP control-plane block, present only on
+	// RPC-fault-injected runs (a zero-RPC-fault remote run must stay
+	// byte-identical to its in-process golden).
+	ControlPlane *ControlPlaneReport `json:"control_plane,omitempty"`
+}
+
+// ControlPlaneReport records how the mapsvc control plane and its client
+// behaved under the injected RPC fault processes: which degradation-ladder
+// rungs served decisions, what the retry/breaker machinery did, and how the
+// service's snapshot+WAL recovery went. Derived entirely from the sim clock
+// and seeded streams, so identical (seed, spec) pairs produce identical
+// blocks.
+type ControlPlaneReport struct {
+	// Spec is the RPC fault specification text, for reproduction.
+	Spec string `json:"spec"`
+	// Client snapshots the control-plane client: breaker state, ladder rung,
+	// per-rung decision counts, retries, timeouts, resyncs.
+	Client mapsvc.ClientStatus `json:"client"`
+	// Service snapshots the verdict service: ingest/shed, WAL and snapshot
+	// activity, crash recoveries, epoch.
+	Service mapsvc.ServiceStatus `json:"service"`
 }
 
 // FaultsReport records what the fault-injection layer did to the run and how
@@ -207,6 +229,13 @@ func (n *Network) Report(res *Results) *Report {
 			}
 		}
 		r.Faults = fr
+	}
+	if n.Opts.RPCFaults != nil && n.MapClient != nil {
+		r.ControlPlane = &ControlPlaneReport{
+			Spec:    n.Opts.RPCFaults.String(),
+			Client:  n.MapClient.Status(),
+			Service: n.MapService.Status(),
+		}
 	}
 	return r
 }

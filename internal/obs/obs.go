@@ -75,6 +75,7 @@ type Server struct {
 	health    map[string]HealthFunc
 	profilers map[string]*prof.Profiler
 	ledgers   map[string]*audit.Ledger
+	extra     map[string]http.Handler
 
 	srv *http.Server
 	ln  net.Listener
@@ -128,6 +129,21 @@ func (s *Server) AddHealth(name string, fn HealthFunc) {
 	s.mu.Unlock()
 }
 
+// Handle mounts an application handler on the admin mux under pattern
+// (e.g. "/v1/") — how comap-mapd serves its control-plane API and its
+// observability endpoints from one listener. Call before Start/Handler.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil || h == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.extra == nil {
+		s.extra = make(map[string]http.Handler)
+	}
+	s.extra[pattern] = h
+	s.mu.Unlock()
+}
+
 // snapshotFuncs copies the registered sources for iteration outside the
 // lock (source functions may themselves take instrument locks).
 func (s *Server) snapshotFuncs() (map[string]SnapshotFunc, map[string]RunFunc, map[string]HealthFunc) {
@@ -168,6 +184,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/profile/cpu", s.handleCaptureCPU)
 	mux.HandleFunc("/debug/profile/heap", s.handleCaptureHeap)
+	s.mu.Lock()
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
+	s.mu.Unlock()
 	return mux
 }
 
@@ -182,9 +203,10 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
+	h := s.Handler()
 	s.mu.Lock()
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler()}
+	s.srv = &http.Server{Handler: h}
 	srv := s.srv
 	s.mu.Unlock()
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown

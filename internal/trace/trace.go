@@ -72,6 +72,11 @@ const (
 	// on degraded location input and fell back to plain DCF behavior.
 	KindCoFallback = "co.fallback"
 
+	// KindCoLadder marks a control-plane degradation-ladder transition
+	// (Reason is "from->to" over fresh/stale/coarse/dcf), emitted by the
+	// mapsvc client when the rung serving verdicts changes.
+	KindCoLadder = "co.ladder"
+
 	// KindFault marks an injected fault window opening (Reason names the
 	// fault process; DurUs carries the window length).
 	KindFault = "fault"
