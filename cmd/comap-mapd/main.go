@@ -18,17 +18,22 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/comap"
+	"repro/internal/frame"
 	"repro/internal/mapsvc"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/slo"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,6 +52,7 @@ func run() error {
 		snapEvery = flag.Int("snapshot-every", 0, "WAL records between snapshots (0 = default, negative disables)")
 		widen     = flag.Float64("widen", 0, "extra error-radius inflation for wide verdicts in meters (0 = default)")
 		maxIngest = flag.Int("max-pending-ingest", 0, "concurrently admitted ingest requests before shedding (0 = default)")
+		traceOut  = flag.String("trace", "", "write the server-side rpc.srv event stream as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -81,6 +87,37 @@ func run() error {
 		cfg.Store = store
 	}
 	svc := mapsvc.NewService(cfg)
+
+	// The server-side structured event stream: admissions, sheds, verdict
+	// hits/misses, invalidations, epoch bumps and WAL replays as JSONL
+	// trace events stamped with this process's monotonic clock. Handlers
+	// run concurrently, so the writer is mutex-guarded.
+	var traceW *trace.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			bw.Flush()
+			f.Close()
+		}()
+		traceW = trace.NewWriter(bw)
+		var traceMu sync.Mutex
+		svc.SetEvents(func(e trace.Event) {
+			e.AtMicros = int64(time.Since(start) / time.Microsecond)
+			e.Node = frame.Broadcast
+			traceMu.Lock()
+			traceW.Record(e)
+			traceMu.Unlock()
+		})
+	}
+
+	// Wall-clock SLO tracking over every API endpoint, surfaced in
+	// /v1/status and the obs plane's /slo.
+	tracker := slo.NewTracker(func() time.Duration { return time.Since(start) }, slo.DefaultObjectives()...)
+
 	// Recover is a no-op replay on a fresh (or memory-only) store and a full
 	// snapshot+WAL rebuild after a kill.
 	if err := svc.Recover(); err != nil {
@@ -98,7 +135,8 @@ func run() error {
 		}
 		return "ok", st
 	})
-	admin.Handle("/v1/", mapsvc.NewHTTPHandler(svc, *maxIngest))
+	admin.AddSLO("mapd", tracker.Status)
+	admin.Handle("/v1/", mapsvc.NewHTTPHandler(svc, *maxIngest, tracker))
 	addr, err := admin.Start(*httpAddr)
 	if err != nil {
 		return err
@@ -110,6 +148,9 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("comap-mapd: %v — snapshotting and shutting down\n", s)
+	if traceW != nil && traceW.Err() != nil {
+		fmt.Fprintln(os.Stderr, "comap-mapd: trace write error:", traceW.Err())
+	}
 	if store != nil {
 		if err := svc.Snapshot(); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/frame"
 	"repro/internal/trace"
+	"repro/internal/trace/rpcspan"
 	"repro/internal/trace/span"
 )
 
@@ -38,7 +39,8 @@ func runAnomalies(args []string, w io.Writer) error {
 	rep.print(w)
 	// CI gate: any pathology signature makes the process exit 2, so a
 	// pipeline can fail a build on a trace that should have been clean.
-	if len(rep.ht)+len(rep.storms)+len(rep.etFails) > 0 {
+	if len(rep.ht)+len(rep.storms)+len(rep.etFails)+
+		len(rep.rpcStorms)+len(rep.rpcBreaker) > 0 {
 		return exitCodeError(2)
 	}
 	return nil
@@ -116,6 +118,13 @@ type anomalyReport struct {
 	// Control-plane degradation-ladder transitions ("co.ladder" events,
 	// remote CO-MAP runs only), on the same timeline as the fault windows.
 	ladder []ladderStep
+
+	// Control-plane RPC pathologies (rpc.* events, remote CO-MAP runs
+	// only): retry storms — requests needing >= rpcStorm wire attempts —
+	// and circuit-breaker open windows.
+	rpcStorm   int
+	rpcStorms  []*rpcspan.Span
+	rpcBreaker []rpcspan.BreakerWindow
 }
 
 // ladderStep is one degradation-ladder transition of the control-plane
@@ -127,13 +136,41 @@ type ladderStep struct {
 
 // findAnomalies runs all detectors over a decoded trace.
 func findAnomalies(events []trace.Event, guardUs int64, stormLen int) *anomalyReport {
-	rep := &anomalyReport{guardUs: guardUs, stormLen: stormLen}
+	rep := &anomalyReport{guardUs: guardUs, stormLen: stormLen, rpcStorm: 3}
 	intervals := onAirIntervals(events)
 	spans := span.FromEvents(events)
 	rep.scanCollisions(events, intervals)
 	rep.scanSpans(spans)
 	rep.scanFaults(events, spans)
+	rep.scanRPC(events)
 	return rep
+}
+
+// scanRPC runs the control-plane detectors: RPC retry storms (requests
+// that needed rpcStorm or more wire attempts) and circuit-breaker open
+// windows. Traces without rpc.* events leave the section empty, so
+// in-process runs print byte-identical reports.
+func (rep *anomalyReport) scanRPC(events []trace.Event) {
+	hasRPC := false
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindRPCCall, trace.KindRPCServer, trace.KindRPCBreaker:
+			hasRPC = true
+		}
+		if hasRPC {
+			break
+		}
+	}
+	if !hasRPC {
+		return
+	}
+	res := rpcspan.FromEvents(events)
+	for _, s := range res.Spans {
+		if len(s.Attempts) >= rep.rpcStorm {
+			rep.rpcStorms = append(rep.rpcStorms, s)
+		}
+	}
+	rep.rpcBreaker = res.Breakers
 }
 
 // onAirIntervals reconstructs every transmission interval from txstart
@@ -425,6 +462,26 @@ func (rep *anomalyReport) print(w io.Writer) {
 		fmt.Fprintf(w, "\ncontrol-plane ladder transitions: %d\n", len(rep.ladder))
 		for _, l := range rep.ladder {
 			fmt.Fprintf(w, "  t=%9.3fms %s\n", ms(l.atUs), l.change)
+		}
+	}
+
+	if len(rep.rpcStorms) > 0 {
+		fmt.Fprintf(w, "\nRPC retry storms (>= %d wire attempts on one request): %d\n",
+			rep.rpcStorm, len(rep.rpcStorms))
+		for _, s := range rep.rpcStorms {
+			fmt.Fprintf(w, "  t=%9.3fms req %-6d %-16s %d attempts, %s\n",
+				ms(s.StartUs), s.Req, s.Op, len(s.Attempts), s.Outcome)
+		}
+	}
+	if len(rep.rpcBreaker) > 0 {
+		fmt.Fprintf(w, "\nRPC breaker-open windows: %d\n", len(rep.rpcBreaker))
+		for _, bw := range rep.rpcBreaker {
+			dur := "still open"
+			if bw.CloseUs >= 0 {
+				dur = fmt.Sprintf("+%.3fms", ms(bw.CloseUs-bw.OpenUs))
+			}
+			fmt.Fprintf(w, "  t=%9.3fms %-12s %2d failed half-open probes, %4d calls refused\n",
+				ms(bw.OpenUs), dur, bw.Reopens, bw.Drops)
 		}
 	}
 

@@ -11,8 +11,11 @@
 //
 //	summary    event counts, per-link delivery/corruption/goodput (default)
 //	spans      per-frame lifecycle spans: phase percentiles and timelines
-//	anomalies  hidden-terminal collision signatures, retry storms and
-//	           failed exposed-terminal grants
+//	anomalies  hidden-terminal collision signatures, retry storms, failed
+//	           exposed-terminal grants, RPC retry storms and breaker windows
+//	rpc        stitch control-plane rpc.* client and rpc.srv server events
+//	           into per-request spans (accepts several files: pass the
+//	           comap-mapd -trace stream alongside the client trace)
 //	diff       compare two traces per link and per phase
 //
 // Invoking with a bare file path (no subcommand) runs summary, matching the
@@ -61,10 +64,12 @@ func run(args []string, w io.Writer) error {
 		return runSpans(rest, w)
 	case "anomalies":
 		return runAnomalies(rest, w)
+	case "rpc":
+		return runRPC(rest, w)
 	case "diff":
 		return runDiff(rest, w)
 	case "-h", "-help", "--help", "help":
-		fmt.Fprintln(w, "usage: comap-trace [summary|spans|anomalies|diff] [flags] file.jsonl ...")
+		fmt.Fprintln(w, "usage: comap-trace [summary|spans|anomalies|rpc|diff] [flags] file.jsonl ...")
 		return nil
 	default:
 		// Back-compat: a bare file (or "-" for stdin) means summary.

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/trace/rpcspan"
+)
+
+// runRPC implements the rpc subcommand: stitch the control-plane rpc.*
+// client events and rpc.srv server events into per-request spans, and
+// report where the control plane's time and failures went — attempt
+// attributions, retry/backoff behaviour, breaker windows and the
+// degradation-ladder transitions with the requests that caused them.
+//
+// Accepts one or more trace files; an in-sim remote run writes both
+// streams into one file, a comap-mapd deployment keeps the server stream
+// in its own -trace file and merges here (joining is by request ID, so
+// clock domains need not align).
+func runRPC(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("rpc", flag.ContinueOnError)
+	fs.SetOutput(w)
+	topN := fs.Int("n", 5, "slowest served spans to list")
+	reqID := fs.Uint64("req", 0, "dump one request's full stitched timeline")
+	asJSON := fs.Bool("json", false, "emit the stitched result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("rpc: need at least one trace file")
+	}
+	var events []trace.Event
+	for _, p := range paths {
+		evs, err := loadEventsFile(p)
+		if err != nil {
+			return err
+		}
+		events = append(events, evs...)
+	}
+	res := rpcspan.FromEvents(events)
+	if len(res.Spans) == 0 && len(res.Service) == 0 {
+		return fmt.Errorf("no rpc.* events in trace (remote CO-MAP runs emit them; in-process runs have no control plane)")
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	if *reqID != 0 {
+		s := res.Span(*reqID)
+		if s == nil {
+			return fmt.Errorf("no span for req %d", *reqID)
+		}
+		printSpanTimeline(w, s)
+		return nil
+	}
+	printRPCReport(w, res, *topN)
+	return nil
+}
+
+func printRPCReport(w io.Writer, res *rpcspan.Result, topN int) {
+	// Outcome tallies per operation.
+	type opTally struct {
+		spans, attempts int
+		outcomes        map[string]int
+	}
+	ops := make(map[string]*opTally)
+	attrib := make(map[string]int)
+	retryDist := make(map[int]int) // attempts-per-span histogram
+	var okLats []int64
+	for _, s := range res.Spans {
+		t := ops[s.Op]
+		if t == nil {
+			t = &opTally{outcomes: make(map[string]int)}
+			ops[s.Op] = t
+		}
+		t.spans++
+		t.attempts += len(s.Attempts)
+		t.outcomes[s.Outcome]++
+		retryDist[len(s.Attempts)]++
+		for _, a := range s.Attempts {
+			attrib[a.Attribution]++
+			if a.Outcome == rpcspan.OutcomeOK {
+				okLats = append(okLats, a.DurUs)
+			}
+		}
+	}
+	opNames := make([]string, 0, len(ops))
+	for op := range ops {
+		opNames = append(opNames, op)
+	}
+	sort.Strings(opNames)
+
+	fmt.Fprintf(w, "rpc spans: %d\n", len(res.Spans))
+	fmt.Fprintf(w, "  %-16s %8s %9s   %s\n", "op", "spans", "attempts", "outcomes")
+	for _, op := range opNames {
+		t := ops[op]
+		fmt.Fprintf(w, "  %-16s %8d %9d   %s\n", op, t.spans, t.attempts, tallyString(t.outcomes))
+	}
+	fmt.Fprintf(w, "attempt attribution: %s\n", tallyString(attrib))
+	if !res.HasServer {
+		fmt.Fprintln(w, "  (client-only trace: no rpc.srv stream to join; pass the comap-mapd -trace file too)")
+	}
+	if len(res.Unattached) > 0 {
+		byReason := make(map[string]int)
+		for _, d := range res.Unattached {
+			byReason[d.Reason]++
+		}
+		fmt.Fprintf(w, "refused before issue (no request id): %s\n", tallyString(byReason))
+	}
+
+	fmt.Fprint(w, "attempts per request:")
+	counts := make([]int, 0, len(retryDist))
+	for n := range retryDist {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	for _, n := range counts {
+		fmt.Fprintf(w, " %dx=%d", n, retryDist[n])
+	}
+	fmt.Fprintln(w)
+
+	if len(okLats) > 0 {
+		sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+		q := func(p float64) float64 { return ms(okLats[int(p*float64(len(okLats)-1))]) }
+		fmt.Fprintf(w, "served-attempt latency: p50 %.3fms  p99 %.3fms  max %.3fms (%d ok attempts)\n",
+			q(0.50), q(0.99), ms(okLats[len(okLats)-1]), len(okLats))
+	}
+
+	if len(res.Breakers) > 0 {
+		fmt.Fprintf(w, "\nbreaker-open windows: %d\n", len(res.Breakers))
+		for _, bw := range res.Breakers {
+			dur := "still open"
+			if bw.CloseUs >= 0 {
+				dur = fmt.Sprintf("+%.3fms", ms(bw.CloseUs-bw.OpenUs))
+			}
+			fmt.Fprintf(w, "  t=%9.3fms %-12s %2d failed half-open probes, %4d calls refused\n",
+				ms(bw.OpenUs), dur, bw.Reopens, bw.Drops)
+		}
+	}
+
+	if len(res.Ladder) > 0 {
+		fmt.Fprintf(w, "\nladder transitions: %d\n", len(res.Ladder))
+		for _, l := range res.Ladder {
+			fmt.Fprintf(w, "  t=%9.3fms %-22s", ms(l.AtUs), l.Change)
+			if s := res.Span(l.Req); s != nil {
+				fmt.Fprintf(w, " caused by req %d (%s, %d attempts, %s)",
+					l.Req, s.Op, len(s.Attempts), s.Outcome)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(res.Service) > 0 {
+		byReason := make(map[string]int)
+		for _, se := range res.Service {
+			byReason[se.Reason]++
+		}
+		fmt.Fprintf(w, "\nservice lifecycle: %s\n", tallyString(byReason))
+	}
+
+	// Slowest served spans: where a healthy control plane spent its tail.
+	served := make([]*rpcspan.Span, 0, len(res.Spans))
+	for _, s := range res.Spans {
+		if s.Outcome == rpcspan.SpanServed && s.EndUs >= 0 {
+			served = append(served, s)
+		}
+	}
+	sort.Slice(served, func(i, j int) bool {
+		return served[i].EndUs-served[i].StartUs > served[j].EndUs-served[j].StartUs
+	})
+	if len(served) > topN {
+		served = served[:topN]
+	}
+	if len(served) > 0 {
+		fmt.Fprintf(w, "\nslowest served requests:\n")
+		for _, s := range served {
+			fmt.Fprintf(w, "  req %-6d %-16s t=%9.3fms +%8.3fms %d attempt(s)\n",
+				s.Req, s.Op, ms(s.StartUs), ms(s.EndUs-s.StartUs), len(s.Attempts))
+		}
+	}
+}
+
+// printSpanTimeline dumps one request's stitched lifecycle, attempt by
+// attempt, with the joined server events inline.
+func printSpanTimeline(w io.Writer, s *rpcspan.Span) {
+	fmt.Fprintf(w, "req %d  op=%s  outcome=%s", s.Req, s.Op, s.Outcome)
+	if s.Decision != "" {
+		fmt.Fprintf(w, "  decision=%s (%s)", s.Decision, s.Provenance)
+	}
+	fmt.Fprintln(w)
+	for _, a := range s.Attempts {
+		fmt.Fprintf(w, "  attempt %d: t=%9.3fms", a.Seq, ms(a.StartUs))
+		if a.EndUs >= 0 {
+			fmt.Fprintf(w, " +%8.3fms %-12s", ms(a.EndUs-a.StartUs), a.Outcome)
+		} else {
+			fmt.Fprintf(w, " %22s", "pending")
+		}
+		fmt.Fprintf(w, " [%s]", a.Attribution)
+		if a.BackoffUs > 0 {
+			fmt.Fprintf(w, " backoff %.3fms", ms(a.BackoffUs))
+		}
+		fmt.Fprintln(w)
+		for _, se := range a.Server {
+			fmt.Fprintf(w, "    srv t=%9.3fms %-14s", ms(se.AtUs), se.Reason)
+			if se.Count > 0 {
+				fmt.Fprintf(w, " count=%d", se.Count)
+			}
+			fmt.Fprintf(w, " epoch=%d\n", se.Epoch)
+		}
+	}
+	for _, d := range s.Drops {
+		fmt.Fprintf(w, "  drop:      t=%9.3fms %s\n", ms(d.AtUs), d.Reason)
+	}
+}
+
+// tallyString renders a reason->count map as "a=1 b=2", keys sorted.
+func tallyString(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, m[k])
+	}
+	if out == "" {
+		return "(none)"
+	}
+	return out
+}

@@ -39,6 +39,10 @@ func mapsvcIngest() Scenario {
 	return Scenario{
 		Name: "mapsvc-ingest",
 		Desc: "control-plane ingest saturation over HTTP with churn and verdict tail latency",
+		// In the quick subset so the CI bench diff gate watches the
+		// control-plane server path (the rpc tracing/SLO instrumentation
+		// rides on it) for regressions.
+		Quick: true,
 		Prepare: func(sc Scale) (func() (Metrics, error), error) {
 			no := netsim.NS2Options()
 			start := time.Now()
@@ -50,7 +54,7 @@ func mapsvcIngest() Scenario {
 				return nil, err
 			}
 			admin := obs.NewServer(obs.Options{})
-			admin.Handle("/v1/", mapsvc.NewHTTPHandler(svc, 0))
+			admin.Handle("/v1/", mapsvc.NewHTTPHandler(svc, 0, nil))
 			addr, err := admin.Start("127.0.0.1:0")
 			if err != nil {
 				return nil, err

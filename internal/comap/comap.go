@@ -187,6 +187,13 @@ func (a *Agent) SetTrace(em *trace.Emitter) { a.tr = em }
 
 // emitVerdict records one concurrency-validation outcome.
 func (a *Agent) emitVerdict(ongoing Link, myDst frame.NodeID, allowed bool, provenance string) {
+	a.emitVerdictReq(ongoing, myDst, allowed, provenance, 0)
+}
+
+// emitVerdictReq is emitVerdict carrying the control-plane request ID that
+// produced the verdict (0 for local decisions and local cache hits), so
+// grant/deny events join their RPC spans.
+func (a *Agent) emitVerdictReq(ongoing Link, myDst frame.NodeID, allowed bool, provenance string, req uint64) {
 	if !a.tr.Enabled() {
 		return
 	}
@@ -196,7 +203,7 @@ func (a *Agent) emitVerdict(ongoing Link, myDst frame.NodeID, allowed bool, prov
 	}
 	a.tr.Emit(trace.Event{
 		Kind: kind, Src: ongoing.Src, Dst: ongoing.Dst,
-		OurDst: myDst, Reason: provenance,
+		OurDst: myDst, Reason: provenance, Req: req,
 	})
 }
 

@@ -121,8 +121,16 @@ func (a *Agent) useWorstCaseGeometry() bool {
 // refused to act on degraded location input and behaved like plain DCF
 // instead. reason distinguishes a missing fix from a stale one.
 func (a *Agent) fallbackToDCF(ongoing Link, myDst frame.NodeID, reason string) {
+	a.fallbackToDCFReq(ongoing, myDst, reason, 0)
+}
+
+// fallbackToDCFReq is fallbackToDCF carrying the control-plane request ID
+// behind the decision (0 when no RPC was involved).
+func (a *Agent) fallbackToDCFReq(ongoing Link, myDst frame.NodeID, reason string, req uint64) {
 	a.mFallback.Inc()
 	if a.tr.Enabled() {
-		a.tr.Emit(traceFallbackEvent(ongoing, myDst, reason))
+		e := traceFallbackEvent(ongoing, myDst, reason)
+		e.Req = req
+		a.tr.Emit(e)
 	}
 }

@@ -34,6 +34,11 @@ type RemoteVerdict struct {
 	// tripped: the agent falls back to DCF without caching, mirroring the
 	// local unhealthy_fix path.
 	Unhealthy bool
+	// Req is the control-plane request ID that decided (or, on the
+	// degraded rungs, failed to decide) this verdict; 0 when no RPC was
+	// issued. The agent stamps it into its trace events so the analyzer
+	// can stitch MAC-level grant/deny decisions to RPC spans.
+	Req uint64
 }
 
 // RemoteVerdicts is the control-plane client interface (mapsvc.Client).
@@ -62,12 +67,12 @@ func (a *Agent) remoteAllowed(ongoing Link, myDst frame.NodeID) bool {
 	switch v.Source {
 	case RemoteCachedFresh:
 		a.mHit.Inc()
-		a.emitVerdict(ongoing, myDst, v.Allowed, "cached")
+		a.emitVerdictReq(ongoing, myDst, v.Allowed, "cached", v.Req)
 		return v.Allowed
 	case RemoteValidated:
 		a.mMiss.Inc()
 		if v.Unhealthy {
-			a.fallbackToDCF(ongoing, myDst, "unhealthy_fix")
+			a.fallbackToDCFReq(ongoing, myDst, "unhealthy_fix", v.Req)
 			return false
 		}
 		a.cmap.Insert(ongoing, myDst, v.Allowed)
@@ -77,16 +82,16 @@ func (a *Agent) remoteAllowed(ongoing Link, myDst frame.NodeID) bool {
 			a.mDeny.Inc()
 		}
 		a.mMapSize.Set(float64(a.cmap.Len()))
-		a.emitVerdict(ongoing, myDst, v.Allowed, "validated")
+		a.emitVerdictReq(ongoing, myDst, v.Allowed, "validated", v.Req)
 		return v.Allowed
 	case RemoteStale:
-		a.emitVerdict(ongoing, myDst, v.Allowed, "stale")
+		a.emitVerdictReq(ongoing, myDst, v.Allowed, "stale", v.Req)
 		return v.Allowed
 	case RemoteCoarse:
-		a.emitVerdict(ongoing, myDst, v.Allowed, "coarse")
+		a.emitVerdictReq(ongoing, myDst, v.Allowed, "coarse", v.Req)
 		return v.Allowed
 	default:
-		a.fallbackToDCF(ongoing, myDst, "control_plane_down")
+		a.fallbackToDCFReq(ongoing, myDst, "control_plane_down", v.Req)
 		return false
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/comap"
 	"repro/internal/frame"
 	"repro/internal/loc"
+	"repro/internal/slo"
 	"repro/internal/trace"
 )
 
@@ -129,6 +130,8 @@ type entry struct {
 type call struct {
 	key       Key
 	attempt   int
+	req       uint64 // client-assigned request ID, stable across retries
+	start     time.Duration
 	completed bool
 	resp      *Response
 	err       error
@@ -137,6 +140,9 @@ type call struct {
 
 // fireCall tracks one fire-and-forget (ingest/invalidate) call.
 type fireCall struct {
+	req       uint64
+	op        Op
+	start     time.Duration
 	completed bool
 	cancel    func()
 	onFail    func() // runs under the client mutex
@@ -159,6 +165,8 @@ type Client struct {
 	fixes     comap.FixFunc
 	resyncFn  func() []IngestRecord
 	tr        *trace.Emitter
+	slo       *slo.Tracker
+	run       string
 	widen     float64
 
 	mu      sync.Mutex
@@ -174,8 +182,12 @@ type Client struct {
 	lastRefill  time.Duration
 
 	rung          Rung
+	rungSince     time.Duration
 	rungDecisions [4]int64
 	transitions   int64
+
+	nextReq      uint64
+	breakerOpens int64
 
 	lastEpoch       uint64
 	needResync      bool
@@ -212,6 +224,7 @@ func NewClient(transport Transport, cfg ClientConfig, widenMeters float64) *Clie
 	}
 	if cfg.Now != nil {
 		c.lastRefill = cfg.Now()
+		c.rungSince = cfg.Now()
 	}
 	return c
 }
@@ -227,8 +240,17 @@ func (c *Client) SetFixes(f comap.FixFunc) { c.fixes = f }
 // a detected restart (records must be in deterministic order).
 func (c *Client) SetResync(fn func() []IngestRecord) { c.resyncFn = fn }
 
-// SetTrace attaches an emitter for ladder-transition events ("co.ladder").
+// SetTrace attaches an emitter for ladder-transition ("co.ladder") and
+// client-side RPC lifecycle ("rpc.*") events.
 func (c *Client) SetTrace(em *trace.Emitter) { c.tr = em }
+
+// SetSLO attaches a per-endpoint SLO tracker; every call attempt's outcome
+// and latency is observed under its operation name. nil detaches.
+func (c *Client) SetSLO(t *slo.Tracker) { c.slo = t }
+
+// SetRun stamps the run fingerprint propagated in every call's causal
+// context (the X-Comap-Run header over HTTP).
+func (c *Client) SetRun(fp string) { c.run = fp }
 
 // AdoptEpoch primes the client's view of the service epoch so the first
 // successful call is not mistaken for a restart.
@@ -246,13 +268,19 @@ func (c *Client) Verdict(observer frame.NodeID, ongoing comap.Link, myDst frame.
 
 	c.mu.Lock()
 	if c.breakerStateLocked(now) == breakerClosed && found {
-		c.serveRungLocked(RungFresh)
+		c.serveRungLocked(RungFresh, 0)
 		c.mu.Unlock()
 		return comap.RemoteVerdict{Source: comap.RemoteCachedFresh, Allowed: cachedAllowed}
 	}
 	var cl *call
-	if _, busy := c.pending[key]; !busy && c.allowCallLocked(now) {
-		cl = c.newCallLocked(key, 0)
+	if _, busy := c.pending[key]; !busy {
+		if c.allowCallLocked(now) {
+			cl = c.newCallLocked(key, 0, 0)
+		} else if c.tr.Enabled() {
+			// The breaker refused to issue the call: no request ID is
+			// assigned, the decision degrades immediately.
+			c.tr.Emit(trace.Event{Kind: trace.KindRPCDrop, Op: OpName(OpVerdict), Reason: "breaker_open"})
+		}
 	}
 	c.mu.Unlock()
 
@@ -262,14 +290,18 @@ func (c *Client) Verdict(observer frame.NodeID, ongoing comap.Link, myDst frame.
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var req uint64
+	if cl != nil {
+		req = cl.req
+	}
 	if cl != nil && cl.completed && cl.err == nil {
 		// Synchronous round trip: still the fresh rung.
-		c.serveRungLocked(RungFresh)
+		c.serveRungLocked(RungFresh, req)
 		v := cl.resp.Verdict
 		if v.Unhealthy {
-			return comap.RemoteVerdict{Source: comap.RemoteValidated, Unhealthy: true}
+			return comap.RemoteVerdict{Source: comap.RemoteValidated, Unhealthy: true, Req: req}
 		}
-		return comap.RemoteVerdict{Source: comap.RemoteValidated, Allowed: v.Allowed}
+		return comap.RemoteVerdict{Source: comap.RemoteValidated, Allowed: v.Allowed, Req: req}
 	}
 	// Degraded: the call is in flight, failed, or the breaker refused it.
 	// A degraded tier may only JUSTIFY concurrency — a conservative deny is
@@ -277,51 +309,75 @@ func (c *Client) Verdict(observer frame.NodeID, ongoing comap.Link, myDst frame.
 	// plain DCF does (the rung reflects the behaviour actually delivered).
 	if e, ok := c.entries[key]; ok && now-e.at <= c.cfg.StaleFor {
 		if e.wide {
-			c.serveRungLocked(RungStale)
-			return comap.RemoteVerdict{Source: comap.RemoteStale, Allowed: true}
+			c.serveRungLocked(RungStale, req)
+			return comap.RemoteVerdict{Source: comap.RemoteStale, Allowed: true, Req: req}
 		}
-		c.serveRungLocked(RungDCF)
-		return comap.RemoteVerdict{Source: comap.RemoteUnavailable}
+		c.serveRungLocked(RungDCF, req)
+		return comap.RemoteVerdict{Source: comap.RemoteUnavailable, Req: req}
 	}
 	if c.fixes != nil {
 		if allowed, ok := c.judge.DecideWide(c.fixes, observer, ongoing, myDst, c.widen); ok && allowed {
-			c.serveRungLocked(RungCoarse)
-			return comap.RemoteVerdict{Source: comap.RemoteCoarse, Allowed: true}
+			c.serveRungLocked(RungCoarse, req)
+			return comap.RemoteVerdict{Source: comap.RemoteCoarse, Allowed: true, Req: req}
 		}
 	}
-	c.serveRungLocked(RungDCF)
-	return comap.RemoteVerdict{Source: comap.RemoteUnavailable}
+	c.serveRungLocked(RungDCF, req)
+	return comap.RemoteVerdict{Source: comap.RemoteUnavailable, Req: req}
 }
 
 // serveRungLocked counts a decision served from the given rung and records
-// the transition when the rung changed.
-func (c *Client) serveRungLocked(r Rung) {
+// the transition when the rung changed. req is the control-plane request
+// that decided (or failed to decide) this verdict — a transition's event
+// carries it so the analyzer can attribute the ladder drop to the specific
+// request that caused it (0 when no RPC was issued).
+func (c *Client) serveRungLocked(r Rung, req uint64) {
 	c.rungDecisions[r]++
 	if r != c.rung {
 		if c.tr.Enabled() {
 			c.tr.Emit(trace.Event{
 				Kind:   trace.KindCoLadder,
 				Reason: c.rung.String() + "->" + r.String(),
+				Req:    req,
 			})
 		}
 		c.rung = r
+		if c.cfg.Now != nil {
+			c.rungSince = c.cfg.Now()
+		}
 		c.transitions++
 	}
 }
 
-func (c *Client) newCallLocked(key Key, attempt int) *call {
-	cl := &call{key: key, attempt: attempt}
+// newCallLocked opens a call attempt. req 0 assigns a fresh request ID
+// (first attempt); retries pass the original request's ID through.
+func (c *Client) newCallLocked(key Key, attempt int, req uint64) *call {
+	if req == 0 {
+		c.nextReq++
+		req = c.nextReq
+	}
+	cl := &call{key: key, attempt: attempt, req: req, start: c.cfg.Now()}
 	c.pending[key] = cl
 	c.calls++
 	if c.breaker == breakerHalfOpen {
 		c.probing = true
+	}
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Kind: trace.KindRPCCall, Op: OpName(OpVerdict),
+			Req: req, Attempt: attempt + 1,
+		})
 	}
 	return cl
 }
 
 // send issues the call with the mutex released; done may run inline.
 func (c *Client) send(cl *call) {
-	completed := c.transport.Invoke(&Request{Op: OpVerdict, Key: cl.key}, func(r *Response, err error) {
+	req := &Request{
+		Op:  OpVerdict,
+		Key: cl.key,
+		Ctx: CallContext{Run: c.run, Req: cl.req, Attempt: cl.attempt + 1},
+	}
+	completed := c.transport.Invoke(req, func(r *Response, err error) {
 		c.onDone(cl, r, err)
 	})
 	if !completed {
@@ -348,11 +404,24 @@ func (c *Client) onDone(cl *call, r *Response, err error) {
 	}
 	delete(c.pending, cl.key)
 	now := c.cfg.Now()
+	c.observeLocked(OpVerdict, now-cl.start, err == nil)
 	if err != nil {
 		c.failuresTotal++
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDone, Op: OpName(OpVerdict), Reason: errReason(err),
+				Req: cl.req, Attempt: cl.attempt + 1, DurUs: int64((now - cl.start) / time.Microsecond),
+			})
+		}
 		c.onFailureLocked(now)
 		c.maybeRetryLocked(cl, now)
 	} else {
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDone, Op: OpName(OpVerdict), Reason: "ok",
+				Req: cl.req, Attempt: cl.attempt + 1, DurUs: int64((now - cl.start) / time.Microsecond),
+			})
+		}
 		doResync = c.onSuccessLocked(r)
 		if !r.Verdict.Unhealthy {
 			c.entries[cl.key] = entry{allowed: r.Verdict.Allowed, wide: r.Verdict.Wide, at: now}
@@ -376,32 +445,101 @@ func (c *Client) onDeadline(cl *call) {
 	now := c.cfg.Now()
 	c.timeouts++
 	c.failuresTotal++
+	c.observeLocked(OpVerdict, now-cl.start, false)
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Kind: trace.KindRPCTimeout, Op: OpName(OpVerdict),
+			Req: cl.req, Attempt: cl.attempt + 1, DurUs: int64((now - cl.start) / time.Microsecond),
+		})
+	}
 	c.onFailureLocked(now)
 	c.maybeRetryLocked(cl, now)
 	c.mu.Unlock()
 }
 
+// observeLocked feeds one attempt outcome to the SLO tracker.
+func (c *Client) observeLocked(op Op, latency time.Duration, ok bool) {
+	if c.slo != nil {
+		c.slo.Observe(OpName(op), latency, ok)
+	}
+}
+
+// errReason classifies a call error for trace events.
+func errReason(err error) string {
+	switch err {
+	case ErrUnavailable:
+		return "unavailable"
+	case ErrDeadline:
+		return "deadline"
+	default:
+		return "error"
+	}
+}
+
 func (c *Client) maybeRetryLocked(cl *call, now time.Duration) {
-	if cl.attempt >= c.cfg.MaxRetries || !c.allowCallLocked(now) {
+	if cl.attempt >= c.cfg.MaxRetries {
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDrop, Op: OpName(OpVerdict), Reason: "retries_exhausted",
+				Req: cl.req, Attempt: cl.attempt + 1,
+			})
+		}
+		return
+	}
+	if !c.allowCallLocked(now) {
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDrop, Op: OpName(OpVerdict), Reason: "breaker_open",
+				Req: cl.req, Attempt: cl.attempt + 1,
+			})
+		}
 		return
 	}
 	if !c.takeTokenLocked(now) {
 		c.budgetExhausted++
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDrop, Op: OpName(OpVerdict), Reason: "budget_exhausted",
+				Req: cl.req, Attempt: cl.attempt + 1,
+			})
+		}
 		return
 	}
 	c.retries++
 	attempt := cl.attempt + 1
 	key := cl.key
-	c.cfg.After(c.backoffLocked(attempt), func() { c.retryCall(key, attempt) })
+	req := cl.req
+	backoff := c.backoffLocked(attempt)
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Kind: trace.KindRPCRetry, Op: OpName(OpVerdict), Req: req,
+			Attempt: attempt + 1, DurUs: int64(backoff / time.Microsecond),
+		})
+	}
+	c.cfg.After(backoff, func() { c.retryCall(key, attempt, req) })
 }
 
-func (c *Client) retryCall(key Key, attempt int) {
+func (c *Client) retryCall(key Key, attempt int, req uint64) {
 	c.mu.Lock()
-	if _, busy := c.pending[key]; busy || !c.allowCallLocked(c.cfg.Now()) {
+	busy := false
+	if _, ok := c.pending[key]; ok {
+		busy = true
+	}
+	if busy || !c.allowCallLocked(c.cfg.Now()) {
+		if c.tr.Enabled() {
+			reason := "breaker_open"
+			if busy {
+				reason = "busy"
+			}
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDrop, Op: OpName(OpVerdict), Reason: reason,
+				Req: req, Attempt: attempt + 1,
+			})
+		}
 		c.mu.Unlock()
 		return
 	}
-	cl := c.newCallLocked(key, attempt)
+	cl := c.newCallLocked(key, attempt, req)
 	c.mu.Unlock()
 	c.send(cl)
 }
@@ -426,10 +564,27 @@ func (c *Client) backoffLocked(attempt int) time.Duration {
 // expired open circuit.
 func (c *Client) breakerStateLocked(now time.Duration) int {
 	if c.breaker == breakerOpen && now >= c.openUntil {
-		c.breaker = breakerHalfOpen
+		c.setBreakerLocked(breakerHalfOpen)
 		c.probing = false
 	}
 	return c.breaker
+}
+
+// setBreakerLocked moves the breaker and records the transition.
+func (c *Client) setBreakerLocked(state int) {
+	if state == c.breaker {
+		return
+	}
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Kind:   trace.KindRPCBreaker,
+			Reason: breakerName(c.breaker) + "->" + breakerName(state),
+		})
+	}
+	if state == breakerOpen {
+		c.breakerOpens++
+	}
+	c.breaker = state
 }
 
 func (c *Client) allowCallLocked(now time.Duration) bool {
@@ -448,12 +603,12 @@ func (c *Client) onFailureLocked(now time.Duration) {
 	case breakerClosed:
 		c.failures++
 		if c.failures >= c.cfg.BreakerFailures {
-			c.breaker = breakerOpen
+			c.setBreakerLocked(breakerOpen)
 			c.openUntil = now + c.cfg.BreakerCooldown
 			c.failures = 0
 		}
 	case breakerHalfOpen:
-		c.breaker = breakerOpen
+		c.setBreakerLocked(breakerOpen)
 		c.openUntil = now + c.cfg.BreakerCooldown
 		c.probing = false
 	}
@@ -464,7 +619,7 @@ func (c *Client) onFailureLocked(now time.Duration) {
 func (c *Client) onSuccessLocked(r *Response) bool {
 	c.failures = 0
 	if c.breaker != breakerClosed {
-		c.breaker = breakerClosed
+		c.setBreakerLocked(breakerClosed)
 		c.probing = false
 	}
 	doResync := false
@@ -526,6 +681,9 @@ func (c *Client) InvalidateNode(id frame.NodeID) {
 	if !allowed {
 		c.pendingInval[id] = true
 		c.needResync = true
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{Kind: trace.KindRPCDrop, Op: OpName(OpInvalidateNode), Reason: "breaker_open"})
+		}
 	}
 	c.mu.Unlock()
 	if allowed {
@@ -547,6 +705,12 @@ func (c *Client) sendIngest(recs []IngestRecord, onFail func()) {
 		// Breaker open: don't hammer a down service with the fix stream;
 		// the post-recovery resync replays the full registry instead.
 		c.needResync = true
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDrop, Op: OpName(OpIngest),
+				Reason: "breaker_open", Count: len(recs),
+			})
+		}
 		if onFail != nil {
 			onFail()
 		}
@@ -559,9 +723,22 @@ func (c *Client) sendIngest(recs []IngestRecord, onFail func()) {
 
 // fire issues a fire-and-forget call with deadline tracking: failures and
 // timeouts feed the breaker and flag a resync, successes feed epoch-change
-// detection.
+// detection. Fire-and-forget requests are single-attempt — they are never
+// retried, the resync plane replays them instead.
 func (c *Client) fire(req *Request, onFail func()) {
-	f := &fireCall{onFail: onFail}
+	f := &fireCall{onFail: onFail, op: req.Op}
+	c.mu.Lock()
+	c.nextReq++
+	f.req = c.nextReq
+	f.start = c.cfg.Now()
+	req.Ctx = CallContext{Run: c.run, Req: f.req, Attempt: 1}
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Kind: trace.KindRPCCall, Op: OpName(req.Op),
+			Req: f.req, Attempt: 1, Count: len(req.Recs),
+		})
+	}
+	c.mu.Unlock()
 	completed := c.transport.Invoke(req, func(r *Response, err error) { c.onFireDone(f, r, err) })
 	if !completed {
 		c.mu.Lock()
@@ -585,14 +762,27 @@ func (c *Client) onFireDone(f *fireCall, r *Response, err error) {
 		f.cancel = nil
 	}
 	now := c.cfg.Now()
+	c.observeLocked(f.op, now-f.start, err == nil)
 	if err != nil {
 		c.failuresTotal++
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDone, Op: OpName(f.op), Reason: errReason(err),
+				Req: f.req, Attempt: 1, DurUs: int64((now - f.start) / time.Microsecond),
+			})
+		}
 		c.onFailureLocked(now)
 		c.needResync = true
 		if f.onFail != nil {
 			f.onFail()
 		}
 	} else {
+		if c.tr.Enabled() {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindRPCDone, Op: OpName(f.op), Reason: "ok",
+				Req: f.req, Attempt: 1, DurUs: int64((now - f.start) / time.Microsecond),
+			})
+		}
 		doResync = c.onSuccessLocked(r)
 	}
 	c.mu.Unlock()
@@ -610,7 +800,15 @@ func (c *Client) onFireTimeout(f *fireCall) {
 	f.completed = true
 	c.timeouts++
 	c.failuresTotal++
-	c.onFailureLocked(c.cfg.Now())
+	now := c.cfg.Now()
+	c.observeLocked(f.op, now-f.start, false)
+	if c.tr.Enabled() {
+		c.tr.Emit(trace.Event{
+			Kind: trace.KindRPCTimeout, Op: OpName(f.op),
+			Req: f.req, Attempt: 1, DurUs: int64((now - f.start) / time.Microsecond),
+		})
+	}
+	c.onFailureLocked(now)
 	c.needResync = true
 	if f.onFail != nil {
 		f.onFail()
@@ -670,7 +868,13 @@ func sortNodeIDs(ids []frame.NodeID) {
 // ClientStatus is a race-safe snapshot for /healthz.
 type ClientStatus struct {
 	Breaker string `json:"breaker"`
-	Rung    string `json:"rung"`
+	// BreakerOpens counts circuit-breaker trips (transitions into open).
+	BreakerOpens int64  `json:"breaker_opens"`
+	Rung         string `json:"rung"`
+	// RungDwellSec is how long the client has been serving from the
+	// current ladder rung — a degraded run is diagnosable from one scrape
+	// (is this a blip or a stuck degradation?).
+	RungDwellSec float64 `json:"rung_dwell_sec"`
 	// RetryBudget is the remaining retry tokens.
 	RetryBudget float64 `json:"retry_budget"`
 	// RungDecisions counts decisions served per rung.
@@ -693,6 +897,7 @@ func (c *Client) Status() ClientStatus {
 	defer c.mu.Unlock()
 	st := ClientStatus{
 		Breaker:           breakerName(c.breaker),
+		BreakerOpens:      c.breakerOpens,
 		Rung:              c.rung.String(),
 		RetryBudget:       float64(c.tokensMilli) / 1000,
 		LadderTransitions: c.transitions,
@@ -705,6 +910,9 @@ func (c *Client) Status() ClientStatus {
 		Resyncs:           c.resyncs,
 		PendingCalls:      len(c.pending),
 		Epoch:             c.lastEpoch,
+	}
+	if c.cfg.Now != nil {
+		st.RungDwellSec = (c.cfg.Now() - c.rungSince).Seconds()
 	}
 	st.RungDecisions = map[string]int64{
 		RungFresh.String():  c.rungDecisions[RungFresh],

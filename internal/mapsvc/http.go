@@ -7,23 +7,58 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/comap"
 	"repro/internal/frame"
+	"repro/internal/slo"
 )
+
+// Causal-context headers: the client's CallContext travels with every call
+// so server-side events join their client-side attempts.
+const (
+	HeaderRun     = "X-Comap-Run"
+	HeaderReq     = "X-Comap-Req"
+	HeaderAttempt = "X-Comap-Attempt"
+)
+
+// ctxFromHeaders recovers the caller's causal context; absent headers
+// yield the zero context (an untraced caller).
+func ctxFromHeaders(r *http.Request) CallContext {
+	ctx := CallContext{Run: r.Header.Get(HeaderRun)}
+	if v := r.Header.Get(HeaderReq); v != "" {
+		ctx.Req, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if v := r.Header.Get(HeaderAttempt); v != "" {
+		ctx.Attempt, _ = strconv.Atoi(v)
+	}
+	return ctx
+}
+
+// StatusWithSLO is the /v1/status payload: the service counters plus, when
+// a tracker is attached, the per-endpoint SLO snapshot.
+type StatusWithSLO struct {
+	ServiceStatus
+	SLO *slo.Status `json:"slo,omitempty"`
+}
 
 // NewHTTPHandler exposes the service over HTTP for cmd/comap-mapd:
 //
 //	POST /v1/ingest      body: concatenated binary IngestRecords
 //	GET  /v1/verdict     ?obs=&src=&dst=&mydst=   → JSON verdict + epoch
 //	POST /v1/invalidate  ?node=N or ?all=1
-//	GET  /v1/status      → ServiceStatus JSON
+//	GET  /v1/status      → ServiceStatus JSON (+ SLO block when tracked)
 //
 // maxPendingIngest bounds concurrently admitted ingest requests: beyond it
 // the handler sheds with 503 before the batch is decoded, so verdict
 // traffic keeps its capacity under ingest overload (admission control
 // protects reads from writes, not the reverse).
-func NewHTTPHandler(svc *Service, maxPendingIngest int) http.Handler {
+//
+// Requests carrying X-Comap-Run/Req/Attempt headers have their causal
+// context forwarded to the service's event stream. tracker (optional)
+// observes every endpoint's wall-clock latency and outcome — sheds and
+// unavailability count against the error budget.
+func NewHTTPHandler(svc *Service, maxPendingIngest int, tracker *slo.Tracker) http.Handler {
 	if maxPendingIngest <= 0 {
 		maxPendingIngest = 64
 	}
@@ -34,11 +69,14 @@ func NewHTTPHandler(svc *Service, maxPendingIngest int) http.Handler {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
+		start := time.Now()
+		ctx := ctxFromHeaders(r)
 		select {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
 		default:
-			svc.noteShed(1)
+			svc.noteShed(1, ctx)
+			tracker.Observe(OpName(OpIngest), time.Since(start), false)
 			http.Error(w, "ingest shed: admission control full", http.StatusServiceUnavailable)
 			return
 		}
@@ -52,10 +90,12 @@ func NewHTTPHandler(svc *Service, maxPendingIngest int) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := svc.Apply(recs); err != nil {
+		if err := svc.ApplyCtx(recs, ctx); err != nil {
+			tracker.Observe(OpName(OpIngest), time.Since(start), false)
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
+		tracker.Observe(OpName(OpIngest), time.Since(start), true)
 		writeHTTPJSON(w, map[string]any{"ingested": len(recs), "epoch": svc.Epoch()})
 	})
 	mux.HandleFunc("/v1/verdict", func(w http.ResponseWriter, r *http.Request) {
@@ -64,11 +104,14 @@ func NewHTTPHandler(svc *Service, maxPendingIngest int) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		v, err := svc.VerdictFor(key)
+		start := time.Now()
+		v, err := svc.VerdictForCtx(key, ctxFromHeaders(r))
 		if err != nil {
+			tracker.Observe(OpName(OpVerdict), time.Since(start), false)
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
+		tracker.Observe(OpName(OpVerdict), time.Since(start), true)
 		writeHTTPJSON(w, map[string]any{"verdict": v, "epoch": svc.Epoch()})
 	})
 	mux.HandleFunc("/v1/invalidate", func(w http.ResponseWriter, r *http.Request) {
@@ -76,20 +119,29 @@ func NewHTTPHandler(svc *Service, maxPendingIngest int) http.Handler {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
+		start := time.Now()
+		ctx := ctxFromHeaders(r)
 		if r.URL.Query().Get("all") != "" {
-			svc.InvalidateAll()
+			svc.InvalidateAllCtx(ctx)
+			tracker.Observe(OpName(OpInvalidateAll), time.Since(start), !svc.Down())
 		} else {
 			node, err := nodeParam(r, "node")
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
-			svc.InvalidateNode(node)
+			svc.InvalidateNodeCtx(node, ctx)
+			tracker.Observe(OpName(OpInvalidateNode), time.Since(start), !svc.Down())
 		}
 		writeHTTPJSON(w, map[string]any{"epoch": svc.Epoch()})
 	})
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
-		writeHTTPJSON(w, svc.Status())
+		st := StatusWithSLO{ServiceStatus: svc.Status()}
+		if tracker != nil {
+			s := tracker.Status()
+			st.SLO = &s
+		}
+		writeHTTPJSON(w, st)
 	})
 	return mux
 }
@@ -144,6 +196,26 @@ func (t *HTTPTransport) Invoke(req *Request, done func(*Response, error)) bool {
 	return true
 }
 
+// roundTrip issues one HTTP request with the call's causal context in the
+// X-Comap-* headers.
+func (t *HTTPTransport) roundTrip(hc *http.Client, method, url, contentType string, body io.Reader, ctx CallContext) (*http.Response, error) {
+	hreq, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		hreq.Header.Set("Content-Type", contentType)
+	}
+	if ctx.Run != "" {
+		hreq.Header.Set(HeaderRun, ctx.Run)
+	}
+	if ctx.Req != 0 {
+		hreq.Header.Set(HeaderReq, strconv.FormatUint(ctx.Req, 10))
+		hreq.Header.Set(HeaderAttempt, strconv.Itoa(ctx.Attempt))
+	}
+	return hc.Do(hreq)
+}
+
 func (t *HTTPTransport) do(req *Request) (*Response, error) {
 	hc := t.Client
 	if hc == nil {
@@ -157,7 +229,7 @@ func (t *HTTPTransport) do(req *Request) (*Response, error) {
 	case OpVerdict:
 		url := fmt.Sprintf("%s/v1/verdict?obs=%d&src=%d&dst=%d&mydst=%d",
 			t.Base, req.Key.Observer, req.Key.Ongoing.Src, req.Key.Ongoing.Dst, req.Key.MyDst)
-		httpResp, err = hc.Get(url)
+		httpResp, err = t.roundTrip(hc, http.MethodGet, url, "", nil, req.Ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -174,12 +246,13 @@ func (t *HTTPTransport) do(req *Request) (*Response, error) {
 		}
 		return &Response{Verdict: out.Verdict, Epoch: out.Epoch}, nil
 	case OpIngest:
-		httpResp, err = hc.Post(t.Base+"/v1/ingest", "application/octet-stream",
-			bytes.NewReader(EncodeRecords(req.Recs)))
+		httpResp, err = t.roundTrip(hc, http.MethodPost, t.Base+"/v1/ingest",
+			"application/octet-stream", bytes.NewReader(EncodeRecords(req.Recs)), req.Ctx)
 	case OpInvalidateNode:
-		httpResp, err = hc.Post(fmt.Sprintf("%s/v1/invalidate?node=%d", t.Base, req.Node), "", nil)
+		httpResp, err = t.roundTrip(hc, http.MethodPost,
+			fmt.Sprintf("%s/v1/invalidate?node=%d", t.Base, req.Node), "", nil, req.Ctx)
 	case OpInvalidateAll:
-		httpResp, err = hc.Post(t.Base+"/v1/invalidate?all=1", "", nil)
+		httpResp, err = t.roundTrip(hc, http.MethodPost, t.Base+"/v1/invalidate?all=1", "", nil, req.Ctx)
 	default:
 		return nil, fmt.Errorf("mapsvc: unknown op %d", req.Op)
 	}

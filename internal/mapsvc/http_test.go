@@ -1,0 +1,170 @@
+package mapsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comap"
+	"repro/internal/geom"
+	"repro/internal/loc"
+	"repro/internal/slo"
+	"repro/internal/trace"
+)
+
+// newHTTPFixture stands up the comap-mapd stack — Service behind
+// NewHTTPHandler on a loopback listener — with the server-side event
+// stream captured and an SLO tracker attached.
+func newHTTPFixture(t *testing.T) (*httptest.Server, *Service, *slo.Tracker, func() []trace.Event) {
+	t.Helper()
+	start := time.Now()
+	now := func() time.Duration { return time.Since(start) }
+	svc := NewService(ServiceConfig{
+		Judge: testJudge(comap.HealthPolicy{}, nil),
+		Now:   now,
+	})
+	if err := svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []trace.Event
+	svc.SetEvents(func(e trace.Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	tracker := slo.NewTracker(now, slo.DefaultObjectives()...)
+	srv := httptest.NewServer(NewHTTPHandler(svc, 0, tracker))
+	t.Cleanup(srv.Close)
+	snapshot := func() []trace.Event {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([]trace.Event, len(events))
+		copy(out, events)
+		return out
+	}
+	return srv, svc, tracker, snapshot
+}
+
+// TestHTTPCausalHeadersReachServerEvents drives the real HTTP transport
+// with a populated call context and asserts the X-Comap-* headers carry
+// the request identity into the server-side rpc.srv events — the join key
+// comap-trace rpc stitches on.
+func TestHTTPCausalHeadersReachServerEvents(t *testing.T) {
+	srv, _, _, snapshot := newHTTPFixture(t)
+	tr := &HTTPTransport{Base: srv.URL, Client: srv.Client()}
+
+	ingest := &Request{
+		Op: OpIngest,
+		Recs: []IngestRecord{{
+			Op: RecReport, Node: 1,
+			Fix: loc.Fix{Pos: geom.Pt(10, 10), ReportedAt: time.Second, ErrorRadiusMeters: 2},
+		}},
+		Ctx: CallContext{Run: "deadbeef-7", Req: 42, Attempt: 1},
+	}
+	var callErr error
+	tr.Invoke(ingest, func(_ *Response, err error) { callErr = err })
+	if callErr != nil {
+		t.Fatalf("ingest over HTTP: %v", callErr)
+	}
+	verdict := &Request{
+		Op:  OpVerdict,
+		Key: Key{Observer: 1, Ongoing: comap.Link{Src: 1, Dst: 2}, MyDst: 3},
+		Ctx: CallContext{Run: "deadbeef-7", Req: 43, Attempt: 2},
+	}
+	tr.Invoke(verdict, func(_ *Response, err error) { callErr = err })
+	if callErr != nil {
+		t.Fatalf("verdict over HTTP: %v", callErr)
+	}
+
+	byReq := make(map[uint64]trace.Event)
+	for _, e := range snapshot() {
+		if e.Kind == trace.KindRPCServer && e.Req != 0 {
+			byReq[e.Req] = e
+		}
+	}
+	admit, ok := byReq[42]
+	if !ok {
+		t.Fatal("ingest produced no rpc.srv event carrying req 42 — headers dropped")
+	}
+	if admit.Reason != "admit" || admit.Op != "ingest" || admit.Attempt != 1 || admit.Count != 1 {
+		t.Errorf("ingest server event = %+v, want admit/ingest attempt 1 count 1", admit)
+	}
+	miss, ok := byReq[43]
+	if !ok {
+		t.Fatal("verdict produced no rpc.srv event carrying req 43 — headers dropped")
+	}
+	if miss.Reason != "miss" || miss.Op != "verdict" || miss.Attempt != 2 {
+		t.Errorf("verdict server event = %+v, want miss/verdict attempt 2", miss)
+	}
+}
+
+// TestHTTPStatusCarriesSLO asserts /v1/status folds the tracker's
+// per-endpoint SLO block in, with the handler-observed request counted.
+func TestHTTPStatusCarriesSLO(t *testing.T) {
+	srv, _, _, _ := newHTTPFixture(t)
+	tr := &HTTPTransport{Base: srv.URL, Client: srv.Client()}
+	req := &Request{
+		Op:  OpVerdict,
+		Key: Key{Observer: 1, Ongoing: comap.Link{Src: 1, Dst: 2}, MyDst: 3},
+		Ctx: CallContext{Req: 1, Attempt: 1},
+	}
+	var callErr error
+	tr.Invoke(req, func(_ *Response, err error) { callErr = err })
+	if callErr != nil {
+		t.Fatal(callErr)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatusWithSLO
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SLO == nil {
+		t.Fatal("/v1/status has no slo block with a tracker attached")
+	}
+	found := false
+	for _, ep := range st.SLO.Endpoints {
+		if ep.Endpoint == "verdict" {
+			found = true
+			if ep.Requests < 1 {
+				t.Errorf("verdict endpoint requests = %d, want >= 1", ep.Requests)
+			}
+		}
+	}
+	if !found {
+		t.Error("slo block missing the verdict endpoint")
+	}
+}
+
+// TestHTTPRequestsWithoutHeadersStillServe pins backward compatibility:
+// a plain client with no X-Comap-* headers gets served, and the server
+// events carry the zero request ID (collected as request-less admissions,
+// not joined spans).
+func TestHTTPRequestsWithoutHeadersStillServe(t *testing.T) {
+	srv, _, _, snapshot := newHTTPFixture(t)
+	resp, err := srv.Client().Get(srv.URL + "/v1/verdict?obs=1&src=1&dst=2&mydst=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare verdict request: status %d", resp.StatusCode)
+	}
+	for _, e := range snapshot() {
+		if e.Kind == trace.KindRPCServer && e.Op == "verdict" {
+			if e.Req != 0 || e.Attempt != 0 {
+				t.Fatalf("header-less request produced ctx-stamped event %+v", e)
+			}
+			return
+		}
+	}
+	t.Fatal("no verdict server event at all")
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/comap"
 	"repro/internal/frame"
 	"repro/internal/loc"
+	"repro/internal/trace"
 )
 
 // ErrUnavailable reports a call that reached a crashed or shedding service.
@@ -103,8 +104,9 @@ type verdictShard struct {
 // and the persistence plane. All methods are safe for concurrent use; the
 // stats are atomics so the observability plane can scrape mid-load.
 type Service struct {
-	cfg   ServiceConfig
-	fixFn comap.FixFunc
+	cfg    ServiceConfig
+	fixFn  comap.FixFunc
+	events func(trace.Event)
 
 	shards  []*fixShard
 	vshards []*verdictShard
@@ -156,6 +158,31 @@ func NewService(cfg ServiceConfig) *Service {
 	return s
 }
 
+// SetEvents installs the server-side structured event sink: every
+// admission, shed, verdict hit/miss, invalidation, epoch bump and WAL
+// replay is reported as a trace.Event of kind "rpc.srv" carrying the
+// caller's causal context. The sink runs on the serving path (the sim
+// loop, or an HTTP handler goroutine) so it must be cheap; stamping the
+// event with a time and node is the sink's job. Emission is purely
+// observational — a nil sink (the default) records nothing at zero cost.
+func (s *Service) SetEvents(fn func(trace.Event)) { s.events = fn }
+
+// emit reports one server-side event under the caller's causal context.
+func (s *Service) emit(reason, op string, ctx CallContext, count int) {
+	if s.events == nil {
+		return
+	}
+	s.events(trace.Event{
+		Kind:    trace.KindRPCServer,
+		Reason:  reason,
+		Op:      op,
+		Req:     ctx.Req,
+		Attempt: ctx.Attempt,
+		Count:   count,
+		Epoch:   s.epoch.Load(),
+	})
+}
+
 // Epoch returns the current service epoch.
 func (s *Service) Epoch() uint64 { return s.epoch.Load() }
 
@@ -182,6 +209,11 @@ func (s *Service) fixOf(id frame.NodeID) (loc.Fix, bool) {
 // persistence is on), then apply to the fix table, then snapshot if the
 // cadence came due.
 func (s *Service) Apply(recs []IngestRecord) error {
+	return s.ApplyCtx(recs, CallContext{})
+}
+
+// ApplyCtx is Apply carrying the caller's causal context for tracing.
+func (s *Service) ApplyCtx(recs []IngestRecord, ctx CallContext) error {
 	if s.down.Load() {
 		return ErrUnavailable
 	}
@@ -201,6 +233,7 @@ func (s *Service) Apply(recs []IngestRecord) error {
 		s.applyOne(rec)
 	}
 	s.ingested.Add(int64(len(recs)))
+	s.emit("admit", "ingest", ctx, len(recs))
 	if doSnap {
 		if err := s.Snapshot(); err != nil {
 			return err
@@ -233,6 +266,13 @@ func (s *Service) applyOne(rec IngestRecord) {
 // transient ill-health must not poison the verdict cache, mirroring the
 // in-process agent.
 func (s *Service) VerdictFor(k Key) (Verdict, error) {
+	return s.VerdictForCtx(k, CallContext{})
+}
+
+// VerdictForCtx is VerdictFor carrying the caller's causal context: it
+// reports the request's fate ("hit", "miss", "unhealthy") on the
+// server-side event stream.
+func (s *Service) VerdictForCtx(k Key, ctx CallContext) (Verdict, error) {
 	if s.down.Load() {
 		return Verdict{}, ErrUnavailable
 	}
@@ -242,12 +282,15 @@ func (s *Service) VerdictFor(k Key) (Verdict, error) {
 	c, ok := vs.m[k]
 	vs.mu.RUnlock()
 	if ok {
+		s.emit("hit", "verdict", ctx, 0)
 		return Verdict{Allowed: c.allowed, Wide: c.wide, Cached: true}, nil
 	}
 	j := s.cfg.Judge
 	if _, _, healthy := j.FixHealth(s.fixFn, k.Observer, k.MyDst, k.Ongoing.Src, k.Ongoing.Dst); !healthy {
+		s.emit("unhealthy", "verdict", ctx, 0)
 		return Verdict{Unhealthy: true}, nil
 	}
+	s.emit("miss", "verdict", ctx, 0)
 	s.computed.Add(1)
 	allowed := j.Decide(s.fixFn, k.Observer, k.Ongoing, k.MyDst)
 	wide, wideOK := j.DecideWide(s.fixFn, k.Observer, k.Ongoing, k.MyDst, s.cfg.WidenMeters)
@@ -266,34 +309,56 @@ func (s *Service) VerdictFor(k Key) (Verdict, error) {
 // InvalidateNode drops every cached verdict involving id as a link endpoint
 // or destination — the service-side mirror of Agent.OnStationChanged.
 func (s *Service) InvalidateNode(id frame.NodeID) {
+	s.InvalidateNodeCtx(id, CallContext{})
+}
+
+// InvalidateNodeCtx is InvalidateNode carrying the caller's causal context.
+func (s *Service) InvalidateNodeCtx(id frame.NodeID, ctx CallContext) {
 	if s.down.Load() {
 		return
 	}
 	s.invalidations.Add(1)
+	dropped := 0
 	for _, vs := range s.vshards {
 		vs.mu.Lock()
 		for k := range vs.m {
 			if k.Ongoing.Src == id || k.Ongoing.Dst == id || k.MyDst == id {
 				delete(vs.m, k)
 				s.nCache.Add(-1)
+				dropped++
 			}
 		}
 		vs.mu.Unlock()
+	}
+	if s.events != nil {
+		e := trace.Event{
+			Kind: trace.KindRPCServer, Reason: "invalidate", Op: "invalidate_node",
+			Req: ctx.Req, Attempt: ctx.Attempt, Count: dropped, Epoch: s.epoch.Load(), Src: id,
+		}
+		s.events(e)
 	}
 }
 
 // InvalidateAll empties the verdict cache.
 func (s *Service) InvalidateAll() {
+	s.InvalidateAllCtx(CallContext{})
+}
+
+// InvalidateAllCtx is InvalidateAll carrying the caller's causal context.
+func (s *Service) InvalidateAllCtx(ctx CallContext) {
 	if s.down.Load() {
 		return
 	}
 	s.invalidations.Add(1)
+	dropped := 0
 	for _, vs := range s.vshards {
 		vs.mu.Lock()
+		dropped += len(vs.m)
 		s.nCache.Add(-int64(len(vs.m)))
 		vs.m = make(map[Key]cachedVerdict)
 		vs.mu.Unlock()
 	}
+	s.emit("invalidate_all", "invalidate_all", ctx, dropped)
 }
 
 // Snapshot persists the full fix table (sorted by node for determinism)
@@ -336,6 +401,7 @@ func (s *Service) fixRecords() []IngestRecord {
 func (s *Service) Crash() {
 	s.down.Store(true)
 	s.clearVolatile()
+	s.emit("crash", "", CallContext{}, 0)
 }
 
 func (s *Service) clearVolatile() {
@@ -380,11 +446,17 @@ func (s *Service) Recover() error {
 	s.epoch.Add(1)
 	s.recoveries.Add(1)
 	s.down.Store(false)
+	s.emit("wal_replay", "", CallContext{}, walLen)
+	s.emit("epoch_bump", "", CallContext{}, 0)
 	return nil
 }
 
-// noteShed counts ingest records refused by admission control.
-func (s *Service) noteShed(n int) { s.shed.Add(int64(n)) }
+// noteShed counts ingest records refused by admission control and reports
+// the shed on the server-side event stream.
+func (s *Service) noteShed(n int, ctx CallContext) {
+	s.shed.Add(int64(n))
+	s.emit("shed", "ingest", ctx, n)
+}
 
 // ServiceStatus is a race-safe snapshot for /healthz and /v1/status.
 type ServiceStatus struct {

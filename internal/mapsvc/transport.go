@@ -21,12 +21,40 @@ const (
 	OpInvalidateAll
 )
 
+// OpName names an operation for trace events and SLO endpoints.
+func OpName(op Op) string {
+	switch op {
+	case OpVerdict:
+		return "verdict"
+	case OpIngest:
+		return "ingest"
+	case OpInvalidateNode:
+		return "invalidate_node"
+	case OpInvalidateAll:
+		return "invalidate_all"
+	default:
+		return "unknown"
+	}
+}
+
+// CallContext is the causal context propagated with every control-plane
+// call so client attempts and server-side events can be stitched into one
+// span: the run fingerprint, the client-assigned request ID (monotonic,
+// never zero) and the 1-based attempt sequence within the request. Over
+// HTTP it travels as the X-Comap-Run/X-Comap-Req/X-Comap-Attempt headers.
+type CallContext struct {
+	Run     string
+	Req     uint64
+	Attempt int
+}
+
 // Request is one control-plane call.
 type Request struct {
 	Op   Op
 	Key  Key            // OpVerdict
 	Recs []IngestRecord // OpIngest
 	Node frame.NodeID   // OpInvalidateNode
+	Ctx  CallContext    // causal context for tracing; zero when untraced
 }
 
 // Response is the service's answer.
@@ -105,25 +133,25 @@ func (t *SimTransport) Invoke(req *Request, done func(*Response, error)) bool {
 func (t *SimTransport) apply(req *Request) (*Response, error) {
 	switch req.Op {
 	case OpVerdict:
-		v, err := t.svc.VerdictFor(req.Key)
+		v, err := t.svc.VerdictForCtx(req.Key, req.Ctx)
 		if err != nil {
 			return nil, err
 		}
 		return &Response{Verdict: v, Epoch: t.svc.Epoch()}, nil
 	case OpIngest:
-		if err := t.svc.Apply(req.Recs); err != nil {
+		if err := t.svc.ApplyCtx(req.Recs, req.Ctx); err != nil {
 			return nil, err
 		}
 	case OpInvalidateNode:
 		if t.svc.Down() {
 			return nil, ErrUnavailable
 		}
-		t.svc.InvalidateNode(req.Node)
+		t.svc.InvalidateNodeCtx(req.Node, req.Ctx)
 	case OpInvalidateAll:
 		if t.svc.Down() {
 			return nil, ErrUnavailable
 		}
-		t.svc.InvalidateAll()
+		t.svc.InvalidateAllCtx(req.Ctx)
 	}
 	return &Response{Epoch: t.svc.Epoch()}, nil
 }

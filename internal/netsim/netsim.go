@@ -28,6 +28,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/rate"
 	"repro/internal/sim"
+	"repro/internal/slo"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -310,6 +311,9 @@ type Network struct {
 	MapService   *mapsvc.Service
 	MapClient    *mapsvc.Client
 	mapTransport *mapsvc.SimTransport
+	// SLO tracks per-endpoint control-plane latency/error objectives in
+	// virtual time (nil unless Options.ComapRemote).
+	SLO *slo.Tracker
 
 	// Fault-injection state (nil/empty without Options.Faults/RPCFaults).
 	injector *faults.Injector
@@ -466,6 +470,17 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		client.SetJudge(judge)
 		client.SetFixes(func(id frame.NodeID) (loc.Fix, bool) { return n.Locs.Fix(id) })
 		client.SetTrace(trace.NewEmitter(eng, frame.Broadcast, opts.Trace))
+		// Causal run fingerprint for the X-Comap-Run header and stitched
+		// spans: options digest + seed, matching the audit manifest.
+		client.SetRun(fmt.Sprintf("%016x-%d", optionsFingerprint(opts), opts.Seed))
+		// The SLO tracker and server-side event stream are pure observers:
+		// they draw no RNG and schedule no events, so a zero-fault traced
+		// run stays bit-identical to an untraced one.
+		n.SLO = slo.NewTracker(eng.Now, slo.DefaultObjectives()...)
+		client.SetSLO(n.SLO)
+		if em := trace.NewEmitter(eng, frame.Broadcast, opts.Trace); em != nil {
+			svc.SetEvents(em.Emit)
+		}
 		client.SetResync(func() []mapsvc.IngestRecord {
 			// Full-registry dump in topology (ID) order: the deterministic
 			// re-seed after a detected service restart.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/mapsvc"
 	"repro/internal/metrics"
+	"repro/internal/slo"
 	"repro/internal/topology"
 )
 
@@ -35,6 +36,9 @@ type Report struct {
 	// RPC-fault-injected runs (a zero-RPC-fault remote run must stay
 	// byte-identical to its in-process golden).
 	ControlPlane *ControlPlaneReport `json:"control_plane,omitempty"`
+	// ControlPlaneSLO is the per-endpoint latency/error-budget block for the
+	// control-plane RPCs, gated exactly like ControlPlane.
+	ControlPlaneSLO *slo.Status `json:"control_plane_slo,omitempty"`
 }
 
 // ControlPlaneReport records how the mapsvc control plane and its client
@@ -235,6 +239,10 @@ func (n *Network) Report(res *Results) *Report {
 			Spec:    n.Opts.RPCFaults.String(),
 			Client:  n.MapClient.Status(),
 			Service: n.MapService.Status(),
+		}
+		if n.SLO != nil {
+			st := n.SLO.Status()
+			r.ControlPlaneSLO = &st
 		}
 	}
 	return r

@@ -43,4 +43,7 @@ func AttachNetwork(s *Server, name string, n *netsim.Network) {
 	if n.Audit != nil {
 		s.AddLedger(name, n.Audit)
 	}
+	if n.SLO != nil {
+		s.AddSLO(name+".mapsvc", n.SLO.Status)
+	}
 }

@@ -43,6 +43,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/metrics"
 	"repro/internal/prof"
+	"repro/internal/slo"
 )
 
 // Options configures a Server.
@@ -64,6 +65,10 @@ type RunFunc func() any
 // payload. It must be safe to call from any goroutine.
 type HealthFunc func() (status string, detail any)
 
+// SLOFunc produces a point-in-time SLO snapshot. It must be safe to call
+// from any goroutine (slo.Tracker.Status is).
+type SLOFunc func() slo.Status
+
 // Server is the admin plane. Register sources, then Start (or mount
 // Handler yourself). Zero value is usable; nil is a no-op.
 type Server struct {
@@ -75,6 +80,7 @@ type Server struct {
 	health    map[string]HealthFunc
 	profilers map[string]*prof.Profiler
 	ledgers   map[string]*audit.Ledger
+	slos      map[string]SLOFunc
 	extra     map[string]http.Handler
 
 	srv *http.Server
@@ -96,6 +102,7 @@ func NewServer(opts Options) *Server {
 		health:    make(map[string]HealthFunc),
 		profilers: make(map[string]*prof.Profiler),
 		ledgers:   make(map[string]*audit.Ledger),
+		slos:      make(map[string]SLOFunc),
 	}
 }
 
@@ -126,6 +133,16 @@ func (s *Server) AddHealth(name string, fn HealthFunc) {
 	}
 	s.mu.Lock()
 	s.health[name] = fn
+	s.mu.Unlock()
+}
+
+// AddSLO registers a named SLO snapshot source served under /slo.
+func (s *Server) AddSLO(name string, fn SLOFunc) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.slos[name] = fn
 	s.mu.Unlock()
 }
 
@@ -177,6 +194,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/audit", s.handleAudit)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -254,6 +272,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /profile            per-subsystem event/wall-time attribution (JSON; ?format=prom)")
 	fmt.Fprintln(w, "  /flight             flight-recorder ring of recent events (?dump=1 writes a file)")
 	fmt.Fprintln(w, "  /audit              determinism-ledger head digest and per-tag chains (JSON; ?format=prom)")
+	fmt.Fprintln(w, "  /slo                per-endpoint latency objectives, error budgets, burn rates (JSON; ?format=prom)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go profiling endpoints")
 	fmt.Fprintln(w, "  /debug/profile/cpu  capture a CPU profile to the results dir (?seconds=N)")
 	fmt.Fprintln(w, "  /debug/profile/heap capture a heap profile to the results dir")

@@ -1,0 +1,228 @@
+package rpcspan
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestServedSpanJoinsServerAndDecision(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRPCCall, AtMicros: 100, Req: 1, Attempt: 1, Op: "verdict"},
+		{Kind: trace.KindRPCServer, AtMicros: 101, Req: 1, Attempt: 1, Op: "verdict", Reason: "miss", Epoch: 1},
+		{Kind: trace.KindRPCDone, AtMicros: 102, Req: 1, Attempt: 1, Reason: "ok", DurUs: 2},
+		{Kind: trace.KindCoGrant, AtMicros: 102, Req: 1, Reason: "validated"},
+	}
+	res := FromEvents(events)
+	if len(res.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(res.Spans))
+	}
+	s := res.Spans[0]
+	if s.Outcome != SpanServed {
+		t.Errorf("outcome = %q, want served", s.Outcome)
+	}
+	if len(s.Attempts) != 1 {
+		t.Fatalf("attempts = %d, want 1", len(s.Attempts))
+	}
+	a := s.Attempts[0]
+	if a.Attribution != AttrJoined || len(a.Server) != 1 || a.Server[0].Reason != "miss" {
+		t.Errorf("attempt not joined to its server event: %+v", a)
+	}
+	if a.DurUs != 2 || a.Outcome != OutcomeOK {
+		t.Errorf("attempt outcome/latency wrong: %+v", a)
+	}
+	if s.Decision != "grant" || s.Provenance != "validated" {
+		t.Errorf("decision join wrong: %q/%q", s.Decision, s.Provenance)
+	}
+	if !res.HasServer {
+		t.Error("HasServer false with an rpc.srv event present")
+	}
+}
+
+func TestLostAttemptsAttributedAndRetriesStitched(t *testing.T) {
+	// Two attempts of one request both vanish in flight (deadline, no
+	// server event), then the client gives up; an unrelated served request
+	// proves the server stream is live.
+	events := []trace.Event{
+		{Kind: trace.KindRPCCall, AtMicros: 0, Req: 5, Attempt: 1, Op: "verdict"},
+		{Kind: trace.KindRPCTimeout, AtMicros: 20_000, Req: 5, Attempt: 1, DurUs: 20_000},
+		{Kind: trace.KindRPCRetry, AtMicros: 20_000, Req: 5, Attempt: 2, DurUs: 3_000},
+		{Kind: trace.KindRPCCall, AtMicros: 23_000, Req: 5, Attempt: 2, Op: "verdict"},
+		{Kind: trace.KindRPCTimeout, AtMicros: 43_000, Req: 5, Attempt: 2, DurUs: 20_000},
+		{Kind: trace.KindRPCDrop, AtMicros: 43_000, Req: 5, Reason: "retries_exhausted", Op: "verdict"},
+
+		{Kind: trace.KindRPCCall, AtMicros: 50_000, Req: 6, Attempt: 1, Op: "verdict"},
+		{Kind: trace.KindRPCServer, AtMicros: 50_001, Req: 6, Attempt: 1, Op: "verdict", Reason: "hit"},
+		{Kind: trace.KindRPCDone, AtMicros: 50_002, Req: 6, Attempt: 1, Reason: "ok", DurUs: 2},
+	}
+	res := FromEvents(events)
+	if len(res.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(res.Spans))
+	}
+	s := res.Span(5)
+	if s == nil || len(s.Attempts) != 2 {
+		t.Fatalf("req 5 span missing or wrong attempts: %+v", s)
+	}
+	for _, a := range s.Attempts {
+		if a.Attribution != AttrLost {
+			t.Errorf("attempt %d attribution = %q, want lost_or_partitioned", a.Seq, a.Attribution)
+		}
+	}
+	if s.Attempts[0].BackoffUs != 3_000 {
+		t.Errorf("backoff on failed attempt = %d, want 3000", s.Attempts[0].BackoffUs)
+	}
+	if s.Outcome != SpanLost {
+		t.Errorf("outcome = %q, want lost", s.Outcome)
+	}
+	if len(s.Drops) != 1 || s.Drops[0].Reason != "retries_exhausted" {
+		t.Errorf("drops = %+v, want one retries_exhausted", s.Drops)
+	}
+	if got := res.Span(6); got == nil || got.Outcome != SpanServed {
+		t.Errorf("req 6 = %+v, want served", got)
+	}
+}
+
+func TestInlineUnavailableIsServerDown(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRPCCall, AtMicros: 0, Req: 9, Attempt: 1, Op: "ingest"},
+		{Kind: trace.KindRPCDone, AtMicros: 1, Req: 9, Attempt: 1, Reason: "unavailable", DurUs: 1},
+		// Another request's server event makes the stream joinable.
+		{Kind: trace.KindRPCServer, AtMicros: 5, Req: 10, Attempt: 1, Op: "ingest", Reason: "admit"},
+	}
+	res := FromEvents(events)
+	s := res.Span(9)
+	if s == nil {
+		t.Fatal("req 9 span missing")
+	}
+	if got := s.Attempts[0].Attribution; got != AttrServerDown {
+		t.Errorf("attribution = %q, want server_down", got)
+	}
+	if s.Outcome != SpanFailed {
+		t.Errorf("outcome = %q, want failed", s.Outcome)
+	}
+}
+
+func TestClientOnlyTraceIsUnobserved(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRPCCall, AtMicros: 0, Req: 1, Attempt: 1, Op: "verdict"},
+		{Kind: trace.KindRPCTimeout, AtMicros: 20_000, Req: 1, Attempt: 1, DurUs: 20_000},
+	}
+	res := FromEvents(events)
+	if res.HasServer {
+		t.Fatal("HasServer true without rpc.srv events")
+	}
+	if got := res.Spans[0].Attempts[0].Attribution; got != AttrUnobserved {
+		t.Errorf("attribution = %q, want unobserved on a client-only trace", got)
+	}
+}
+
+func TestBreakerWindowsAndUnattachedDrops(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRPCBreaker, AtMicros: 100, Reason: "closed->open"},
+		// Refusals with no request ID land unattached and count into the
+		// open window.
+		{Kind: trace.KindRPCDrop, AtMicros: 110, Reason: "breaker_open", Op: "verdict"},
+		{Kind: trace.KindRPCDrop, AtMicros: 120, Reason: "breaker_open", Op: "ingest"},
+		{Kind: trace.KindRPCBreaker, AtMicros: 200, Reason: "open->half-open"},
+		{Kind: trace.KindRPCBreaker, AtMicros: 210, Reason: "half-open->open"},
+		{Kind: trace.KindRPCBreaker, AtMicros: 300, Reason: "open->half-open"},
+		{Kind: trace.KindRPCBreaker, AtMicros: 310, Reason: "half-open->closed"},
+	}
+	res := FromEvents(events)
+	if len(res.Breakers) != 1 {
+		t.Fatalf("breaker windows = %d, want 1 (reopen folds into the same outage)", len(res.Breakers))
+	}
+	w := res.Breakers[0]
+	if w.OpenUs != 100 || w.CloseUs != 310 {
+		t.Errorf("window [%d, %d], want [100, 310]", w.OpenUs, w.CloseUs)
+	}
+	if w.Reopens != 1 {
+		t.Errorf("reopens = %d, want 1", w.Reopens)
+	}
+	if w.Drops != 2 {
+		t.Errorf("window drops = %d, want 2", w.Drops)
+	}
+	if len(res.Unattached) != 2 {
+		t.Errorf("unattached drops = %d, want 2", len(res.Unattached))
+	}
+}
+
+func TestLadderTransitionsCarryCausalRequest(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRPCCall, AtMicros: 0, Req: 3, Attempt: 1, Op: "verdict"},
+		{Kind: trace.KindCoLadder, AtMicros: 1, Reason: "fresh->stale", Req: 3},
+		{Kind: trace.KindRPCTimeout, AtMicros: 20_000, Req: 3, Attempt: 1, DurUs: 20_000},
+		{Kind: trace.KindCoLadder, AtMicros: 30_000, Reason: "stale->fresh"},
+	}
+	res := FromEvents(events)
+	if len(res.Ladder) != 2 {
+		t.Fatalf("ladder transitions = %d, want 2", len(res.Ladder))
+	}
+	l := res.Ladder[0]
+	if l.From != "fresh" || l.To != "stale" || l.Req != 3 {
+		t.Errorf("transition = %+v, want fresh->stale caused by req 3", l)
+	}
+	if res.Span(l.Req) == nil {
+		t.Error("causal request does not resolve to a span")
+	}
+	if res.Ladder[1].Req != 0 {
+		t.Errorf("recovery transition req = %d, want 0 (no causal request)", res.Ladder[1].Req)
+	}
+}
+
+func TestServerLifecycleAndSheds(t *testing.T) {
+	events := []trace.Event{
+		// Request-less lifecycle events.
+		{Kind: trace.KindRPCServer, AtMicros: 10, Reason: "crash"},
+		{Kind: trace.KindRPCServer, AtMicros: 50, Reason: "wal_replay", Count: 120},
+		{Kind: trace.KindRPCServer, AtMicros: 51, Reason: "epoch_bump", Epoch: 2},
+		// A shed ingest: admitted to the shed path, client saw an error.
+		{Kind: trace.KindRPCCall, AtMicros: 100, Req: 7, Attempt: 1, Op: "ingest", Count: 16},
+		{Kind: trace.KindRPCServer, AtMicros: 101, Req: 7, Attempt: 1, Op: "ingest", Reason: "shed", Count: 16},
+		{Kind: trace.KindRPCDone, AtMicros: 102, Req: 7, Attempt: 1, Reason: "error", DurUs: 2},
+	}
+	res := FromEvents(events)
+	if len(res.Service) != 3 {
+		t.Fatalf("service lifecycle events = %d, want 3", len(res.Service))
+	}
+	s := res.Span(7)
+	if s == nil {
+		t.Fatal("shed span missing")
+	}
+	if !s.Shed() || s.Outcome != SpanShed {
+		t.Errorf("outcome = %q shed=%v, want shed span", s.Outcome, s.Shed())
+	}
+}
+
+func TestServerOnlyTraceSynthesizesSpans(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRPCServer, AtMicros: 10, Req: 1, Attempt: 1, Op: "verdict", Reason: "miss"},
+		{Kind: trace.KindRPCServer, AtMicros: 20, Req: 2, Attempt: 1, Op: "ingest", Reason: "admit", Count: 8},
+	}
+	res := FromEvents(events)
+	if len(res.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2 synthesized from server events", len(res.Spans))
+	}
+	for _, s := range res.Spans {
+		if s.Outcome != SpanServed {
+			t.Errorf("req %d outcome = %q, want served", s.Req, s.Outcome)
+		}
+		if len(s.Attempts) != 1 || s.Attempts[0].Attribution != AttrJoined {
+			t.Errorf("req %d synthetic attempt not joined: %+v", s.Req, s.Attempts)
+		}
+	}
+}
+
+func TestPendingAttemptAtTraceEnd(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRPCCall, AtMicros: 0, Req: 4, Attempt: 1, Op: "verdict"},
+	}
+	res := FromEvents(events)
+	s := res.Span(4)
+	if s.Outcome != SpanPending || s.EndUs != -1 {
+		t.Errorf("span = %+v, want pending with open end", s)
+	}
+	if got := s.Attempts[0].Attribution; got != AttrPending {
+		t.Errorf("attribution = %q, want pending", got)
+	}
+}

@@ -77,6 +77,29 @@ const (
 	// mapsvc client when the rung serving verdicts changes.
 	KindCoLadder = "co.ladder"
 
+	// Control-plane RPC events, client side (the mapsvc client). Every
+	// issued call attempt is bracketed by KindRPCCall and exactly one of
+	// KindRPCDone / KindRPCTimeout; KindRPCRetry records the backoff armed
+	// before the next attempt of the same request; KindRPCDrop records a
+	// refusal to issue or retry a call (Reason "breaker_open",
+	// "budget_exhausted", "retries_exhausted", "busy"); KindRPCBreaker
+	// records a circuit-breaker state change (Reason "from->to" over
+	// closed/open/half-open). All carry Req (client-assigned request ID),
+	// and call/done/timeout/retry carry Attempt (1-based).
+	KindRPCCall    = "rpc.call"
+	KindRPCDone    = "rpc.done"
+	KindRPCTimeout = "rpc.timeout"
+	KindRPCRetry   = "rpc.retry"
+	KindRPCDrop    = "rpc.drop"
+	KindRPCBreaker = "rpc.breaker"
+
+	// KindRPCServer is the server-side control-plane event stream emitted
+	// by mapsvc.Service: Reason is one of "admit", "shed", "hit", "miss",
+	// "unhealthy", "invalidate", "invalidate_all", "epoch_bump",
+	// "wal_replay", "crash"; Req/Attempt echo the caller's causal context
+	// when the request carried one.
+	KindRPCServer = "rpc.srv"
+
 	// KindFault marks an injected fault window opening (Reason names the
 	// fault process; DurUs carries the window length).
 	KindFault = "fault"
@@ -146,6 +169,24 @@ type Event struct {
 	// Concurrent marks a "mac.tx" that overlaps an ongoing transmission
 	// (exposed-terminal concurrency).
 	Concurrent bool `json:"concurrent,omitempty"`
+
+	// Control-plane causal context ("rpc.*" events, and "co.*" events that
+	// were decided by a control-plane round trip).
+
+	// Req is the client-assigned control-plane request ID. IDs are
+	// monotonic per client and never zero, so 0 (absent) means "no RPC was
+	// issued for this decision".
+	Req uint64 `json:"req,omitempty"`
+	// Attempt is the 1-based attempt sequence within a request.
+	Attempt int `json:"attempt,omitempty"`
+	// Op names the control-plane operation ("verdict", "ingest",
+	// "invalidate_node", "invalidate_all").
+	Op string `json:"op,omitempty"`
+	// Count carries a batch size: records admitted on an "admit", records
+	// replayed on a "wal_replay", entries dropped on an "invalidate".
+	Count int `json:"count,omitempty"`
+	// Epoch is the service epoch on "rpc.srv" events.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // SeqNum returns a pointer to v, for building events.
