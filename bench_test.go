@@ -105,3 +105,20 @@ func BenchmarkSimulatorSecond(b *testing.B) {
 func BenchmarkMapsvcIngest(b *testing.B) {
 	benchScenario(b, "mapsvc-ingest")
 }
+
+// --- city-scale sharded channel -------------------------------------------
+// events_per_sec across the three station counts is the scaling evidence for
+// the spatial-cell shard: near-flat per-event cost instead of the dense
+// model's quadratic growth.
+
+func BenchmarkCityScaleN100(b *testing.B) {
+	benchScenario(b, "cityscale-n100")
+}
+
+func BenchmarkCityScaleN300(b *testing.B) {
+	benchScenario(b, "cityscale-n300")
+}
+
+func BenchmarkCityScaleN1000(b *testing.B) {
+	benchScenario(b, "cityscale-n1000")
+}

@@ -6,6 +6,7 @@
 //	comap-sim -topology fig7 -contenders 5 -hidden 3 -cw 255
 //	comap-sim -topology large -protocol comap -cbr 3000000 -poserr 10
 //	comap-sim -topology et -profile -profile-out results/profiles/et.json
+//	comap-sim -topology city -stations 1000 -protocol dcf -duration 2s
 package main
 
 import (
@@ -40,7 +41,10 @@ func main() {
 
 func run() error {
 	var (
-		topoName    = flag.String("topology", "et", "et | roles | fig7 | large")
+		topoName    = flag.String("topology", "et", "et | roles | fig7 | large | city")
+		stations    = flag.Int("stations", 1000, "city: number of client stations")
+		world       = flag.Float64("world", 3000, "city: square world edge length in meters")
+		cityTrace   = flag.String("city-trace", "", "city: replay this .loc mobility/churn trace (default: synthesize one from -seed)")
 		pos         = flag.Float64("pos", 28, "et: C2 distance from AP1 (m)")
 		roles       = flag.String("roles", "chh", "roles: per-client roles, letters from c/h/i")
 		contenders  = flag.Int("contenders", 5, "fig7: number of contenders")
@@ -80,8 +84,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if err := validateCityFlags(*topoName, *stations, *world, *cityTrace); err != nil {
+		return err
+	}
 
-	top, defaultRegime, err := buildTopology(*topoName, *pos, *roles, *contenders, *hidden, *seed)
+	top, defaultRegime, err := buildTopology(*topoName, *pos, *roles, *contenders, *hidden, *stations, *world, *seed)
 	if err != nil {
 		return err
 	}
@@ -95,6 +102,8 @@ func run() error {
 		opts = netsim.TestbedOptions()
 	case "ns2":
 		opts = netsim.NS2Options()
+	case "city":
+		opts = netsim.CityOptions()
 	default:
 		return fmt.Errorf("unknown regime %q", *regime)
 	}
@@ -168,6 +177,16 @@ func run() error {
 	n, err := netsim.Build(top, opts)
 	if err != nil {
 		return err
+	}
+	if *topoName == "city" {
+		tr, err := loadCityTrace(*cityTrace, top, *seed, *duration)
+		if err != nil {
+			return err
+		}
+		if err := n.ScheduleLocTrace(tr); err != nil {
+			return err
+		}
+		fmt.Printf("scheduled %d .loc trace events\n", len(tr.Events))
 	}
 	n.StartSlicing(*slice)
 
@@ -336,6 +355,45 @@ func validateRemoteFlags(protocol string, remote bool, rpcFaultSpec string, faul
 	return spec, nil
 }
 
+// validateCityFlags checks the city-topology knobs: the sizing and trace
+// flags only make sense with -topology city, the station count must be
+// positive and the world edge positive and finite. Each violation names the
+// flag to fix; topology.CityScale re-validates the derived geometry (annulus
+// vs AP cell, grid orders) with its own descriptive errors.
+func validateCityFlags(topoName string, stations int, world float64, cityTrace string) error {
+	if topoName != "city" {
+		if stations != 1000 || world != 3000 || cityTrace != "" {
+			return fmt.Errorf("-stations, -world and -city-trace require -topology city")
+		}
+		return nil
+	}
+	if stations < 1 {
+		return fmt.Errorf("-stations must be >= 1, got %d", stations)
+	}
+	if world <= 0 {
+		return fmt.Errorf("-world must be positive, got %g", world)
+	}
+	return nil
+}
+
+// loadCityTrace parses the -city-trace file, or synthesizes a deterministic
+// trace spanning the run when none was given.
+func loadCityTrace(path string, top topology.Topology, seed int64, duration time.Duration) (*topology.LocTrace, error) {
+	if path == "" {
+		return topology.SynthesizeCityTrace(top, rand.New(rand.NewSource(seed)), topology.CityTraceConfig{Duration: duration}), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening -city-trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := topology.ParseLocTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("bad -city-trace %s: %w", path, err)
+	}
+	return tr, nil
+}
+
 // validateProfileFlags rejects profiler knobs without -profile, so a typo
 // like a lone -flight fails fast instead of silently doing nothing.
 func validateProfileFlags(profile bool, flight int, out string) error {
@@ -373,7 +431,7 @@ func writeAttribution(path string, a prof.Attribution) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func buildTopology(name string, pos float64, roleStr string, contenders, hidden int, seed int64) (topology.Topology, string, error) {
+func buildTopology(name string, pos float64, roleStr string, contenders, hidden, stations int, world float64, seed int64) (topology.Topology, string, error) {
 	switch name {
 	case "et":
 		return topology.ETSweep(pos), "testbed", nil
@@ -396,6 +454,14 @@ func buildTopology(name string, pos float64, roleStr string, contenders, hidden 
 		return topology.Fig7(contenders, hidden), "ns2", nil
 	case "large":
 		return topology.LargeScale(rand.New(rand.NewSource(seed))), "ns2", nil
+	case "city":
+		cfg := topology.DefaultCityConfig(stations, seed)
+		cfg.WorldMeters = world
+		top, err := topology.CityScale(cfg)
+		if err != nil {
+			return topology.Topology{}, "", err
+		}
+		return top, "city", nil
 	default:
 		return topology.Topology{}, "", fmt.Errorf("unknown topology %q", name)
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -124,5 +126,103 @@ func TestValidateProfileFlags(t *testing.T) {
 			t.Errorf("validateProfileFlags(%v, %d, %q) = %v, want ok=%v",
 				c.profile, c.flight, c.out, err, c.ok)
 		}
+	}
+}
+
+// TestValidateCityFlags pins the city-topology flag contract: sizing and
+// trace flags demand -topology city, and the ranges fail fast with errors
+// naming the flag.
+func TestValidateCityFlags(t *testing.T) {
+	for _, c := range []struct {
+		name     string
+		topo     string
+		stations int
+		world    float64
+		trace    string
+		wantErr  string
+	}{
+		{"defaults elsewhere", "et", 1000, 3000, "", ""},
+		{"city defaults", "city", 1000, 3000, "", ""},
+		{"city sized", "city", 250, 1500, "", ""},
+		{"city with trace", "city", 1000, 3000, "walk.loc", ""},
+		{"stations without city", "et", 64, 3000, "", "-topology city"},
+		{"world without city", "large", 1000, 500, "", "-topology city"},
+		{"trace without city", "fig7", 1000, 3000, "walk.loc", "-topology city"},
+		{"zero stations", "city", 0, 3000, "", "-stations"},
+		{"negative world", "city", 1000, -1, "", "-world"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateCityFlags(c.topo, c.stations, c.world, c.trace)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("bad combination accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not name %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestBuildTopologyCity checks the city branch wires the generator, the
+// shard world and the city regime default, and surfaces generator errors.
+func TestBuildTopologyCity(t *testing.T) {
+	top, regime, err := buildTopology("city", 0, "", 0, 0, 120, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regime != "city" {
+		t.Fatalf("default regime %q, want city", regime)
+	}
+	if top.World == nil {
+		t.Fatal("city topology missing the shard world grid")
+	}
+	if _, _, err := buildTopology("city", 0, "", 0, 0, 10, -3, 5); err == nil {
+		t.Fatal("negative world size accepted by the generator")
+	}
+}
+
+// TestLoadCityTraceSynthesizesAndParses covers both trace sources.
+func TestLoadCityTraceSynthesizesAndParses(t *testing.T) {
+	top, _, err := buildTopology("city", 0, "", 0, 0, 80, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loadCityTrace("", top, 5, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("synthesized trace is empty")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "walk.loc")
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadCityTrace(path, top, 5, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("reparsed %d events, wrote %d", len(back.Events), len(tr.Events))
+	}
+	if _, err := loadCityTrace(filepath.Join(dir, "missing.loc"), top, 5, time.Second); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+	if err := os.WriteFile(path, []byte("1s teleport 7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCityTrace(path, top, 5, time.Second); err == nil {
+		t.Fatal("malformed trace file accepted")
 	}
 }

@@ -128,9 +128,10 @@ func ReferenceManifest(sc Scale) audit.Manifest {
 	return netsim.ManifestFor("bench-attribution-et30", topology.ETSweep(30), opts)
 }
 
-// Scenarios returns the canonical list, figures first, in stable order.
+// Scenarios returns the canonical list: figures first, then the hot-path and
+// ablation targets, then the city-scale sweep, in stable order.
 func Scenarios() []Scenario {
-	return []Scenario{
+	return append([]Scenario{
 		{
 			Name:  "fig1-exposed-terminal-sweep",
 			Desc:  "802.11 exposed-terminal distance sweep (Fig. 1)",
@@ -295,7 +296,7 @@ func Scenarios() []Scenario {
 				}, nil
 			},
 		},
-	}
+	}, CityScenarios()...)
 }
 
 // Lookup returns the scenario with the given name.

@@ -8,13 +8,17 @@
 // transitions happen inside simulator events, so runs are deterministic.
 //
 // Hot-path layout: every transceiver carries a compact dense index (its
-// registration order), per-pair mean received power and frozen static
-// shadowing are precomputed into N×N matrices (rebuilt lazily after
-// geometry changes), and per-frame received powers live in a pooled dense
-// slice instead of a map. Per-transmitter audibility lists skip nodes whose
-// received power can never clear the audibility floor — while still
-// consuming the per-frame fading stream for them, so pruning never shifts
-// the RNG draw order of a run (see DESIGN.md, "Performance model").
+// registration order) and a sparse, ID-ordered neighbor list holding the
+// precomputed mean received power and frozen static shadowing toward every
+// station that could plausibly hear it. With a spatial grid installed
+// (SetGrid), neighbor candidates come only from cells within the
+// conservative audibility radius — cost per station is the local
+// neighborhood, not N. Without a grid the world is one implicit cell, every
+// pair is a candidate, and the computed state is exactly the old dense
+// matrices', so paper-scale runs stay byte-identical. Per-frame received
+// powers live in a pooled dense slice; the fading stream is drawn for every
+// node in ID order whether or not the pair was pruned, so sharding never
+// shifts the RNG draw order of a run (see DESIGN.md, "Performance model").
 package channel
 
 import (
@@ -30,6 +34,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Listener receives PHY indications from a Transceiver. Implementations are
@@ -100,18 +105,36 @@ type Medium struct {
 	StaticShadowFraction float64
 	staticShadow         map[pairKey]float64
 
-	// Dense per-pair state, indexed [tx.idx][rx.idx] and rebuilt lazily
-	// whenever geomDirty is set (node added, position/power/noise changed).
+	// geomDirty schedules a full geometry rebuild before the next
+	// transmission (node added, power/noise changed, grid installed).
+	// Single-node position changes after the first build are applied
+	// incrementally instead (see moveNode) unless FullRebuildOnMove forces
+	// the legacy lazy path.
 	geomDirty bool
-	meanRx    [][]float64      // mean received power, dBm
-	staticDB  [][]float64      // frozen static shadowing component, dB
-	audMask   [][]bool         // true when the pair clears the audibility floor
-	audible   [][]*Transceiver // per-transmitter audible receivers, ID order
+
+	// Spatial sharding. grid == nil means one implicit cell: every node is
+	// a neighbor candidate of every other, reproducing the dense per-pair
+	// behavior bit for bit. With a grid, cells[c] holds the stations of
+	// cell c in ID order and nbrCells[c] the ascending cell indexes within
+	// nbrRadius (the conservative audibility distance) of c.
+	grid      *topology.Grid
+	cells     [][]*Transceiver
+	nbrCells  [][]int32
+	nbrRadius float64
+
+	// FullRebuildOnMove disables incremental neighbor maintenance: every
+	// SetPosition marks the geometry dirty for a full lazy rebuild, as the
+	// dense implementation did. The incremental path must be
+	// indistinguishable from this (same values, same RNG stream set) — a
+	// test knob, not a tuning knob.
+	FullRebuildOnMove bool
 
 	// txPool recycles transmission records (and their dense power slices);
-	// sinrScratch is the reusable interferer buffer of updateSINR.
+	// sinrScratch is the reusable interferer buffer of updateSINR and
+	// candScratch the reusable candidate buffer of neighborCandidates.
 	txPool      []*transmission
 	sinrScratch []float64
+	candScratch []*Transceiver
 
 	// OnTransmitStart, when set, observes every transmission at the instant
 	// it is put on the air (transmitter, frame, rate, airtime). Tracing uses
@@ -305,6 +328,18 @@ type reception struct {
 	corrupted bool
 }
 
+// pairEntry is one directed sparse neighbor record: the precomputed mean
+// received power and frozen static shadow from the owning transmitter to rx,
+// plus the audibility classification against the floor. Entries live in
+// Transceiver.nbs sorted by rx ID, so the per-transmission merge against the
+// global ID-ordered node list is a single linear walk.
+type pairEntry struct {
+	rx       *Transceiver
+	meanDBm  float64
+	staticDB float64
+	audible  bool
+}
+
 // Transceiver is one node's radio front-end.
 type Transceiver struct {
 	id         frame.NodeID
@@ -317,6 +352,15 @@ type Transceiver struct {
 	lock       *reception
 	rec        reception // the single lock slot, reused across receptions
 	collisions *metrics.Counter
+
+	// Sparse shard state: the containing grid cell, the ID-ordered
+	// neighbor entries, and the lazily built audible snapshot (aud is
+	// never mutated in place — in-flight transmissions alias it as their
+	// heard list, so changes invalidate and rebuild it fresh).
+	cell     int32
+	nbs      []pairEntry
+	aud      []*Transceiver
+	audValid bool
 }
 
 // ID returns the node identifier.
@@ -334,10 +378,20 @@ func (t *Transceiver) Listener() Listener { return t.listener }
 func (t *Transceiver) Position() geom.Point { return t.pos }
 
 // SetPosition moves the node (mobility). In-flight frames keep the powers
-// sampled at their transmission start.
+// sampled at their transmission start. After the first geometry build the
+// move is applied incrementally — only the moved station's neighbor entries
+// and the reverse entries within its old and new neighborhoods are touched,
+// never the full N×N state.
 func (t *Transceiver) SetPosition(p geom.Point) {
-	t.pos = p
-	t.medium.geomDirty = true
+	m := t.medium
+	if m.geomDirty || m.FullRebuildOnMove {
+		// No valid incremental base yet (or the test knob forces the legacy
+		// lazy path): fold the move into the pending full rebuild.
+		t.pos = p
+		m.geomDirty = true
+		return
+	}
+	m.moveNode(t, p)
 }
 
 // TxPowerDBm returns the node's transmit power.
@@ -370,65 +424,311 @@ func (t *Transceiver) AggregateSignalDBm() float64 {
 	return radio.MilliwattsToDBm(sumMW)
 }
 
-// rebuildGeometry refreshes the dense per-pair state: mean received powers,
-// frozen static shadowing and the audibility lists. It runs lazily on the
-// first transmission after any geometry change, so bursts of mobility
-// updates cost one rebuild.
-func (m *Medium) rebuildGeometry() {
-	n := len(m.nodes)
-	if len(m.meanRx) != n {
-		m.meanRx = makeMatrix(n)
-		m.staticDB = makeMatrix(n)
-		m.audMask = make([][]bool, n)
-		for i := range m.audMask {
-			m.audMask[i] = make([]bool, n)
-		}
-		m.audible = make([][]*Transceiver, n)
-	}
+// SetGrid installs a spatial shard grid: neighbor candidates are then drawn
+// only from cells within the conservative audibility radius of each
+// station's cell, making per-station cost proportional to the local
+// neighborhood instead of N. Call before the run starts (it forces a full
+// geometry rebuild). A nil grid restores the single-implicit-cell behavior.
+// Station positions outside the grid are clamped to the nearest edge cell —
+// topology validation rejects out-of-world initial placements before the
+// medium ever sees them.
+func (m *Medium) SetGrid(g *topology.Grid) {
+	m.grid = g
+	m.cells = nil
+	m.nbrCells = nil
+	m.geomDirty = true
+}
+
+// Grid returns the installed shard grid (nil for the implicit single cell).
+func (m *Medium) Grid() *topology.Grid { return m.grid }
+
+// audParams returns the audibility floor and the capped per-frame fading
+// excursion of the current environment. A floor of -Inf disables pruning
+// (margin set to +Inf, or an injected gain in effect).
+func (m *Medium) audParams() (floor, fadeCap float64) {
 	sigma := m.model.SigmaDB
-	f := m.staticFraction()
-	fadeCap := 0.0
 	if sigma != 0 {
-		fadeCap = audibilityFadeCapSigmas * math.Sqrt(1-f) * sigma
+		fadeCap = audibilityFadeCapSigmas * math.Sqrt(1-m.staticFraction()) * sigma
 	}
-	floor := m.noise - m.AudibilityMarginDB
+	floor = m.noise - m.AudibilityMarginDB
 	if m.extraPathLossDB < 0 {
 		// An injected gain could lift arbitrary pairs above the floor;
 		// disable pruning entirely while one is active.
 		floor = math.Inf(-1)
 	}
-	for _, t := range m.nodes {
-		means, statics, mask := m.meanRx[t.idx], m.staticDB[t.idx], m.audMask[t.idx]
-		// A fresh slice every rebuild: in-flight transmissions alias the old
-		// one as their heard snapshot.
-		aud := make([]*Transceiver, 0, n-1)
-		for _, r := range m.nodes { // ID order, so audibility lists stay sorted
-			if r == t {
-				continue
-			}
-			d := t.pos.DistanceTo(r.pos)
-			mean := m.model.MeanReceivedDBm(t.txPower, d)
-			static := m.staticShadowFor(t.id, r.id)
-			means[r.idx] = mean
-			statics[r.idx] = static
-			audible := mean+static+fadeCap >= floor
-			mask[r.idx] = audible
-			if audible {
-				aud = append(aud, r)
-			}
+	return floor, fadeCap
+}
+
+// audibilityRadius returns the conservative distance beyond which no pair
+// can ever be classified audible: mean power at the strongest transmit
+// power, plus the 6σ caps on both the static shadow and the per-frame fade,
+// still falls below the floor. Cell pairs farther apart than this are not
+// neighbors, and their stations never even draw a static shadow.
+func (m *Medium) audibilityRadius(floor, fadeCap float64) float64 {
+	if math.IsInf(floor, -1) {
+		return math.Inf(1)
+	}
+	sigma := m.model.SigmaDB
+	staticCap := 0.0
+	if sigma != 0 {
+		staticCap = audibilityFadeCapSigmas * math.Sqrt(m.staticFraction()) * sigma
+	}
+	maxPower := math.Inf(-1)
+	for _, n := range m.nodes {
+		if n.txPower > maxPower {
+			maxPower = n.txPower
 		}
-		m.audible[t.idx] = aud
+	}
+	if math.IsInf(maxPower, -1) {
+		return 0
+	}
+	// MeanReceivedDBm is monotonically non-increasing in distance; bisect
+	// for the largest distance still clearing the floor.
+	lo, hi := 0.0, 1.0
+	for m.model.MeanReceivedDBm(maxPower, hi)+staticCap+fadeCap >= floor {
+		lo, hi = hi, hi*2
+		if hi > 1e9 { // the whole planet is audible; don't prune by cell
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.model.MeanReceivedDBm(maxPower, mid)+staticCap+fadeCap >= floor {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// rebuildGeometry refreshes the sharded per-pair state: cell assignments,
+// neighbor-cell sets and every station's sparse neighbor entries (mean
+// received power, frozen static shadow, audibility). It runs lazily on the
+// first transmission after a structural change, so bursts of updates cost
+// one rebuild.
+func (m *Medium) rebuildGeometry() {
+	floor, fadeCap := m.audParams()
+	m.rebuildCells(floor, fadeCap)
+	for _, t := range m.nodes {
+		m.rebuildNeighborsOf(t, floor, fadeCap)
 	}
 	m.geomDirty = false
 }
 
-func makeMatrix(n int) [][]float64 {
-	rows := make([][]float64, n)
-	backing := make([]float64, n*n)
-	for i := range rows {
-		rows[i] = backing[i*n : (i+1)*n]
+// rebuildCells reassigns every station to its grid cell and refreshes the
+// per-cell neighbor sets when the audibility radius changed. No-op without
+// a grid.
+func (m *Medium) rebuildCells(floor, fadeCap float64) {
+	if m.grid == nil {
+		return
 	}
-	return rows
+	nCells := m.grid.Cells()
+	if len(m.cells) != nCells {
+		m.cells = make([][]*Transceiver, nCells)
+	} else {
+		for i := range m.cells {
+			m.cells[i] = m.cells[i][:0]
+		}
+	}
+	for _, t := range m.nodes { // ID order, so per-cell lists stay sorted
+		t.cell = int32(m.grid.ClampedCellOf(t.pos))
+		m.cells[t.cell] = append(m.cells[t.cell], t)
+	}
+	radius := m.audibilityRadius(floor, fadeCap)
+	if m.nbrCells == nil || radius != m.nbrRadius {
+		m.nbrRadius = radius
+		m.nbrCells = make([][]int32, nCells)
+		for c := 0; c < nCells; c++ {
+			m.nbrCells[c] = m.grid.CellsWithin(c, radius)
+		}
+	}
+}
+
+// neighborCandidates returns the ID-ordered candidate receivers for t: all
+// stations of t's neighbor cells (including t itself; callers skip it).
+// Without a grid every node is a candidate — the dense behavior. The
+// returned slice aliases m.candScratch and is only valid until the next
+// call.
+func (m *Medium) neighborCandidates(t *Transceiver) []*Transceiver {
+	if m.grid == nil {
+		return m.nodes
+	}
+	cand := m.candScratch[:0]
+	for _, c := range m.nbrCells[t.cell] {
+		cand = append(cand, m.cells[c]...)
+	}
+	// Each cell list is ID-ordered but their concatenation is not; sort so
+	// neighbor entries (and with them static-shadow stream creation and
+	// audible lists) keep the global ID order.
+	sort.Slice(cand, func(i, j int) bool { return cand[i].id < cand[j].id })
+	m.candScratch = cand
+	return cand
+}
+
+// rebuildNeighborsOf recomputes t's sparse neighbor entries from its
+// current candidates, drawing static shadows lazily for pairs first seen.
+func (m *Medium) rebuildNeighborsOf(t *Transceiver, floor, fadeCap float64) {
+	nbs := t.nbs[:0]
+	for _, r := range m.neighborCandidates(t) {
+		if r == t {
+			continue
+		}
+		d := t.pos.DistanceTo(r.pos)
+		mean := m.model.MeanReceivedDBm(t.txPower, d)
+		static := m.staticShadowFor(t.id, r.id)
+		nbs = append(nbs, pairEntry{
+			rx:       r,
+			meanDBm:  mean,
+			staticDB: static,
+			audible:  mean+static+fadeCap >= floor,
+		})
+	}
+	t.nbs = nbs
+	t.audValid = false
+}
+
+// audibleOf returns t's audible receivers in ID order, rebuilding the
+// snapshot lazily. The slice is freshly allocated whenever entries changed,
+// so in-flight transmissions holding an older snapshot as their heard list
+// never see it mutate.
+func (m *Medium) audibleOf(t *Transceiver) []*Transceiver {
+	if !t.audValid {
+		aud := make([]*Transceiver, 0, len(t.nbs))
+		for i := range t.nbs {
+			if t.nbs[i].audible {
+				aud = append(aud, t.nbs[i].rx)
+			}
+		}
+		t.aud = aud
+		t.audValid = true
+	}
+	return t.aud
+}
+
+// moveNode applies a single-station position change incrementally: the
+// station migrates between cell lists, its own neighbor entries are rebuilt
+// from the new neighborhood, and the reverse entries of every station in
+// the old and new neighborhoods are updated in place — no full N×N rebuild.
+// The result is indistinguishable from a full rebuild: the same entry
+// values (pure functions of current positions) and the same static-shadow
+// streams (per-pair, order-independent).
+func (m *Medium) moveNode(t *Transceiver, p geom.Point) {
+	floor, fadeCap := m.audParams()
+	t.pos = p
+	oldCell := t.cell
+	if m.grid != nil {
+		newCell := int32(m.grid.ClampedCellOf(p))
+		if newCell != oldCell {
+			m.cells[oldCell] = removeStation(m.cells[oldCell], t)
+			m.cells[newCell] = insertStation(m.cells[newCell], t)
+			t.cell = newCell
+		}
+	}
+	m.rebuildNeighborsOf(t, floor, fadeCap)
+
+	if m.grid == nil {
+		for _, s := range m.nodes {
+			if s != t {
+				m.updateEntryFor(s, t, floor, fadeCap)
+			}
+		}
+		return
+	}
+	// Walk the union of the old and new neighbor-cell sets (both
+	// ascending): stations still in range get their entry for t refreshed,
+	// stations only in the old neighborhood drop it.
+	oldNbrs, newNbrs := m.nbrCells[oldCell], m.nbrCells[t.cell]
+	i, j := 0, 0
+	for i < len(oldNbrs) || j < len(newNbrs) {
+		var c int32
+		inNew := false
+		switch {
+		case i >= len(oldNbrs):
+			c, inNew = newNbrs[j], true
+			j++
+		case j >= len(newNbrs):
+			c = oldNbrs[i]
+			i++
+		case oldNbrs[i] < newNbrs[j]:
+			c = oldNbrs[i]
+			i++
+		case newNbrs[j] < oldNbrs[i]:
+			c, inNew = newNbrs[j], true
+			j++
+		default:
+			c, inNew = oldNbrs[i], true
+			i, j = i+1, j+1
+		}
+		for _, s := range m.cells[c] {
+			if s == t {
+				continue
+			}
+			if inNew {
+				m.updateEntryFor(s, t, floor, fadeCap)
+			} else {
+				m.dropEntryFor(s, t)
+			}
+		}
+	}
+}
+
+// updateEntryFor refreshes (or inserts) s's neighbor entry toward r after r
+// moved, invalidating s's audible snapshot only when membership or
+// audibility actually changed.
+func (m *Medium) updateEntryFor(s, r *Transceiver, floor, fadeCap float64) {
+	d := s.pos.DistanceTo(r.pos)
+	mean := m.model.MeanReceivedDBm(s.txPower, d)
+	static := m.staticShadowFor(s.id, r.id)
+	audible := mean+static+fadeCap >= floor
+	k := searchEntry(s.nbs, r.id)
+	if k < len(s.nbs) && s.nbs[k].rx == r {
+		if s.nbs[k].audible != audible {
+			s.audValid = false
+		}
+		s.nbs[k].meanDBm = mean
+		s.nbs[k].staticDB = static
+		s.nbs[k].audible = audible
+		return
+	}
+	s.nbs = append(s.nbs, pairEntry{})
+	copy(s.nbs[k+1:], s.nbs[k:])
+	s.nbs[k] = pairEntry{rx: r, meanDBm: mean, staticDB: static, audible: audible}
+	s.audValid = false
+}
+
+// dropEntryFor removes s's neighbor entry toward r (r moved out of range).
+func (m *Medium) dropEntryFor(s, r *Transceiver) {
+	k := searchEntry(s.nbs, r.id)
+	if k < len(s.nbs) && s.nbs[k].rx == r {
+		if s.nbs[k].audible {
+			s.audValid = false
+		}
+		s.nbs = append(s.nbs[:k], s.nbs[k+1:]...)
+	}
+}
+
+// searchEntry returns the insertion index of id in the ID-ordered entries.
+func searchEntry(nbs []pairEntry, id frame.NodeID) int {
+	return sort.Search(len(nbs), func(i int) bool { return nbs[i].rx.id >= id })
+}
+
+// removeStation deletes t from an ID-ordered cell list, preserving order.
+func removeStation(cell []*Transceiver, t *Transceiver) []*Transceiver {
+	k := sort.Search(len(cell), func(i int) bool { return cell[i].id >= t.id })
+	if k < len(cell) && cell[k] == t {
+		return append(cell[:k], cell[k+1:]...)
+	}
+	return cell
+}
+
+// insertStation adds t to an ID-ordered cell list, preserving order.
+func insertStation(cell []*Transceiver, t *Transceiver) []*Transceiver {
+	k := sort.Search(len(cell), func(i int) bool { return cell[i].id >= t.id })
+	cell = append(cell, nil)
+	copy(cell[k+1:], cell[k:])
+	cell[k] = t
+	return cell
 }
 
 // newTransmission takes a pooled transmission record (or allocates the first
@@ -486,23 +786,35 @@ func (t *Transceiver) Transmit(f frame.Frame, rate phy.Rate, airtime time.Durati
 	if sigma != 0 {
 		fadeScale = math.Sqrt(1-m.staticFraction()) * sigma
 	}
-	means, statics, mask := m.meanRx[t.idx], m.staticDB[t.idx], m.audMask[t.idx]
+	// Merge the sparse ID-ordered neighbor entries against the global
+	// ID-ordered node list: nodes without an entry (pruned by the shard
+	// grid) still draw, then land at -Inf.
+	nbs := t.nbs
+	j := 0
 	for _, n := range m.nodes {
 		if n == t {
 			continue
 		}
+		var e *pairEntry
+		if j < len(nbs) && nbs[j].rx == n {
+			e = &nbs[j]
+			j++
+		}
 		shadow := 0.0
 		if sigma != 0 {
-			shadow = statics[n.idx] + fadeScale*m.rng.NormFloat64()
+			draw := m.rng.NormFloat64()
+			if e != nil {
+				shadow = e.staticDB + fadeScale*draw
+			}
 		}
-		if mask[n.idx] {
-			tx.rx[n.idx] = means[n.idx] + shadow - m.extraPathLossDB
+		if e != nil && e.audible {
+			tx.rx[n.idx] = e.meanDBm + shadow - m.extraPathLossDB
 		} else {
 			tx.rx[n.idx] = math.Inf(-1)
 		}
 	}
 	tx.rx[t.idx] = math.Inf(-1)
-	tx.heard = m.audible[t.idx]
+	tx.heard = m.audibleOf(t)
 	t.sending = tx
 	t.lock = nil // half-duplex: abort any reception
 	tx.activeIdx = len(m.active)

@@ -69,6 +69,11 @@ func optionsFingerprint(opts Options) uint64 {
 	if opts.RPCFaults != nil {
 		h.String("rpc:" + opts.RPCFaults.String())
 	}
+	// Hashed only when set, so pre-existing manifests keep their
+	// fingerprints (paper-scale runs never override the margin).
+	if opts.AudibilityMarginDB != 0 {
+		h.Float64(opts.AudibilityMarginDB)
+	}
 	h.Int64(int64(opts.Duration))
 	return h.Sum()
 }
@@ -89,6 +94,15 @@ func topologyHash(top topology.Topology) uint64 {
 	for _, f := range top.Flows {
 		h.Int(int(f.Src))
 		h.Int(int(f.Dst))
+	}
+	// The shard world participates only when present, so the hashes of all
+	// paper-scale (gridless) topologies are unchanged.
+	if top.World != nil {
+		o := top.World.Origin()
+		h.Float64(o.X)
+		h.Float64(o.Y)
+		h.Float64(top.World.SizeMeters())
+		h.Int(top.World.Order())
 	}
 	return h.Sum()
 }

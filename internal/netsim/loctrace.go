@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/topology"
+)
+
+// ScheduleLocTrace replays a .loc trace (see topology.ParseLocTrace /
+// topology.SynthesizeCityTrace) against the network: move events relocate the
+// station on the medium and in the location registry (with the same
+// report-threshold and verdict-invalidation semantics as ScheduleWalk), and
+// leave/join events drive the churn controller. Call after Build and before
+// Run. Events addressing unknown stations are rejected up front, so a
+// mismatched trace fails loudly instead of silently dropping movement.
+func (n *Network) ScheduleLocTrace(tr *topology.LocTrace) error {
+	for i, ev := range tr.Events {
+		if _, ok := n.Stations[ev.Node]; !ok {
+			return fmt.Errorf("netsim: loc trace event %d (%s %s) targets unknown node %d", i, ev.At, ev.Op, ev.Node)
+		}
+	}
+	hasChurn := false
+	for _, ev := range tr.Events {
+		if ev.Op == topology.LocLeave || ev.Op == topology.LocJoin {
+			hasChurn = true
+			break
+		}
+	}
+	if hasChurn && n.departed == nil {
+		// The churn controller is armed lazily (fault-injected runs allocate
+		// it in Build); trace-driven churn needs it too.
+		n.departed = make(map[frame.NodeID]bool)
+	}
+	for _, ev := range tr.Events {
+		ev := ev
+		switch ev.Op {
+		case topology.LocMove:
+			n.Eng.Schedule(ev.At, func() { n.applyTraceMove(ev) })
+		case topology.LocLeave:
+			n.Eng.Schedule(ev.At, func() { n.StationLeave(ev.Node) })
+		case topology.LocJoin:
+			n.Eng.Schedule(ev.At, func() { n.StationRejoin(ev.Node) })
+		default:
+			return fmt.Errorf("netsim: loc trace has invalid op %d", ev.Op)
+		}
+	}
+	return nil
+}
+
+// applyTraceMove relocates one station per a trace event. Departed stations
+// still move their radio (the NIC is powered but the station is off the
+// network) without reporting to the location substrate — their fresh position
+// reaches the registry through StationRejoin's forced report.
+func (n *Network) applyTraceMove(ev topology.LocEvent) {
+	n.Medium.Node(ev.Node).SetPosition(ev.Pos)
+	if n.departed[ev.Node] {
+		return
+	}
+	reportsBefore := n.Locs.Updates()
+	n.Locs.Move(ev.Node, ev.Pos)
+	if n.Locs.Updates() != reportsBefore {
+		n.invalidateAgents()
+	}
+}

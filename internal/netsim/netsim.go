@@ -87,6 +87,10 @@ type Options struct {
 	Prop            radio.LogNormal
 	TxPowerDBm      float64
 	CCAThresholdDBm float64
+	// AudibilityMarginDB overrides the channel's audibility floor (noise −
+	// margin) used to prune inaudible pairs; 0 keeps the channel default.
+	// City-scale runs tighten it so the sparse neighbor sets stay local.
+	AudibilityMarginDB float64
 
 	// FixedCW > 0 selects a constant contention window; 0 selects binary
 	// exponential backoff.
@@ -234,6 +238,38 @@ func NS2Options() Options {
 		ComapModel: comap.Model{
 			Prop:           prop,
 			TxPowerDBm:     20,
+			TSIRdB:         10,
+			TPRR:           0.95,
+			TcsDBm:         -80,
+			CSMissProb:     0.9,
+			SensitivityDBm: -94,
+		},
+		Duration: 5 * time.Second,
+	}
+}
+
+// CityOptions returns the city-scale configuration used with
+// topology.CityScale worlds: 6 Mbps fixed rate at 30 dBm under a dense-urban
+// α=4, σ=2 dB channel. The tight audibility margin (6 dB under the noise
+// floor) keeps every station's sparse neighbor set to its local cell
+// neighborhood — the regime the spatial shard grid is designed for — while
+// the 10–80 m uplinks stay comfortably above sensitivity.
+func CityOptions() Options {
+	p := phy.NS2Table1()
+	prop := radio.NewLogNormal2400(4.0, 2.0)
+	return Options{
+		Protocol:           ProtocolDCF,
+		PHY:                p,
+		Prop:               prop,
+		TxPowerDBm:         30,
+		CCAThresholdDBm:    -80,
+		AudibilityMarginDB: 6,
+		FixedCW:            32,
+		RateAdaptation:     false,
+		PayloadBytes:       1000,
+		ComapModel: comap.Model{
+			Prop:           prop,
+			TxPowerDBm:     30,
 			TSIRdB:         10,
 			TPRR:           0.95,
 			TcsDBm:         -80,
@@ -411,6 +447,12 @@ func Build(top topology.Topology, opts Options) (*Network, error) {
 		eng.SetObserver(ledger)
 	}
 	medium := channel.NewMedium(eng, opts.Prop, opts.PHY.NoiseFloorDBm)
+	if top.World != nil {
+		medium.SetGrid(top.World)
+	}
+	if opts.AudibilityMarginDB != 0 {
+		medium.AudibilityMarginDB = opts.AudibilityMarginDB
+	}
 	if opts.Protocol == ProtocolComap && opts.Header == HeaderEmbedded {
 		p := opts.PHY
 		medium.HeaderIndicationAt = func(r phy.Rate) time.Duration {

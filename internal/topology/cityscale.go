@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+// CityStationBase is the first station ID of city-scale topologies. City
+// stations start above the AP range (APs occupy 101..100+nAPs) so a
+// 1,000-station layout never collides with the AP ID convention.
+const CityStationBase frame.NodeID = 1001
+
+// CityAPBase is the first AP ID of city-scale topologies, continuing the
+// "APs start at 101" convention.
+const CityAPBase frame.NodeID = 101
+
+// CityConfig parameterizes the city-scale topology generator.
+type CityConfig struct {
+	// Stations is the number of client stations (≥ 1).
+	Stations int
+	// WorldMeters is the square world edge length.
+	WorldMeters float64
+	// APOrder sets the AP layer: 4^APOrder access points, one at the
+	// center of each cell of a power-of-4 AP grid. Every station is
+	// associated with the AP whose grid cell contains it — the quadtree
+	// loc→AP mapping.
+	APOrder int
+	// CellOrder sets the channel shard grid: 4^CellOrder cells. Must be at
+	// least APOrder (shard cells at least as fine as AP cells).
+	CellOrder int
+	// Seed drives station placement and must be fixed for reproducible
+	// topologies.
+	Seed int64
+	// AnnulusMinMeters / AnnulusMaxMeters bound the uniform annulus around
+	// a station's home AP center where it is placed — near enough for a
+	// live uplink under the city radio regime, far enough for contention
+	// and cell-boundary structure. Defaults 10 / 80.
+	AnnulusMinMeters float64
+	AnnulusMaxMeters float64
+}
+
+// DefaultCityConfig is the canonical 1k-station city: a 3 km square served
+// by 64 APs (order 3) sharded into 256 channel cells (order 4).
+func DefaultCityConfig(stations int, seed int64) CityConfig {
+	return CityConfig{
+		Stations:         stations,
+		WorldMeters:      3000,
+		APOrder:          3,
+		CellOrder:        4,
+		Seed:             seed,
+		AnnulusMinMeters: 10,
+		AnnulusMaxMeters: 80,
+	}
+}
+
+// CityScale builds a city topology: 4^APOrder APs on the centers of a
+// power-of-4 AP grid, Stations clients placed uniformly in an annulus
+// around seeded-random AP centers, each with a saturated uplink flow to the
+// AP covering its location (loc→AP by containing AP cell, which for a
+// uniform center grid is also the nearest AP). The returned topology carries
+// the shard grid in World, so netsim builds a cell-sharded channel.
+func CityScale(cfg CityConfig) (Topology, error) {
+	if cfg.AnnulusMinMeters == 0 && cfg.AnnulusMaxMeters == 0 {
+		cfg.AnnulusMinMeters, cfg.AnnulusMaxMeters = 10, 80
+	}
+	if cfg.Stations < 1 {
+		return Topology{}, fmt.Errorf("topology: city wants at least 1 station, got %d", cfg.Stations)
+	}
+	if cfg.CellOrder < cfg.APOrder {
+		return Topology{}, fmt.Errorf("topology: city shard order %d must be >= AP order %d", cfg.CellOrder, cfg.APOrder)
+	}
+	if cfg.AnnulusMinMeters < 0 || cfg.AnnulusMaxMeters < cfg.AnnulusMinMeters {
+		return Topology{}, fmt.Errorf("topology: bad city annulus [%g, %g]", cfg.AnnulusMinMeters, cfg.AnnulusMaxMeters)
+	}
+	world, err := NewGrid(geom.Pt(0, 0), cfg.WorldMeters, cfg.CellOrder)
+	if err != nil {
+		return Topology{}, err
+	}
+	apGrid, err := NewGrid(geom.Pt(0, 0), cfg.WorldMeters, cfg.APOrder)
+	if err != nil {
+		return Topology{}, err
+	}
+	nAPs := apGrid.Cells()
+	if int(CityAPBase)+nAPs > int(CityStationBase) {
+		return Topology{}, fmt.Errorf("topology: city AP order %d yields %d APs, overflowing the AP ID range", cfg.APOrder, nAPs)
+	}
+
+	t := Topology{
+		Name:  fmt.Sprintf("city-%ds-%dap", cfg.Stations, nAPs),
+		World: world,
+	}
+	for c := 0; c < nAPs; c++ {
+		t.Nodes = append(t.Nodes, Node{
+			ID:   CityAPBase + frame.NodeID(c),
+			Pos:  apGrid.CellCenter(c),
+			IsAP: true,
+		})
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	half := apGrid.CellSizeMeters() / 2
+	if cfg.AnnulusMaxMeters > half {
+		return Topology{}, fmt.Errorf("topology: city annulus max %g m exceeds the half AP cell (%g m); stations would spill into foreign AP cells",
+			cfg.AnnulusMaxMeters, half)
+	}
+	for i := 0; i < cfg.Stations; i++ {
+		home := apGrid.CellCenter(rng.Intn(nAPs))
+		// Uniform in the annulus, rejected (and redrawn) if it would leave
+		// the home AP cell — association by containing cell then always
+		// matches the placement AP, keeping every uplink short.
+		var pos geom.Point
+		for {
+			radius := cfg.AnnulusMinMeters + (cfg.AnnulusMaxMeters-cfg.AnnulusMinMeters)*math.Sqrt(rng.Float64())
+			theta := 2 * math.Pi * rng.Float64()
+			pos = home.Add(geom.Vec(radius*math.Cos(theta), radius*math.Sin(theta)))
+			if math.Abs(pos.X-home.X) <= half && math.Abs(pos.Y-home.Y) <= half && world.Contains(pos) {
+				break
+			}
+		}
+		id := CityStationBase + frame.NodeID(i)
+		apCell, err := apGrid.CellOf(pos)
+		if err != nil {
+			return Topology{}, fmt.Errorf("topology: city station %d: %w", id, err)
+		}
+		t.Nodes = append(t.Nodes, Node{ID: id, Pos: pos})
+		t.Flows = append(t.Flows, Flow{Src: id, Dst: CityAPBase + frame.NodeID(apCell)})
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}

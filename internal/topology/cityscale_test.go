@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+func TestCityScaleThousandStations(t *testing.T) {
+	top, err := CityScale(DefaultCityConfig(1000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.World == nil {
+		t.Fatal("city topology must carry a shard grid")
+	}
+	apGrid, err := NewGrid(top.World.Origin(), top.World.SizeMeters(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps, stations := 0, 0
+	for _, n := range top.Nodes {
+		if n.IsAP {
+			aps++
+			continue
+		}
+		stations++
+		if n.ID < CityStationBase {
+			t.Fatalf("station ID %d below CityStationBase", n.ID)
+		}
+		if !top.World.Contains(n.Pos) {
+			t.Fatalf("station %d placed outside the world: %v", n.ID, n.Pos)
+		}
+	}
+	if aps != 64 || stations != 1000 {
+		t.Fatalf("got %d APs / %d stations, want 64 / 1000", aps, stations)
+	}
+	if len(top.Flows) != 1000 {
+		t.Fatalf("got %d flows, want one uplink per station", len(top.Flows))
+	}
+	// Every uplink must target the AP whose grid cell contains the station —
+	// the quadtree loc→AP mapping.
+	byID := map[int]Node{}
+	for _, n := range top.Nodes {
+		byID[int(n.ID)] = n
+	}
+	for _, f := range top.Flows {
+		src, ok := byID[int(f.Src)]
+		if !ok {
+			t.Fatalf("flow source %d not in topology", f.Src)
+		}
+		cell, err := apGrid.CellOf(src.Pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := CityAPBase + frame.NodeID(cell); f.Dst != want {
+			t.Fatalf("station %d in AP cell %d flows to %d, want %d", f.Src, cell, f.Dst, want)
+		}
+	}
+}
+
+func TestCityScaleDeterministic(t *testing.T) {
+	a, err := CityScale(DefaultCityConfig(200, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CityScale(DefaultCityConfig(200, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("node counts differ: %d != %d", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d differs across same-seed builds", i)
+		}
+	}
+	c, err := CityScale(DefaultCityConfig(200, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Nodes {
+		if a.Nodes[i] != c.Nodes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+func TestCityScaleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*CityConfig)
+		want string
+	}{
+		{"no stations", func(c *CityConfig) { c.Stations = 0 }, "at least 1 station"},
+		{"shard coarser than APs", func(c *CityConfig) { c.CellOrder = 2 }, "shard order"},
+		{"bad annulus", func(c *CityConfig) { c.AnnulusMinMeters = 90 }, "annulus"},
+		{"annulus spills cells", func(c *CityConfig) { c.AnnulusMaxMeters = 400 }, "foreign AP cells"},
+		{"bad world", func(c *CityConfig) { c.WorldMeters = -5 }, "positive"},
+		{"ap id overflow", func(c *CityConfig) { c.APOrder = 5; c.CellOrder = 5 }, "AP ID range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultCityConfig(100, 1)
+			tc.mut(&cfg)
+			if _, err := CityScale(cfg); err == nil {
+				t.Fatal("bad config accepted")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsOutOfWorldNodes(t *testing.T) {
+	top, err := CityScale(DefaultCityConfig(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatalf("valid city fails validation: %v", err)
+	}
+	for i := range top.Nodes {
+		if !top.Nodes[i].IsAP {
+			top.Nodes[i].Pos = geom.Pt(-50, 10)
+			break
+		}
+	}
+	err = top.Validate()
+	if err == nil {
+		t.Fatal("out-of-world station passed validation")
+	}
+	if !strings.Contains(err.Error(), "outside grid") {
+		t.Fatalf("error %q does not describe the world bounds", err)
+	}
+}

@@ -1,0 +1,272 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+// LocOp is one kind of trace-driven station event.
+type LocOp int
+
+// LocOp values.
+const (
+	// LocMove relocates a station (mobility step).
+	LocMove LocOp = iota + 1
+	// LocLeave churns the station off the network (traffic and location
+	// pause; the radio stays registered, as in netsim's churn model).
+	LocLeave
+	// LocJoin brings a previously departed station back.
+	LocJoin
+)
+
+// String implements fmt.Stringer.
+func (op LocOp) String() string {
+	switch op {
+	case LocMove:
+		return "move"
+	case LocLeave:
+		return "leave"
+	case LocJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("LocOp(%d)", int(op))
+	}
+}
+
+// LocEvent is one timestamped station event of a .loc trace.
+type LocEvent struct {
+	At   time.Duration
+	Op   LocOp
+	Node frame.NodeID
+	Pos  geom.Point // meaningful for LocMove only
+}
+
+// LocTrace is a time-ordered station movement/churn script, the simulator's
+// equivalent of the SFC_migration .loc files (per-slot "users that joined /
+// users that moved" records). Events at equal times keep file order.
+type LocTrace struct {
+	Events []LocEvent
+}
+
+// ParseLocTrace reads the textual .loc format: one event per line,
+//
+//	<time> move <node> <x> <y>
+//	<time> leave <node>
+//	<time> join <node>
+//
+// where <time> is a Go duration ("1.5s", "300ms"). Blank lines and lines
+// starting with '#' are skipped. Errors name the line number. Events are
+// stably sorted by time so out-of-order files still replay deterministically.
+func ParseLocTrace(r io.Reader) (*LocTrace, error) {
+	tr := &LocTrace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("loc trace line %d: want \"<time> <op> <node> [x y]\", got %q", lineNo, line)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("loc trace line %d: bad time %q: %v", lineNo, fields[0], err)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("loc trace line %d: negative time %v", lineNo, at)
+		}
+		node, err := strconv.ParseUint(fields[2], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("loc trace line %d: bad node id %q: %v", lineNo, fields[2], err)
+		}
+		ev := LocEvent{At: at, Node: frame.NodeID(node)}
+		switch fields[1] {
+		case "move":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("loc trace line %d: move wants \"<time> move <node> <x> <y>\"", lineNo)
+			}
+			x, errX := strconv.ParseFloat(fields[3], 64)
+			y, errY := strconv.ParseFloat(fields[4], 64)
+			if errX != nil || errY != nil || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				return nil, fmt.Errorf("loc trace line %d: bad coordinates %q %q", lineNo, fields[3], fields[4])
+			}
+			ev.Op = LocMove
+			ev.Pos = geom.Pt(x, y)
+		case "leave":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("loc trace line %d: leave wants \"<time> leave <node>\"", lineNo)
+			}
+			ev.Op = LocLeave
+		case "join":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("loc trace line %d: join wants \"<time> join <node>\"", lineNo)
+			}
+			ev.Op = LocJoin
+		default:
+			return nil, fmt.Errorf("loc trace line %d: unknown op %q (want move, leave or join)", lineNo, fields[1])
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loc trace: %v", err)
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool { return tr.Events[i].At < tr.Events[j].At })
+	return tr, nil
+}
+
+// WriteTo renders the trace in the textual .loc format ParseLocTrace reads.
+func (tr *LocTrace) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, ev := range tr.Events {
+		var line string
+		switch ev.Op {
+		case LocMove:
+			line = fmt.Sprintf("%s move %d %g %g\n", ev.At, ev.Node, ev.Pos.X, ev.Pos.Y)
+		default:
+			line = fmt.Sprintf("%s %s %d\n", ev.At, ev.Op, ev.Node)
+		}
+		n, err := io.WriteString(w, line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// CityTraceConfig parameterizes SynthesizeCityTrace.
+type CityTraceConfig struct {
+	// Duration is the span events are generated for.
+	Duration time.Duration
+	// Tick is the mobility step cadence (default 100ms, the netsim walk
+	// tick).
+	Tick time.Duration
+	// WalkerFraction is the share of stations that move (default 0.1).
+	WalkerFraction float64
+	// SpeedMps is the walker speed (default 1.5, pedestrian).
+	SpeedMps float64
+	// RoamRadiusMeters bounds each walker's wander around its start
+	// position (default 150 m — far enough to cross shard-cell borders in
+	// a city grid, near enough to keep its AP association meaningful).
+	RoamRadiusMeters float64
+	// ChurnFraction is the share of stations that leave and later rejoin
+	// (default 0.05).
+	ChurnFraction float64
+}
+
+func (c CityTraceConfig) withDefaults() CityTraceConfig {
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.WalkerFraction == 0 {
+		c.WalkerFraction = 0.1
+	}
+	if c.SpeedMps <= 0 {
+		c.SpeedMps = 1.5
+	}
+	if c.RoamRadiusMeters <= 0 {
+		c.RoamRadiusMeters = 150
+	}
+	if c.ChurnFraction == 0 {
+		c.ChurnFraction = 0.05
+	}
+	return c
+}
+
+// SynthesizeCityTrace generates a deterministic .loc trace for the non-AP
+// stations of a topology: a fraction of stations random-walk waypoint legs
+// inside a roam disc around their start position (clamped to the world), and
+// a fraction churns off and back on. All draws come from rng, so a (seed,
+// topology, config) triple always yields the same trace.
+func SynthesizeCityTrace(top Topology, rng *rand.Rand, cfg CityTraceConfig) *LocTrace {
+	cfg = cfg.withDefaults()
+	tr := &LocTrace{}
+	var stations []Node
+	for _, n := range top.Nodes {
+		if !n.IsAP {
+			stations = append(stations, n)
+		}
+	}
+	if len(stations) == 0 || cfg.Duration <= cfg.Tick {
+		return tr
+	}
+	nWalk := int(float64(len(stations)) * cfg.WalkerFraction)
+	nChurn := int(float64(len(stations)) * cfg.ChurnFraction)
+	// Walkers first, churners from the tail, so the two sets never overlap
+	// (a departed walker would emit moves while off the network).
+	for i := 0; i < nWalk && i < len(stations); i++ {
+		st := stations[i]
+		pos := st.Pos
+		home := st.Pos
+		dest := roamPoint(rng, home, cfg.RoamRadiusMeters, top.World)
+		for at := cfg.Tick; at <= cfg.Duration; at += cfg.Tick {
+			step := cfg.SpeedMps * cfg.Tick.Seconds()
+			for {
+				d := pos.DistanceTo(dest)
+				if d > step {
+					pos = geom.OnLine(pos, dest, step)
+					break
+				}
+				// Arrived mid-tick: spend the remainder toward a new waypoint.
+				step -= d
+				pos = dest
+				dest = roamPoint(rng, home, cfg.RoamRadiusMeters, top.World)
+			}
+			tr.Events = append(tr.Events, LocEvent{At: at, Op: LocMove, Node: st.ID, Pos: pos})
+		}
+	}
+	for i := 0; i < nChurn; i++ {
+		j := len(stations) - 1 - i
+		if j < nWalk {
+			break
+		}
+		st := stations[j]
+		span := cfg.Duration.Seconds()
+		leave := time.Duration((0.1 + 0.4*rng.Float64()) * span * float64(time.Second))
+		back := leave + time.Duration((0.1+0.3*rng.Float64())*span*float64(time.Second))
+		tr.Events = append(tr.Events, LocEvent{At: leave, Op: LocLeave, Node: st.ID})
+		if back < cfg.Duration {
+			tr.Events = append(tr.Events, LocEvent{At: back, Op: LocJoin, Node: st.ID})
+		}
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool { return tr.Events[i].At < tr.Events[j].At })
+	return tr
+}
+
+// roamPoint draws a uniform waypoint in the roam disc around home, clamped
+// into the world when a grid is present.
+func roamPoint(rng *rand.Rand, home geom.Point, radius float64, world *Grid) geom.Point {
+	r := radius * math.Sqrt(rng.Float64())
+	theta := 2 * math.Pi * rng.Float64()
+	p := home.Add(geom.Vec(r*math.Cos(theta), r*math.Sin(theta)))
+	if world != nil {
+		o := world.Origin()
+		p.X = clamp(p.X, o.X, o.X+world.SizeMeters())
+		p.Y = clamp(p.Y, o.Y, o.Y+world.SizeMeters())
+	}
+	return p
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

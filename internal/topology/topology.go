@@ -50,6 +50,12 @@ type Topology struct {
 	Name  string
 	Nodes []Node
 	Flows []Flow
+	// World, when non-nil, bounds the layout to a spatial grid: Validate
+	// then rejects nodes placed outside it, and the channel shards its
+	// per-pair state by grid cell instead of keeping dense N×N matrices.
+	// Paper-scale topologies leave it nil (single implicit cell, dense
+	// behavior bit-for-bit).
+	World *Grid
 }
 
 // Node returns the placement of id, or ok=false.
@@ -84,6 +90,11 @@ func (t Topology) Validate() error {
 			return fmt.Errorf("topology %q: duplicate node %d", t.Name, n.ID)
 		}
 		seen[n.ID] = true
+		if t.World != nil {
+			if _, err := t.World.CellOf(n.Pos); err != nil {
+				return fmt.Errorf("topology %q: node %d: %w", t.Name, n.ID, err)
+			}
+		}
 	}
 	for _, f := range t.Flows {
 		if !seen[f.Src] || !seen[f.Dst] {
